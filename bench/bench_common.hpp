@@ -1,0 +1,125 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Every figure bench follows the same protocol the paper describes in
+// Section IV: serial baseline first (the speed-up denominator), then the
+// parallel configurations across a thread sweep; Floorplan speed-ups use
+// nodes/second (Section IV footnote 5), everything else elapsed time.
+//
+// Environment knobs:
+//   BOTS_INPUT_CLASS  test|small|medium|large (per-bench default noted)
+//   BOTS_MAX_THREADS  cap on the sweep (default min(32, hardware))
+//   BOTS_BENCH_REPS   repetitions per configuration, best-of (default 2)
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/report.hpp"
+
+namespace bots::bench {
+
+struct Sweep {
+  std::vector<unsigned> threads;
+  core::InputClass input;
+  int reps;
+};
+
+[[nodiscard]] inline unsigned env_unsigned(const char* name,
+                                           unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : fallback;
+}
+
+/// The paper's sweep: 1, 2, 4, 8, 16, 24, 32 threads (Figure 4/5 x-axis),
+/// clipped to this machine and BOTS_MAX_THREADS.
+[[nodiscard]] inline Sweep sweep_from_env(core::InputClass default_input) {
+  Sweep s;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned cap = std::min(env_unsigned("BOTS_MAX_THREADS", 32u), hw);
+  for (unsigned t : {1u, 2u, 4u, 8u, 16u, 24u, 32u}) {
+    if (t <= cap) s.threads.push_back(t);
+  }
+  if (s.threads.back() != cap) s.threads.push_back(cap);
+  s.input = core::input_class_from_env(default_input);
+  s.reps = static_cast<int>(env_unsigned("BOTS_BENCH_REPS", 2u));
+  return s;
+}
+
+/// One measured configuration.
+struct Measurement {
+  core::RunReport best;  ///< fastest repetition (paper-style best-of)
+  bool valid = false;
+
+  void offer(const core::RunReport& rep) {
+    if (!valid || rep.seconds < best.seconds) best = rep;
+    valid = true;
+  }
+};
+
+/// Serial baseline for an app (best of `reps`).
+[[nodiscard]] inline core::RunReport serial_baseline(const core::AppInfo& app,
+                                                     core::InputClass input,
+                                                     int reps) {
+  Measurement m;
+  for (int r = 0; r < reps; ++r) m.offer(app.run_serial(input));
+  return m.best;
+}
+
+/// One parallel configuration, best of `reps`, fresh scheduler per rep.
+[[nodiscard]] inline core::RunReport parallel_best(
+    const core::AppInfo& app, const std::string& version, unsigned threads,
+    core::InputClass input, int reps,
+    rt::SchedulerConfig base_cfg = rt::SchedulerConfig{}) {
+  Measurement m;
+  for (int r = 0; r < reps; ++r) {
+    rt::SchedulerConfig cfg = base_cfg;
+    cfg.num_threads = threads;
+    rt::Scheduler sched(cfg);
+    // Wake the team once before timing so pool spin-up is not measured.
+    sched.run_single([] {});
+    m.offer(app.run(input, version, sched, /*verify=*/false));
+  }
+  return m.best;
+}
+
+/// Render one speed-up series table: rows are labels, one column per thread
+/// count, exactly the data behind the paper's speed-up plots.
+class SpeedupTable {
+ public:
+  explicit SpeedupTable(const std::vector<unsigned>& threads) {
+    headers_.push_back("configuration");
+    for (unsigned t : threads) headers_.push_back(std::to_string(t));
+    threads_ = threads;
+  }
+
+  void add_series(const std::string& label, const std::vector<double>& s) {
+    std::vector<std::string> row{label};
+    for (double v : s) row.push_back(core::format_fixed(v, 2));
+    rows_.push_back(std::move(row));
+  }
+
+  void print(const std::string& title) const {
+    std::cout << "\n" << title << "\n";
+    std::cout << "(columns: speed-up vs serial at each thread count)\n";
+    core::TableWriter t(headers_);
+    for (const auto& r : rows_) t.add_row(r);
+    t.render(std::cout);
+    std::cout << "\nCSV:\n";
+    t.render_csv(std::cout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<unsigned> threads_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bots::bench

@@ -1,0 +1,134 @@
+// Table I reproduction: static summary of the BOTS applications (origin,
+// domain, computation structure, task directives, generator construct,
+// nesting, application cut-off), printed from the registry metadata.
+//
+// The binary doubles as the EPCC-style runtime-overhead microbenchmark the
+// paper's related work motivates: per-construct costs of spawn+join for
+// tied/untied tasks, if(false) undeferred tasks and the manual-cut-off
+// baseline, measured with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "runtime/rt.hpp"
+
+namespace core = bots::core;
+namespace rt = bots::rt;
+
+namespace {
+
+void print_table1() {
+  std::cout << "== Table I: BOTS applications summary ==\n";
+  core::TableWriter t({"Application", "Origin", "Domain",
+                       "Computation structure", "# task directives",
+                       "tasks inside omp...", "nested tasks",
+                       "Application cut-off"});
+  for (const auto& app : core::apps()) {
+    std::string name = app.name;
+    if (app.extension) name += " (ext)";
+    t.add_row({name, app.origin, app.domain, app.structure,
+               std::to_string(app.task_directives), app.tasks_inside,
+               app.nested_tasks ? "yes" : "no", app.app_cutoff});
+  }
+  t.render(std::cout);
+  std::cout << "\n== Version matrix (Section III-A, \"Multiple versions\") ==\n";
+  core::TableWriter v({"Application", "Version", "Tiedness", "Cut-off",
+                       "Generator", "Figure 3 best"});
+  for (const auto& app : core::apps()) {
+    for (const auto& ver : app.versions) {
+      v.add_row({app.name, ver.name, to_string(ver.tied),
+                 to_string(ver.cutoff), to_string(ver.generator),
+                 ver.paper_best ? "*" : ""});
+    }
+  }
+  v.render(std::cout);
+  std::cout.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Per-construct overhead microbenchmarks (amortized over a fib tree).
+// ---------------------------------------------------------------------------
+
+std::uint64_t fib_spawned(int n, rt::Tiedness tied) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn(tied, [&a, n, tied] { a = fib_spawned(n - 1, tied); });
+  rt::spawn(tied, [&b, n, tied] { b = fib_spawned(n - 2, tied); });
+  rt::taskwait();
+  return a + b;
+}
+
+std::uint64_t fib_if_false(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn_if(false, [&a, n] { a = fib_if_false(n - 1); });
+  rt::spawn_if(false, [&b, n] { b = fib_if_false(n - 2); });
+  rt::taskwait();
+  return a + b;
+}
+
+std::uint64_t fib_plain(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  return fib_plain(n - 1) + fib_plain(n - 2);
+}
+
+constexpr int micro_n = 22;
+
+void bm_spawn(benchmark::State& state, rt::Tiedness tied) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 1;  // isolate per-construct cost from scaling effects
+  rt::Scheduler sched(cfg);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    sched.run_single([&] { r = fib_spawned(micro_n, tied); });
+    benchmark::DoNotOptimize(r);
+  }
+  const auto st = sched.stats();
+  state.counters["ns/task"] = benchmark::Counter(
+      static_cast<double>(st.total.tasks_created),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void bm_if_false(benchmark::State& state) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 1;
+  rt::Scheduler sched(cfg);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    sched.run_single([&] { r = fib_if_false(micro_n); });
+    benchmark::DoNotOptimize(r);
+  }
+  const auto st = sched.stats();
+  state.counters["ns/task"] = benchmark::Counter(
+      static_cast<double>(st.total.tasks_created),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void bm_manual(benchmark::State& state) {
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    r = fib_plain(micro_n);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  std::cout << "\n== Task-construct overheads (fib(" << micro_n
+            << "), one worker) ==\n";
+  benchmark::RegisterBenchmark("spawn_taskwait/tied", bm_spawn,
+                               rt::Tiedness::tied);
+  benchmark::RegisterBenchmark("spawn_taskwait/untied", bm_spawn,
+                               rt::Tiedness::untied);
+  benchmark::RegisterBenchmark("spawn_if_false", bm_if_false);
+  benchmark::RegisterBenchmark("manual_cutoff_baseline", bm_manual);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

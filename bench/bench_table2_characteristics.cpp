@@ -1,0 +1,81 @@
+// Table II reproduction: application characteristics from a profiled serial
+// execution — serial time, memory, number of potential tasks and the
+// per-task averages (arithmetic ops, taskwaits, captured environment size,
+// environment writes, % non-private writes, ops/write, arithmetic ops per
+// non-private write).
+//
+// The paper collected these on the medium inputs with a compiler-
+// instrumented serial build; here the CountingProf policy instantiation of
+// each kernel plays that role (see src/prof/profile.hpp). Default input
+// class: medium (override with BOTS_INPUT_CLASS).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "prof/profile.hpp"
+
+namespace core = bots::core;
+namespace prof = bots::prof;
+
+namespace {
+
+std::vector<prof::TableRow> g_rows;
+
+void print_table2(core::InputClass input) {
+  std::cout << "\n== Table II: application characteristics with the "
+            << to_string(input) << " input sets ==\n";
+  core::TableWriter t({"Application", "Input", "Serial time", "Memory",
+                       "# potential tasks", "Arith ops/task", "Taskwaits/task",
+                       "Captured env (B)", "Env writes/task",
+                       "% writes non-private", "Ops per write",
+                       "Arith ops per non-private write"});
+  for (const auto& row : g_rows) {
+    t.add_row({row.app, row.input_desc,
+               core::format_fixed(row.serial_seconds, 2) + " s",
+               core::format_bytes(row.memory_bytes),
+               core::format_count(row.potential_tasks),
+               core::format_count(
+                   static_cast<std::uint64_t>(row.arith_ops_per_task)),
+               core::format_fixed(row.taskwaits_per_task, 2),
+               core::format_fixed(row.captured_env_bytes_per_task, 2),
+               core::format_fixed(row.env_writes_per_task, 2),
+               core::format_fixed(row.pct_writes_shared, 2) + "%",
+               core::format_fixed(row.ops_per_write, 2),
+               row.arith_per_shared_write > 0
+                   ? core::format_fixed(row.arith_per_shared_write, 2)
+                   : std::string("-")});
+  }
+  t.render(std::cout);
+  std::cout << "\nCSV:\n";
+  t.render_csv(std::cout);
+  std::cout.flush();
+}
+
+void bm_profile(benchmark::State& state, const core::AppInfo* app,
+                core::InputClass input) {
+  for (auto _ : state) {
+    const auto row = app->profile_row(input);
+    state.SetIterationTime(row.serial_seconds);
+    g_rows.push_back(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const core::InputClass input =
+      core::input_class_from_env(core::InputClass::medium);
+  for (const auto& app : core::apps()) {
+    benchmark::RegisterBenchmark(("profile/" + app.name).c_str(), bm_profile,
+                                 &app, input)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table2(input);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// bots_run: the generic suite driver (the bots_main equivalent).
+//
+//   $ ./examples/bots_run -l                      # list apps and versions
+//   $ ./examples/bots_run -a nqueens              # best version, small input
+//   $ ./examples/bots_run -a sort -v tied -i medium -t 16 -r 3
+//   $ ./examples/bots_run -a fib --serial -i small
+//   $ ./examples/bots_run -a health --all-versions -i test
+//
+// Every run self-verifies unless --no-verify is given; the report prints
+// elapsed time, the app metric when there is one (Floorplan nodes/s) and
+// the scheduler's task counters.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/registry.hpp"
+
+namespace core = bots::core;
+namespace rt = bots::rt;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: bots_run [options]\n"
+      "  -l, --list            list applications and versions\n"
+      "  -a <app>              application to run (required unless -l)\n"
+      "  -v <version>          version name (default: the Figure 3 best)\n"
+      "      --all-versions    run every version of the app\n"
+      "      --serial          run the serial reference instead\n"
+      "  -i <class>            input class: test|small|medium|large\n"
+      "                        (default small)\n"
+      "  -t <threads>          team size (default: hardware)\n"
+      "  -r <reps>             repetitions, best-of (default 1)\n"
+      "      --no-verify       skip self-verification\n"
+      "      --stats           print per-worker scheduler counters\n");
+}
+
+void print_report(const core::RunReport& rep, bool with_stats) {
+  std::printf("%-10s %-16s %-7s t=%-3u %8.3f s  verify=%s", rep.app.c_str(),
+              rep.version.c_str(), to_string(rep.input), rep.threads,
+              rep.seconds, to_string(rep.verified));
+  if (rep.metric > 0.0) {
+    std::printf("  %s=%s", rep.metric_name.c_str(),
+                core::format_count(static_cast<std::uint64_t>(rep.metric))
+                    .c_str());
+  }
+  std::printf("\n");
+  if (with_stats) {
+    const auto& s = rep.runtime_stats;
+    std::printf(
+        "           tasks: created=%llu deferred=%llu if-inlined=%llu "
+        "cutoff-inlined=%llu stolen=%llu taskwaits=%llu env-bytes=%llu\n",
+        static_cast<unsigned long long>(s.tasks_created),
+        static_cast<unsigned long long>(s.tasks_deferred),
+        static_cast<unsigned long long>(s.tasks_if_inlined),
+        static_cast<unsigned long long>(s.tasks_cutoff_inlined),
+        static_cast<unsigned long long>(s.tasks_stolen),
+        static_cast<unsigned long long>(s.taskwaits),
+        static_cast<unsigned long long>(s.env_bytes));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  std::optional<std::string> version;
+  core::InputClass input = core::InputClass::small;
+  unsigned threads = std::thread::hardware_concurrency();
+  int reps = 1;
+  bool list = false;
+  bool serial = false;
+  bool all_versions = false;
+  bool verify = true;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-l" || arg == "--list") {
+      list = true;
+    } else if (arg == "-a") {
+      app_name = next();
+    } else if (arg == "-v") {
+      version = next();
+    } else if (arg == "--all-versions") {
+      all_versions = true;
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "-i") {
+      const auto parsed = core::parse_input_class(next());
+      if (!parsed) {
+        std::fprintf(stderr, "unknown input class\n");
+        return 2;
+      }
+      input = *parsed;
+    } else if (arg == "-t") {
+      threads = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "-r") {
+      reps = std::stoi(next());
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      usage();
+      return arg == "-h" || arg == "--help" ? 0 : 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& app : core::apps()) {
+      std::printf("%-10s %s%s\n  versions:", app.name.c_str(),
+                  app.domain.c_str(), app.extension ? " [extension]" : "");
+      for (const auto& v : app.versions) {
+        std::printf(" %s%s", v.name.c_str(), v.paper_best ? "*" : "");
+      }
+      std::printf("\n  inputs: test=%s small=%s medium=%s large=%s\n",
+                  app.describe_input(core::InputClass::test).c_str(),
+                  app.describe_input(core::InputClass::small).c_str(),
+                  app.describe_input(core::InputClass::medium).c_str(),
+                  app.describe_input(core::InputClass::large).c_str());
+    }
+    return 0;
+  }
+
+  const auto* app = core::find_app(app_name);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown application '%s' (use -l to list)\n",
+                 app_name.c_str());
+    return 2;
+  }
+
+  if (serial) {
+    core::RunReport best;
+    for (int r = 0; r < reps; ++r) {
+      auto rep = app->run_serial(input);
+      if (r == 0 || rep.seconds < best.seconds) best = rep;
+    }
+    print_report(best, false);
+    return best.verified == core::Verified::failed ? 1 : 0;
+  }
+
+  std::vector<std::string> to_run;
+  if (all_versions) {
+    for (const auto& v : app->versions) to_run.push_back(v.name);
+  } else {
+    to_run.push_back(version.value_or(app->best_version().name));
+  }
+
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  rt::Scheduler sched(cfg);
+  int exit_code = 0;
+  for (const auto& v : to_run) {
+    core::RunReport best;
+    for (int r = 0; r < reps; ++r) {
+      auto rep = app->run(input, v, sched, verify);
+      if (r == 0 || rep.seconds < best.seconds) best = rep;
+    }
+    print_report(best, stats);
+    if (best.verified == core::Verified::failed) exit_code = 1;
+  }
+  return exit_code;
+}

@@ -1,0 +1,22 @@
+#include "core/input_class.hpp"
+
+#include <cstdlib>
+
+namespace bots::core {
+
+std::optional<InputClass> parse_input_class(std::string_view s) {
+  if (s == "test") return InputClass::test;
+  if (s == "small") return InputClass::small;
+  if (s == "medium") return InputClass::medium;
+  if (s == "large") return InputClass::large;
+  return std::nullopt;
+}
+
+InputClass input_class_from_env(InputClass fallback) {
+  const char* v = std::getenv("BOTS_INPUT_CLASS");
+  if (v == nullptr) return fallback;
+  if (auto c = parse_input_class(v)) return *c;
+  return fallback;
+}
+
+}  // namespace bots::core

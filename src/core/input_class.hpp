@@ -1,0 +1,34 @@
+// Input classes (paper Section III-A, "Input sets").
+//
+// The paper defines four classes sized for an SGI Altix 4700 reference
+// platform (serial medium <= 10 min, <= 4 GB). This reproduction keeps the
+// same four-class structure and per-class ratios but rescales the absolute
+// sizes so that a serial *medium* run takes on the order of seconds on a
+// commodity machine; the per-application parameters live with each kernel
+// and the mapping to paper sizes is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bots::core {
+
+enum class InputClass { test, small, medium, large };
+
+[[nodiscard]] constexpr const char* to_string(InputClass c) noexcept {
+  switch (c) {
+    case InputClass::test: return "test";
+    case InputClass::small: return "small";
+    case InputClass::medium: return "medium";
+    case InputClass::large: return "large";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<InputClass> parse_input_class(std::string_view s);
+
+/// Reads BOTS_INPUT_CLASS from the environment; falls back to `fallback`.
+[[nodiscard]] InputClass input_class_from_env(InputClass fallback);
+
+}  // namespace bots::core

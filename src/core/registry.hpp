@@ -1,0 +1,105 @@
+// Application and version registry: the suite's metadata backbone.
+//
+// Table I of the paper is a *static* summary (origin, domain, computation
+// structure, number of task directives, generator construct, nesting,
+// application-level cut-off); the registry carries exactly those fields per
+// application plus the version matrix (Section III-A, "Multiple versions")
+// and type-erased entry points used by the generic driver, the benches and
+// the integration tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/report.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::core {
+
+/// Application-level cut-off style of a version (paper Figures 1 and 2).
+enum class AppCutoff : std::uint8_t {
+  none,       ///< unconstrained task creation; runtime cut-off applies
+  if_clause,  ///< `#pragma omp task if(condition)` style
+  manual      ///< condition checked in application code, serial branch
+};
+
+/// Task generator scheme of a version (Table I "tasks inside omp ...").
+enum class Generator : std::uint8_t {
+  single_gen,   ///< tasks created under a `single` construct
+  multiple_gen  ///< tasks created under a `for` worksharing construct
+};
+
+[[nodiscard]] constexpr const char* to_string(AppCutoff c) noexcept {
+  switch (c) {
+    case AppCutoff::none: return "none";
+    case AppCutoff::if_clause: return "if-clause";
+    case AppCutoff::manual: return "manual";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Generator g) noexcept {
+  return g == Generator::single_gen ? "single" : "for";
+}
+
+struct VersionInfo {
+  std::string name;  ///< e.g. "untied", "manual-tied", "for-tied"
+  rt::Tiedness tied = rt::Tiedness::tied;
+  AppCutoff cutoff = AppCutoff::none;
+  Generator generator = Generator::single_gen;
+  /// Marks the version Figure 3 reports as best for this application.
+  bool paper_best = false;
+};
+
+struct AppInfo {
+  // ---- Table I static fields ----
+  std::string name;
+  std::string origin;      ///< "Cilk", "AKM", "Olden", "-"
+  std::string domain;      ///< e.g. "Dynamic programming"
+  std::string structure;   ///< "Iterative", "At each node", "At leafs"
+  int task_directives = 0;
+  std::string tasks_inside;  ///< "for", "single", "single/for"
+  bool nested_tasks = false;
+  std::string app_cutoff;  ///< "none" or "depth-based"
+  bool extension = false;  ///< not part of the ICPP'09 suite (future work)
+
+  std::vector<VersionInfo> versions;
+
+  // ---- type-erased entry points ----
+  /// Runs one parallel version inside the given scheduler; verifies when
+  /// asked (every BOTS benchmark self-verifies, Section III-A).
+  std::function<RunReport(InputClass, const std::string& version,
+                          rt::Scheduler&, bool verify)>
+      run;
+  /// Serial reference execution; the Figure 3/4/5 speed-up baseline.
+  std::function<RunReport(InputClass)> run_serial;
+  /// Profiled serial execution producing this app's Table II row.
+  std::function<prof::TableRow(InputClass)> profile_row;
+  /// Human-readable input description ("14x14 board", ...).
+  std::function<std::string(InputClass)> describe_input;
+
+  [[nodiscard]] const VersionInfo* find_version(std::string_view v) const {
+    for (const auto& ver : versions) {
+      if (ver.name == v) return &ver;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const VersionInfo& best_version() const {
+    for (const auto& ver : versions) {
+      if (ver.paper_best) return ver;
+    }
+    return versions.front();
+  }
+};
+
+/// The full suite. Defined in kernels/apps.cpp (links against every kernel).
+[[nodiscard]] const std::vector<AppInfo>& apps();
+
+[[nodiscard]] const AppInfo* find_app(std::string_view name);
+
+}  // namespace bots::core

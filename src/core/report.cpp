@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace bots::core {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TableWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::render(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(width[c], '-');
+    }
+    os << "-+\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+void TableWriter::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_count(std::uint64_t n) {
+  char buf[64];
+  if (n >= 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "~ %.0f G", static_cast<double>(n) / 1e9);
+  } else if (n >= 10'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "~ %.0f M", static_cast<double>(n) / 1e6);
+  } else if (n >= 100'000ULL) {
+    std::snprintf(buf, sizeof buf, "~ %.0f K", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1ULL << 30) {
+    std::snprintf(buf, sizeof buf, "%.1f GB", b / static_cast<double>(1ULL << 30));
+  } else if (bytes >= 1ULL << 20) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / static_cast<double>(1ULL << 20));
+  } else if (bytes >= 1ULL << 10) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / static_cast<double>(1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bots::core

@@ -1,0 +1,73 @@
+// Deterministic random number generation for input synthesis.
+//
+// Every BOTS input in this reproduction is generated from a fixed seed so
+// that runs are bit-reproducible across machines and thread counts
+// (self-verification depends on it). splitmix64 seeds xoshiro256**.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bots::core {
+
+/// splitmix64 (Steele, Lea, Flood); used for seeding and one-shot hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman, Vigna).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0), Lemire-style rejection-free
+  /// approximation is unnecessary here; modulo bias is irrelevant for
+  /// workload synthesis but we use the high bits for quality.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return (next() >> 11) % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// FNV-1a, for order-independent-free checksums of outputs.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t h,
+                                            std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+inline constexpr std::uint64_t fnv_offset = 0xCBF29CE484222325ULL;
+
+}  // namespace bots::core

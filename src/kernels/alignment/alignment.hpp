@@ -1,0 +1,75 @@
+// Alignment: all-pairs protein sequence alignment scoring (paper
+// Section III-B; Application Kernel Matrix origin, Myers-Miller [23]).
+//
+// "Aligns all protein sequences from an input file against every other
+// sequence ... The scoring method is a full dynamic programming algorithm.
+// It uses a weight matrix to score mismatches, and assigns penalties for
+// opening and extending gaps. The output is the best score for each pair."
+//
+// This reproduction scores with the Gotoh affine-gap global-alignment DP
+// (same O(L1*L2) full-DP structure, weight matrix + open/extend penalties;
+// see DESIGN.md substitution table). Parallelization matches the paper: the
+// outer loop is a `for` worksharing construct and a task is created per
+// pair inside it — the only iterative/for-generator benchmark in the suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::alignment {
+
+struct Params {
+  int nseq = 16;            ///< number of protein sequences
+  int len_min = 80;         ///< sequence length range
+  int len_max = 120;
+  int gap_open = 10;        ///< affine gap penalties (positive costs)
+  int gap_extend = 1;
+  std::uint64_t seed = 0xA115u;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Residues are 0..19 (the 20-letter amino-acid alphabet).
+using Sequence = std::vector<std::uint8_t>;
+
+[[nodiscard]] std::vector<Sequence> make_input(const Params& p);
+
+/// Symmetric 20x20 substitution weight matrix (BLOSUM-like shape:
+/// positive diagonal, mostly negative off-diagonal; deterministic).
+[[nodiscard]] const std::array<std::array<int, 20>, 20>& weight_matrix();
+
+/// Pairwise score of two sequences (Gotoh affine-gap global alignment).
+[[nodiscard]] int pair_score(const Sequence& a, const Sequence& b,
+                             const Params& p);
+
+/// Best score for every pair (i < j), flattened in row-major pair order.
+[[nodiscard]] std::vector<int> run_serial(const Params& p,
+                                          const std::vector<Sequence>& seqs);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+};
+
+[[nodiscard]] std::vector<int> run_parallel(const Params& p,
+                                            const std::vector<Sequence>& seqs,
+                                            rt::Scheduler& sched,
+                                            const VersionOpts& opts);
+
+/// Verification: exact score equality on a deterministic random subset of
+/// pairs recomputed serially (full compare for test/small sizes).
+[[nodiscard]] bool verify(const Params& p, const std::vector<Sequence>& seqs,
+                          const std::vector<int>& scores);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::alignment

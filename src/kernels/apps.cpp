@@ -1,0 +1,43 @@
+// Assembly of the suite registry: the only translation unit that knows
+// every kernel. Order matches Table I of the paper; extensions follow.
+#include "core/registry.hpp"
+
+#include "kernels/alignment/alignment.hpp"
+#include "kernels/fft/fft.hpp"
+#include "kernels/fib/fib.hpp"
+#include "kernels/floorplan/floorplan.hpp"
+#include "kernels/health/health.hpp"
+#include "kernels/nqueens/nqueens.hpp"
+#include "kernels/sort/sort.hpp"
+#include "kernels/sparselu/sparselu.hpp"
+#include "kernels/strassen/strassen.hpp"
+#include "kernels/uts/uts.hpp"
+
+namespace bots::core {
+
+const AppInfo* find_app(std::string_view name) {
+  for (const AppInfo& app : apps()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+const std::vector<AppInfo>& apps() {
+  static const std::vector<AppInfo> registry = [] {
+    std::vector<AppInfo> v;
+    v.push_back(bots::alignment::make_app_info());
+    v.push_back(bots::fft::make_app_info());
+    v.push_back(bots::fib::make_app_info());
+    v.push_back(bots::floorplan::make_app_info());
+    v.push_back(bots::health::make_app_info());
+    v.push_back(bots::nqueens::make_app_info());
+    v.push_back(bots::sort::make_app_info());
+    v.push_back(bots::sparselu::make_app_info());
+    v.push_back(bots::strassen::make_app_info());
+    v.push_back(bots::uts::make_app_info());
+    return v;
+  }();
+  return registry;
+}
+
+}  // namespace bots::core

@@ -1,0 +1,56 @@
+// FFT: one-dimensional complex FFT via the Cooley-Tukey divide-and-conquer
+// algorithm (paper Section III-B; from the Cilk suite).
+//
+// "This is a divide and conquer algorithm that recursively breaks down a
+// DFT into many smaller DFTs. In each of the divisions multiple tasks are
+// generated" — tasks are created for the two half-transforms and for the
+// chunks of the deinterleave/combine loops; small transforms use an
+// iterative leaf kernel (the Cilk code's specialized base cases).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::fft {
+
+using Complex = std::complex<double>;
+
+struct Params {
+  std::size_t n = 1u << 12;  ///< transform size (power of two)
+  std::uint64_t seed = 0xFF7u;
+  std::size_t leaf = 64;          ///< iterative base-case size
+  std::size_t loop_chunk = 4096;  ///< task granularity of data-motion loops
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+[[nodiscard]] std::vector<Complex> make_input(const Params& p);
+
+/// Forward transform, serial reference. Result replaces `data`.
+void run_serial(const Params& p, std::vector<Complex>& data);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::untied;
+};
+
+void run_parallel(const Params& p, std::vector<Complex>& data,
+                  rt::Scheduler& sched, const VersionOpts& opts);
+
+/// Verification: direct O(n^2) DFT comparison for small n; inverse-transform
+/// round trip plus Parseval's identity for large n.
+[[nodiscard]] bool verify(const Params& p, const std::vector<Complex>& input,
+                          const std::vector<Complex>& output);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::fft

@@ -1,0 +1,177 @@
+#include "kernels/fib/fib.hpp"
+
+#include <stdexcept>
+
+#include "core/kernel_glue.hpp"
+
+namespace bots::fib {
+
+namespace {
+
+/// Serial recursion, instrumented via the Prof policy. One abstract
+/// arithmetic op per addition; results return through the parent stack
+/// (shared writes in the task version — the paper notes "in Fib all shared
+/// access are writes to the parent task stack").
+template <class Prof>
+std::uint64_t fib_seq(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  const std::uint64_t a = fib_seq<Prof>(n - 1);
+  const std::uint64_t b = fib_seq<Prof>(n - 2);
+  Prof::ops(1);
+  return a + b;
+}
+
+/// Profiled *potential-task* walk: in the paper's methodology every task
+/// construct encountered in the serial profiled run counts as a potential
+/// task, with its captured environment and the taskwait per node.
+template <class Prof>
+std::uint64_t fib_seq_tasksites(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  Prof::task(sizeof(int) + sizeof(std::uint64_t*));  // n + result location
+  const std::uint64_t a = fib_seq_tasksites<Prof>(n - 1);
+  Prof::task(sizeof(int) + sizeof(std::uint64_t*));
+  const std::uint64_t b = fib_seq_tasksites<Prof>(n - 2);
+  Prof::taskwait();
+  Prof::ops(1);
+  Prof::write_shared(2);  // both children write their result to the parent
+  return a + b;
+}
+
+struct TaskBody {
+  const VersionOpts* opts;
+  int cutoff_depth;
+
+  std::uint64_t run(int n, int depth) const {
+    if (n < 2) return static_cast<std::uint64_t>(n);
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    switch (opts->cutoff) {
+      case core::AppCutoff::none:
+        rt::spawn(opts->tied, [this, n, &a, depth] { a = run(n - 1, depth + 1); });
+        rt::spawn(opts->tied, [this, n, &b, depth] { b = run(n - 2, depth + 1); });
+        rt::taskwait();
+        break;
+      case core::AppCutoff::if_clause:
+        rt::spawn_if(depth < cutoff_depth, opts->tied,
+                     [this, n, &a, depth] { a = run(n - 1, depth + 1); });
+        rt::spawn_if(depth < cutoff_depth, opts->tied,
+                     [this, n, &b, depth] { b = run(n - 2, depth + 1); });
+        rt::taskwait();
+        break;
+      case core::AppCutoff::manual:
+        if (depth < cutoff_depth) {
+          rt::spawn(opts->tied, [this, n, &a, depth] { a = run(n - 1, depth + 1); });
+          rt::spawn(opts->tied, [this, n, &b, depth] { b = run(n - 2, depth + 1); });
+          rt::taskwait();
+        } else {
+          a = fib_seq<prof::NoProf>(n - 1);
+          b = fib_seq<prof::NoProf>(n - 2);
+        }
+        break;
+    }
+    return a + b;
+  }
+};
+
+}  // namespace
+
+Params params_for(core::InputClass c) {
+  switch (c) {
+    case core::InputClass::test: return {20, 6};
+    case core::InputClass::small: return {36, 10};
+    case core::InputClass::medium: return {42, 12};
+    case core::InputClass::large: return {45, 13};
+  }
+  throw std::invalid_argument("fib: bad input class");
+}
+
+std::string describe(const Params& p) { return std::to_string(p.n); }
+
+std::uint64_t run_serial(const Params& p) {
+  return fib_seq<prof::NoProf>(p.n);
+}
+
+std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                           const VersionOpts& opts) {
+  std::uint64_t result = 0;
+  TaskBody body{&opts, p.cutoff_depth};
+  sched.run_single([&] { result = body.run(p.n, 0); });
+  return result;
+}
+
+bool verify(const Params& p, std::uint64_t result) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 1;
+  for (int i = 0; i < p.n; ++i) {
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return result == a;
+}
+
+prof::TableRow profile_row(core::InputClass c) {
+  const Params p = params_for(c);
+  prof::CountingProf::reset();
+  core::Timer timer;
+  const std::uint64_t r = fib_seq_tasksites<prof::CountingProf>(p.n);
+  const double secs = timer.seconds();
+  if (!verify(p, r)) throw std::logic_error("fib profile run mis-verified");
+  // Memory footprint: the recursion stack only.
+  const std::uint64_t mem = static_cast<std::uint64_t>(p.n) * 64;
+  return prof::make_row("fib", describe(p), secs, mem,
+                        prof::CountingProf::totals());
+}
+
+core::AppInfo make_app_info() {
+  core::AppInfo app;
+  app.name = "fib";
+  app.origin = "-";
+  app.domain = "Integer";
+  app.structure = "At each node";
+  app.task_directives = 2;
+  app.tasks_inside = "single";
+  app.nested_tasks = true;
+  app.app_cutoff = "depth-based";
+  app.versions = {
+      {"tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"if-tied", rt::Tiedness::tied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"if-untied", rt::Tiedness::untied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"manual-tied", rt::Tiedness::tied, core::AppCutoff::manual,
+       core::Generator::single_gen, true},
+      {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
+       core::Generator::single_gen, false},
+  };
+  app.run = [](core::InputClass ic, const std::string& version,
+               rt::Scheduler& sched, bool verify_run) {
+    const core::AppInfo& self = *core::find_app("fib");
+    const core::VersionInfo* v = self.find_version(version);
+    if (v == nullptr) throw std::invalid_argument("fib: unknown version " + version);
+    const Params p = params_for(ic);
+    VersionOpts opts{v->tied, v->cutoff};
+    std::uint64_t result = 0;
+    return core::run_and_report(
+        "fib", version, ic, sched, verify_run,
+        [&] { result = run_parallel(p, sched, opts); },
+        [&] { return verify(p, result); });
+  };
+  app.run_serial = [](core::InputClass ic) {
+    const Params p = params_for(ic);
+    std::uint64_t result = 0;
+    return core::run_serial_and_report(
+        "fib", ic, true, [&] { result = run_serial(p); },
+        [&] { return verify(p, result); });
+  };
+  app.profile_row = [](core::InputClass ic) { return profile_row(ic); };
+  app.describe_input = [](core::InputClass ic) {
+    return describe(params_for(ic));
+  };
+  return app;
+}
+
+}  // namespace bots::fib

@@ -1,0 +1,46 @@
+// Fib: nth Fibonacci number by naive recursion (paper Section III-B).
+//
+// "While not representative of an efficient fibonacci computation it is
+// still useful because it is a simple test case of a deep tree composed of
+// very fine grain tasks." Ships with depth-based cut-off versions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::fib {
+
+struct Params {
+  int n = 20;
+  int cutoff_depth = 10;  ///< used by the manual / if-clause versions
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Serial reference (plain recursion; exponential on purpose).
+[[nodiscard]] std::uint64_t run_serial(const Params& p);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::AppCutoff cutoff = core::AppCutoff::manual;
+};
+
+/// Task-parallel execution inside `sched`.
+[[nodiscard]] std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                                         const VersionOpts& opts);
+
+/// Known-answer check (closed-form iterative recomputation).
+[[nodiscard]] bool verify(const Params& p, std::uint64_t result);
+
+/// Table II profiled serial run.
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::fib

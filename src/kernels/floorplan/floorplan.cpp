@@ -1,0 +1,389 @@
+#include "kernels/floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "core/kernel_glue.hpp"
+#include "core/rng.hpp"
+#include "runtime/worker_local.hpp"
+
+namespace bots::floorplan {
+
+namespace {
+
+constexpr int max_cells = 24;
+
+/// Search state copied into every child task (the paper's point about
+/// Floorplan: a large captured environment, ~5 KB per task, which forces
+/// the runtime's out-of-line environment path).
+struct State {
+  std::array<std::int8_t, board_dim * board_dim> board{};  ///< 0 = free
+  std::array<std::int8_t, max_cells> px{}, py{}, pw{}, ph{};  ///< placements
+  int foot_w = 0;  ///< current footprint (bounding box of placed cells)
+  int foot_h = 0;
+};
+
+[[nodiscard]] bool region_free(const State& st, int x, int y, int w, int h) {
+  for (int j = y; j < y + h; ++j) {
+    for (int i = x; i < x + w; ++i) {
+      if (st.board[j * board_dim + i] != 0) return false;
+    }
+  }
+  return true;
+}
+
+void lay_down(State& st, int idx, int x, int y, int w, int h) {
+  for (int j = y; j < y + h; ++j) {
+    for (int i = x; i < x + w; ++i) {
+      st.board[j * board_dim + i] = static_cast<std::int8_t>(idx + 1);
+    }
+  }
+  st.px[idx] = static_cast<std::int8_t>(x);
+  st.py[idx] = static_cast<std::int8_t>(y);
+  st.pw[idx] = static_cast<std::int8_t>(w);
+  st.ph[idx] = static_cast<std::int8_t>(h);
+  if (x + w > st.foot_w) st.foot_w = x + w;
+  if (y + h > st.foot_h) st.foot_h = y + h;
+}
+
+/// Candidate coordinates: the origin plus the right/bottom edges of every
+/// placed cell — the corner positions the BOTS `starts()` routine derives
+/// from already-placed cells. This keeps branching O(idx^2) per shape.
+struct Candidates {
+  std::array<std::int8_t, max_cells + 1> xs{}, ys{};
+  int nx = 0, ny = 0;
+};
+
+[[nodiscard]] Candidates candidate_coords(const State& st, int idx) {
+  Candidates c;
+  c.xs[c.nx++] = 0;
+  c.ys[c.ny++] = 0;
+  for (int k = 0; k < idx; ++k) {
+    const int xe = st.px[k] + st.pw[k];
+    const int ye = st.py[k] + st.ph[k];
+    if (std::find(c.xs.begin(), c.xs.begin() + c.nx,
+                  static_cast<std::int8_t>(xe)) == c.xs.begin() + c.nx) {
+      c.xs[c.nx++] = static_cast<std::int8_t>(xe);
+    }
+    if (std::find(c.ys.begin(), c.ys.begin() + c.ny,
+                  static_cast<std::int8_t>(ye)) == c.ys.begin() + c.ny) {
+      c.ys[c.ny++] = static_cast<std::int8_t>(ye);
+    }
+  }
+  return c;
+}
+
+/// Enumerate the candidate placements of cell `idx` that pass the area
+/// bound. Visit receives (x, y, w, h, new_area).
+template <class Prof, class Visit>
+void for_each_placement(const State& st, const Cell& cell, int idx, int bound,
+                        Visit&& visit) {
+  const Candidates cand = candidate_coords(st, idx);
+  for (const auto& [w, h] : cell.shapes) {
+    for (int yi = 0; yi < cand.ny; ++yi) {
+      const int y = cand.ys[yi];
+      if (y + h > board_dim) continue;
+      for (int xi = 0; xi < cand.nx; ++xi) {
+        const int x = cand.xs[xi];
+        if (x + w > board_dim) continue;
+        const int new_w = x + w > st.foot_w ? x + w : st.foot_w;
+        const int new_h = y + h > st.foot_h ? y + h : st.foot_h;
+        const int new_area = new_w * new_h;
+        Prof::ops(6);
+        if (new_area >= bound) continue;  // branch-and-bound pruning
+        if (!region_free(st, x, y, w, h)) continue;
+        visit(x, y, w, h, new_area);
+      }
+    }
+  }
+}
+
+/// Greedy first fit: seeds the branch-and-bound with a valid upper bound so
+/// the initial search is pruned from the start (deterministic, so serial
+/// and parallel runs search the same bounded space initially).
+[[nodiscard]] int greedy_bound(const std::vector<Cell>& cells) {
+  State st;
+  const int n = static_cast<int>(cells.size());
+  for (int idx = 0; idx < n; ++idx) {
+    int best_x = -1, best_y = 0, best_w = 0, best_h = 0;
+    int best_area = board_dim * board_dim + 1;
+    for_each_placement<prof::NoProf>(
+        st, cells[idx], idx, best_area,
+        [&](int x, int y, int w, int h, int new_area) {
+          if (new_area < best_area) {
+            best_area = new_area;
+            best_x = x;
+            best_y = y;
+            best_w = w;
+            best_h = h;
+          }
+        });
+    if (best_x < 0) return board_dim * board_dim;  // should not happen
+    lay_down(st, idx, best_x, best_y, best_w, best_h);
+  }
+  return st.foot_w * st.foot_h + 1;  // +1: the greedy plan itself must be findable
+}
+
+// ---------------------------------------------------------------------------
+// Serial / profiled search. The profiled version copies the state per node
+// (as every parallel version does) so per-node cost and captured-environment
+// size match what the task versions pay.
+// ---------------------------------------------------------------------------
+
+template <class Prof>
+void place_serial(const std::vector<Cell>& cells, const State& st, int idx,
+                  int& best, std::uint64_t& nodes, bool mark_task_sites) {
+  const int n = static_cast<int>(cells.size());
+  for_each_placement<Prof>(
+      st, cells[idx], idx, best,
+      [&](int x, int y, int w, int h, int new_area) {
+        if (mark_task_sites) {
+          Prof::task(sizeof(State) + 2 * sizeof(int));
+          Prof::write_env(sizeof(State) / 8);
+        }
+        State child = st;  // state copied into the (potential) task
+        lay_down(child, idx, x, y, w, h);
+        ++nodes;
+        Prof::write_private(1);
+        if (idx + 1 == n) {
+          if (new_area < best) best = new_area;
+        } else {
+          place_serial<Prof>(cells, child, idx + 1, best, nodes,
+                             mark_task_sites);
+        }
+      });
+  if (mark_task_sites) Prof::taskwait();
+}
+
+// ---------------------------------------------------------------------------
+// Task-parallel search: a task per branch; shared best bound (atomic min).
+// ---------------------------------------------------------------------------
+
+struct TaskSearch {
+  const std::vector<Cell>* cells;
+  std::atomic<int>* best;
+  rt::WorkerLocal<std::uint64_t>* nodes;
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+  int cutoff_depth;
+
+  void update_best(int area) const {
+    int cur = best->load(std::memory_order_relaxed);
+    while (area < cur &&
+           !best->compare_exchange_weak(cur, area, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void place(const State& st, int idx) const {
+    const int n = static_cast<int>(cells->size());
+    const int bound = best->load(std::memory_order_relaxed);
+    for_each_placement<prof::NoProf>(
+        st, (*cells)[idx], idx, bound,
+        [&](int x, int y, int w, int h, int new_area) {
+          State child = st;
+          lay_down(child, idx, x, y, w, h);
+          ++nodes->local();
+          if (idx + 1 == n) {
+            update_best(new_area);
+            return;
+          }
+          switch (cutoff) {
+            case core::AppCutoff::none:
+              rt::spawn(tied, [this, child, idx] { place(child, idx + 1); });
+              break;
+            case core::AppCutoff::if_clause:
+              rt::spawn_if(idx < cutoff_depth, tied,
+                           [this, child, idx] { place(child, idx + 1); });
+              break;
+            case core::AppCutoff::manual:
+              if (idx < cutoff_depth) {
+                rt::spawn(tied, [this, child, idx] { place(child, idx + 1); });
+              } else {
+                serial_tail(child, idx + 1);
+              }
+              break;
+          }
+        });
+    rt::taskwait();
+  }
+
+  /// Below the manual cut-off: serial descent, still pruning against (and
+  /// publishing into) the shared bound.
+  void serial_tail(const State& st, int idx) const {
+    const int n = static_cast<int>(cells->size());
+    const int bound = best->load(std::memory_order_relaxed);
+    for_each_placement<prof::NoProf>(
+        st, (*cells)[idx], idx, bound,
+        [&](int x, int y, int w, int h, int new_area) {
+          State child = st;
+          lay_down(child, idx, x, y, w, h);
+          ++nodes->local();
+          if (idx + 1 == n) {
+            update_best(new_area);
+          } else {
+            serial_tail(child, idx + 1);
+          }
+        });
+  }
+};
+
+}  // namespace
+
+Params params_for(core::InputClass c) {
+  switch (c) {
+    case core::InputClass::test: return {7, 3, 0xF100Bu};
+    case core::InputClass::small: return {11, 3, 0xCAFEu};
+    case core::InputClass::medium: return {12, 3, 0xCAFEu};
+    case core::InputClass::large: return {13, 4, 0xCAFEu};
+  }
+  throw std::invalid_argument("floorplan: bad input class");
+}
+
+std::string describe(const Params& p) {
+  return std::to_string(p.ncells) + " cells";
+}
+
+std::vector<Cell> make_input(const Params& p) {
+  if (p.ncells > max_cells) {
+    throw std::invalid_argument("floorplan: too many cells");
+  }
+  std::vector<Cell> cells(static_cast<std::size_t>(p.ncells));
+  core::Xoshiro256 rng(p.seed);
+  for (auto& cell : cells) {
+    const int w = 2 + static_cast<int>(rng.next_below(5));  // 2..6
+    const int h = 2 + static_cast<int>(rng.next_below(5));
+    cell.area = w * h;
+    // Alternatives: every factor pair of the area with sides in 1..8 —
+    // the aspect-ratio variants BOTS cells list explicitly.
+    for (int a = 1; a <= 8; ++a) {
+      if (cell.area % a != 0) continue;
+      const int b = cell.area / a;
+      if (b < 1 || b > 8) continue;
+      cell.shapes.emplace_back(a, b);
+    }
+  }
+  // Largest cells first: the standard branch-and-bound ordering (placing
+  // big cells early makes the area bound prune far more aggressively).
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const Cell& a, const Cell& b) { return a.area > b.area; });
+  return cells;
+}
+
+Result run_serial(const Params& p, const std::vector<Cell>& cells) {
+  (void)p;
+  State st;
+  int best = greedy_bound(cells);
+  std::uint64_t nodes = 0;
+  place_serial<prof::NoProf>(cells, st, 0, best, nodes, false);
+  return {best, nodes};
+}
+
+Result run_parallel(const Params& p, const std::vector<Cell>& cells,
+                    rt::Scheduler& sched, const VersionOpts& opts) {
+  std::atomic<int> best{greedy_bound(cells)};
+  rt::WorkerLocal<std::uint64_t> nodes(sched, 0);
+  TaskSearch search{&cells, &best,  &nodes,
+                    opts.tied, opts.cutoff, p.cutoff_depth};
+  sched.run_single([&] {
+    State st;
+    search.place(st, 0);
+  });
+  Result r;
+  r.best_area = best.load(std::memory_order_relaxed);
+  r.nodes = nodes.reduce(std::uint64_t{0},
+                         [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  return r;
+}
+
+bool verify(const Params& p, const std::vector<Cell>& cells,
+            const Result& result) {
+  const Result serial = run_serial(p, cells);
+  return result.best_area == serial.best_area && result.nodes > 0;
+}
+
+prof::TableRow profile_row(core::InputClass c) {
+  const Params p = params_for(c);
+  const std::vector<Cell> cells = make_input(p);
+  prof::CountingProf::reset();
+  core::Timer timer;
+  State st;
+  int best = greedy_bound(cells);
+  std::uint64_t nodes = 0;
+  place_serial<prof::CountingProf>(cells, st, 0, best, nodes, true);
+  const double secs = timer.seconds();
+  const std::uint64_t mem = sizeof(State) * static_cast<std::uint64_t>(p.ncells) +
+                            (1u << 20);
+  return prof::make_row("floorplan", describe(p), secs, mem,
+                        prof::CountingProf::totals());
+}
+
+core::AppInfo make_app_info() {
+  core::AppInfo app;
+  app.name = "floorplan";
+  app.origin = "AKM";
+  app.domain = "Optimization";
+  app.structure = "At each node";
+  app.task_directives = 1;
+  app.tasks_inside = "single";
+  app.nested_tasks = true;
+  app.app_cutoff = "depth-based";
+  app.versions = {
+      {"tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"if-tied", rt::Tiedness::tied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"if-untied", rt::Tiedness::untied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"manual-tied", rt::Tiedness::tied, core::AppCutoff::manual,
+       core::Generator::single_gen, false},
+      {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
+       core::Generator::single_gen, true},
+  };
+  app.run = [](core::InputClass ic, const std::string& version,
+               rt::Scheduler& sched, bool verify_run) {
+    const core::AppInfo& self = *core::find_app("floorplan");
+    const core::VersionInfo* v = self.find_version(version);
+    if (v == nullptr) {
+      throw std::invalid_argument("floorplan: unknown version " + version);
+    }
+    const Params p = params_for(ic);
+    const std::vector<Cell> cells = make_input(p);
+    VersionOpts opts{v->tied, v->cutoff};
+    Result result;
+    auto rep = core::run_and_report(
+        "floorplan", version, ic, sched, verify_run,
+        [&] { result = run_parallel(p, cells, sched, opts); },
+        [&] { return verify(p, cells, result); });
+    // The paper's metric: nodes visited per second (speed-ups for Floorplan
+    // are computed on this, Section IV).
+    rep.metric = rep.seconds > 0.0
+                     ? static_cast<double>(result.nodes) / rep.seconds
+                     : 0.0;
+    rep.metric_name = "nodes/s";
+    return rep;
+  };
+  app.run_serial = [](core::InputClass ic) {
+    const Params p = params_for(ic);
+    const std::vector<Cell> cells = make_input(p);
+    Result result;
+    auto rep = core::run_serial_and_report(
+        "floorplan", ic, true, [&] { result = run_serial(p, cells); },
+        [&] { return verify(p, cells, result); });
+    rep.metric = rep.seconds > 0.0
+                     ? static_cast<double>(result.nodes) / rep.seconds
+                     : 0.0;
+    rep.metric_name = "nodes/s";
+    return rep;
+  };
+  app.profile_row = [](core::InputClass ic) { return profile_row(ic); };
+  app.describe_input = [](core::InputClass ic) {
+    return describe(params_for(ic));
+  };
+  return app;
+}
+
+}  // namespace bots::floorplan

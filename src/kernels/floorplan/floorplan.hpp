@@ -1,0 +1,75 @@
+// Floorplan: optimal floorplan of a set of cells by branch-and-bound search
+// (paper Section III-B; Application Kernel Matrix origin).
+//
+// "The algorithm gets an input file with cell's description and it returns
+// the minimum area size which includes all cells. This minimum area is
+// found through a recursive branch and bound search. We hierarchically
+// generate tasks for each branch of the solution space. The state of the
+// algorithm needs to be copied into each newly created task."
+//
+// The pruning bound is the best area found so far — a shared, racy-by-design
+// quantity that makes the search indeterministic in how many nodes it
+// visits. The paper's device, reproduced here: every node costs roughly the
+// same, so the suite reports *nodes visited per second* and computes
+// speed-ups on that metric rather than on wall-clock time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::floorplan {
+
+inline constexpr int board_dim = 64;  ///< placement grid (as in BOTS)
+
+/// One cell: a set of alternative shapes (all factor pairs of its area,
+/// mirroring BOTS cells whose alternatives are rotations/aspect variants).
+struct Cell {
+  std::vector<std::pair<int, int>> shapes;  ///< (width, height) alternatives
+  int area = 0;
+};
+
+struct Params {
+  int ncells = 8;
+  int cutoff_depth = 4;  ///< cells placed by task recursion before serial
+  std::uint64_t seed = 0xF100Bu;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+[[nodiscard]] std::vector<Cell> make_input(const Params& p);
+
+struct Result {
+  int best_area = 0;            ///< minimal bounding-box area
+  std::uint64_t nodes = 0;      ///< placement nodes visited (the paper metric)
+};
+
+[[nodiscard]] Result run_serial(const Params& p, const std::vector<Cell>& cells);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::AppCutoff cutoff = core::AppCutoff::manual;
+};
+
+[[nodiscard]] Result run_parallel(const Params& p,
+                                  const std::vector<Cell>& cells,
+                                  rt::Scheduler& sched,
+                                  const VersionOpts& opts);
+
+/// The optimum is schedule-independent even though the node count is not:
+/// verification compares the parallel best area against the serial one.
+[[nodiscard]] bool verify(const Params& p, const std::vector<Cell>& cells,
+                          const Result& result);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::floorplan

@@ -1,0 +1,80 @@
+// Health: simulation of the Columbian Health Care System (paper
+// Section III-B; Olden suite origin, after Das & Fujimoto [25]).
+//
+// "It uses multilevel lists where each element in the structure represents
+// a village with a list of potential patients and one hospital. The
+// hospital has several double-linked lists representing the possible status
+// of a patient inside it (waiting, in assessment, in treatment or waiting
+// for reallocation). At each timestep all patients are simulated ... A task
+// is created for each village being simulated."
+//
+// Determinism (paper Section III-A, "Handling indeterminism"): every
+// village owns its RNG seed, so all probability draws inside a village —
+// which are computed by a single task — are identical across executions and
+// thread counts; reallocated patients are admitted in ascending patient-id
+// order so cross-village arrival order cannot leak scheduling
+// nondeterminism into the simulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::health {
+
+struct Params {
+  int levels = 3;            ///< depth of the village hierarchy
+  int branch = 4;            ///< children per non-leaf village
+  int population = 10;       ///< initial patients per village
+  int sim_steps = 50;
+  int assess_time = 3;
+  int treatment_time = 10;
+  /// Fixed-point probabilities out of 10'000 (integer draws keep the
+  /// simulation bit-deterministic).
+  int p_sick = 400;          ///< population -> waiting, per step
+  int p_cured = 6500;        ///< assess -> population
+  int p_treatment = 2000;    ///< assess -> inside (else realloc up)
+  int cutoff_level = 2;      ///< villages at level > cutoff spawn tasks
+  std::uint64_t seed = 0x4EA17Au;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Aggregate simulation outcome used for (exact) verification.
+struct Stats {
+  std::uint64_t population = 0;  ///< healthy patients
+  std::uint64_t waiting = 0;
+  std::uint64_t assess = 0;
+  std::uint64_t inside = 0;
+  std::uint64_t total_time = 0;           ///< sum of time spent in hospitals
+  std::uint64_t total_hosps_visited = 0;  ///< sum over all patients
+  bool operator==(const Stats&) const = default;
+};
+
+[[nodiscard]] Stats run_serial(const Params& p);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::AppCutoff cutoff = core::AppCutoff::manual;
+};
+
+[[nodiscard]] Stats run_parallel(const Params& p, rt::Scheduler& sched,
+                                 const VersionOpts& opts);
+
+/// The parallel simulation is exactly deterministic, so verification is an
+/// exact comparison against a serial run of the same parameters.
+[[nodiscard]] bool verify(const Params& p, const Stats& result);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::health

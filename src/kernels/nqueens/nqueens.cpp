@@ -1,0 +1,217 @@
+#include "kernels/nqueens/nqueens.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "core/kernel_glue.hpp"
+#include "runtime/worker_local.hpp"
+
+namespace bots::nqueens {
+
+namespace {
+
+constexpr int max_n = 16;
+
+/// Board prefix: column of the queen in each of the first `row` rows.
+/// This is the state copied from parent to child at every task creation
+/// (the "captured environment" of Table II: ~42 bytes for the 14x14 board).
+struct Board {
+  std::array<std::int8_t, max_n> col{};
+};
+
+/// Can a queen be placed at (row, c) given the prefix `b[0..row)`?
+template <class Prof>
+bool safe(const Board& b, int row, int c) {
+  for (int i = 0; i < row; ++i) {
+    const int d = b.col[i] - c;
+    Prof::ops(3);  // column compare + two diagonal compares
+    if (d == 0 || d == row - i || d == -(row - i)) return false;
+  }
+  return true;
+}
+
+template <class Prof>
+std::uint64_t count_serial(Board& b, int n, int row) {
+  if (row == n) return 1;
+  std::uint64_t found = 0;
+  for (int c = 0; c < n; ++c) {
+    if (safe<Prof>(b, row, c)) {
+      b.col[row] = static_cast<std::int8_t>(c);
+      Prof::write_private(1);
+      found += count_serial<Prof>(b, n, row + 1);
+      Prof::ops(1);
+    }
+  }
+  return found;
+}
+
+/// Profiled walk marking every task-creation site (task per placement step)
+/// exactly as the parallel version would create them.
+template <class Prof>
+std::uint64_t count_tasksites(Board& b, int n, int row) {
+  if (row == n) return 1;
+  std::uint64_t found = 0;
+  for (int c = 0; c < n; ++c) {
+    if (safe<Prof>(b, row, c)) {
+      Prof::task(sizeof(Board) + 2 * sizeof(int));
+      Prof::write_env(sizeof(Board) / 8);
+      Board child = b;
+      child.col[row] = static_cast<std::int8_t>(c);
+      found += count_tasksites<Prof>(child, n, row + 1);
+      Prof::ops(1);
+    }
+  }
+  Prof::taskwait();
+  return found;
+}
+
+struct TaskSearch {
+  rt::WorkerLocal<std::uint64_t>* counts;
+  const VersionOpts* opts;
+  int n;
+  int cutoff_depth;
+
+  void descend(const Board& b, int row) const {
+    if (row == n) {
+      // A solution: accumulate into this worker's threadprivate counter.
+      ++counts->local();
+      return;
+    }
+    for (int c = 0; c < n; ++c) {
+      if (!safe<prof::NoProf>(b, row, c)) continue;
+      Board child = b;  // parent state copied into the task environment
+      child.col[row] = static_cast<std::int8_t>(c);
+      switch (opts->cutoff) {
+        case core::AppCutoff::none:
+          rt::spawn(opts->tied, [this, child, row] { descend(child, row + 1); });
+          break;
+        case core::AppCutoff::if_clause:
+          rt::spawn_if(row < cutoff_depth, opts->tied,
+                       [this, child, row] { descend(child, row + 1); });
+          break;
+        case core::AppCutoff::manual:
+          if (row < cutoff_depth) {
+            rt::spawn(opts->tied, [this, child, row] { descend(child, row + 1); });
+          } else {
+            Board scratch = child;
+            counts->local() += count_serial<prof::NoProf>(scratch, n, row + 1);
+          }
+          break;
+      }
+    }
+    rt::taskwait();
+  }
+};
+
+constexpr std::array<std::uint64_t, 17> known_counts = {
+    1,        1,       0,       0,      2,       10,       4,        40,
+    92,       352,     724,     2680,   14200,   73712,    365596,   2279184,
+    14772512};
+
+}  // namespace
+
+Params params_for(core::InputClass c) {
+  switch (c) {
+    case core::InputClass::test: return {8, 3};
+    case core::InputClass::small: return {11, 3};
+    case core::InputClass::medium: return {13, 3};
+    case core::InputClass::large: return {14, 4};
+  }
+  throw std::invalid_argument("nqueens: bad input class");
+}
+
+std::string describe(const Params& p) {
+  return std::to_string(p.n) + "x" + std::to_string(p.n) + " board";
+}
+
+std::uint64_t run_serial(const Params& p) {
+  Board b;
+  return count_serial<prof::NoProf>(b, p.n, 0);
+}
+
+std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                           const VersionOpts& opts) {
+  rt::WorkerLocal<std::uint64_t> counts(sched, 0);
+  TaskSearch search{&counts, &opts, p.n, p.cutoff_depth};
+  sched.run_single([&] {
+    Board b;
+    search.descend(b, 0);
+  });
+  // The end-of-region reduction the paper implements with `critical`.
+  return counts.reduce(std::uint64_t{0},
+                       [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+bool verify(const Params& p, std::uint64_t solutions) {
+  if (p.n < 0 || p.n > 16) return false;
+  return solutions == known_counts[static_cast<std::size_t>(p.n)];
+}
+
+prof::TableRow profile_row(core::InputClass c) {
+  const Params p = params_for(c);
+  prof::CountingProf::reset();
+  core::Timer timer;
+  Board b;
+  const std::uint64_t r = count_tasksites<prof::CountingProf>(b, p.n, 0);
+  const double secs = timer.seconds();
+  if (!verify(p, r)) throw std::logic_error("nqueens profile run mis-verified");
+  const std::uint64_t mem =
+      static_cast<std::uint64_t>(p.n) * sizeof(Board) + (1u << 20);
+  return prof::make_row("nqueens", describe(p), secs, mem,
+                        prof::CountingProf::totals());
+}
+
+core::AppInfo make_app_info() {
+  core::AppInfo app;
+  app.name = "nqueens";
+  app.origin = "Cilk";
+  app.domain = "Search";
+  app.structure = "At each node";
+  app.task_directives = 1;
+  app.tasks_inside = "single";
+  app.nested_tasks = true;
+  app.app_cutoff = "depth-based";
+  app.versions = {
+      {"tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"if-tied", rt::Tiedness::tied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"if-untied", rt::Tiedness::untied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"manual-tied", rt::Tiedness::tied, core::AppCutoff::manual,
+       core::Generator::single_gen, false},
+      {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
+       core::Generator::single_gen, true},
+  };
+  app.run = [](core::InputClass ic, const std::string& version,
+               rt::Scheduler& sched, bool verify_run) {
+    const core::AppInfo& self = *core::find_app("nqueens");
+    const core::VersionInfo* v = self.find_version(version);
+    if (v == nullptr) {
+      throw std::invalid_argument("nqueens: unknown version " + version);
+    }
+    const Params p = params_for(ic);
+    VersionOpts opts{v->tied, v->cutoff};
+    std::uint64_t result = 0;
+    return core::run_and_report(
+        "nqueens", version, ic, sched, verify_run,
+        [&] { result = run_parallel(p, sched, opts); },
+        [&] { return verify(p, result); });
+  };
+  app.run_serial = [](core::InputClass ic) {
+    const Params p = params_for(ic);
+    std::uint64_t result = 0;
+    return core::run_serial_and_report(
+        "nqueens", ic, true, [&] { result = run_serial(p); },
+        [&] { return verify(p, result); });
+  };
+  app.profile_row = [](core::InputClass ic) { return profile_row(ic); };
+  app.describe_input = [](core::InputClass ic) {
+    return describe(params_for(ic));
+  };
+  return app;
+}
+
+}  // namespace bots::nqueens

@@ -1,0 +1,46 @@
+// NQueens: count all solutions of the n-queens problem (paper Section III-B).
+//
+// Backtracking search with pruning; a task per placement step; the parent
+// board state is copied into every child task. To keep the computational
+// load deterministic the kernel counts *all* solutions, accumulated in
+// worker-local (threadprivate) counters and reduced at the end of the
+// parallel region — exactly the contention-avoidance idiom the paper
+// describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::nqueens {
+
+struct Params {
+  int n = 8;
+  int cutoff_depth = 3;  ///< rows handled by task recursion before going serial
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+[[nodiscard]] std::uint64_t run_serial(const Params& p);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::AppCutoff cutoff = core::AppCutoff::manual;
+};
+
+[[nodiscard]] std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                                         const VersionOpts& opts);
+
+/// Known-answer verification (published solution counts for n <= 16).
+[[nodiscard]] bool verify(const Params& p, std::uint64_t solutions);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::nqueens

@@ -1,0 +1,56 @@
+// Sort: cilksort — parallel mergesort whose merge is itself divide-and-
+// conquer (paper Section III-B; Akl & Santoro [26] via the Cilk suite).
+//
+// "First, it divides an array of elements in two halves, sorting each half
+// recursively, and then merging the sorted halves with a parallel divide-
+// and-conquer method rather than the conventional serial merge. Tasks are
+// used for each split and merge. When the array is too small, a serial
+// quicksort is used to increase task granularity" with insertion sort below
+// 20 elements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::sort {
+
+using Elm = std::uint32_t;
+
+struct Params {
+  std::size_t n = 1u << 15;
+  std::uint64_t seed = 0xB075u;
+  std::size_t quick_threshold = 2048;      ///< below: serial quicksort
+  std::size_t merge_threshold = 2048;      ///< below: serial merge
+  std::size_t insertion_threshold = 20;    ///< below: insertion sort
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Deterministic random permutation input.
+[[nodiscard]] std::vector<Elm> make_input(const Params& p);
+
+/// Serial cilksort (same recursion without tasks).
+void run_serial(const Params& p, std::vector<Elm>& data);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+};
+
+void run_parallel(const Params& p, std::vector<Elm>& data,
+                  rt::Scheduler& sched, const VersionOpts& opts);
+
+/// Sortedness + multiset-preservation check against the generator.
+[[nodiscard]] bool verify(const Params& p, const std::vector<Elm>& sorted);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::sort

@@ -1,0 +1,97 @@
+// SparseLU: LU factorization of a sparse blocked matrix (paper
+// Section III-B; in-house BSC benchmark).
+//
+// "A first level matrix is composed by pointers to small submatrices that
+// may not be allocated. Due to the sparseness of the matrix, a lot of
+// imbalance exists. ... In each of the sparseLU phases, a task is created
+// for each block of the matrix that is not empty." Two generator schemes
+// exist: all tasks from inside a `single` construct, or each phase's
+// task-creating loops spread over the team with a `for` worksharing
+// construct (the paper's single vs. multiple generator study, Section IV-D).
+//
+// Fill-in: a bmod target block that is still empty is allocated by its
+// (unique) owning task, exactly as in BOTS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::sparselu {
+
+struct Params {
+  std::size_t nb = 12;   ///< blocks per dimension
+  std::size_t bs = 32;   ///< block size (bs x bs floats)
+  std::uint64_t seed = 0x10Fu;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Sparse block matrix: an nb x nb grid of optionally-allocated bs x bs
+/// dense float blocks.
+class BlockMatrix {
+ public:
+  BlockMatrix(std::size_t nb, std::size_t bs) : nb_(nb), bs_(bs), blocks_(nb * nb) {}
+
+  [[nodiscard]] std::size_t nb() const noexcept { return nb_; }
+  [[nodiscard]] std::size_t bs() const noexcept { return bs_; }
+
+  [[nodiscard]] float* block(std::size_t i, std::size_t j) noexcept {
+    return blocks_[i * nb_ + j].get();
+  }
+  [[nodiscard]] const float* block(std::size_t i, std::size_t j) const noexcept {
+    return blocks_[i * nb_ + j].get();
+  }
+  [[nodiscard]] bool empty(std::size_t i, std::size_t j) const noexcept {
+    return blocks_[i * nb_ + j] == nullptr;
+  }
+
+  /// Allocates (zero-initialized) when absent; returns the block.
+  float* ensure(std::size_t i, std::size_t j) {
+    auto& cell = blocks_[i * nb_ + j];
+    if (cell == nullptr) cell = std::make_unique<float[]>(bs_ * bs_);
+    return cell.get();
+  }
+
+  [[nodiscard]] std::size_t allocated_blocks() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : blocks_) n += (b != nullptr);
+    return n;
+  }
+
+ private:
+  std::size_t nb_;
+  std::size_t bs_;
+  std::vector<std::unique_ptr<float[]>> blocks_;
+};
+
+/// BOTS-style structured sparse input: diagonal always present, off-diagonal
+/// blocks present with a deterministic pattern (~55% dense overall).
+[[nodiscard]] BlockMatrix make_input(const Params& p);
+
+void run_serial(const Params& p, BlockMatrix& m);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::Generator generator = core::Generator::single_gen;
+};
+
+void run_parallel(const Params& p, BlockMatrix& m, rt::Scheduler& sched,
+                  const VersionOpts& opts);
+
+/// Element-wise comparison against a serially factored copy of the same
+/// input (the paper's serial-vs-parallel verification method).
+[[nodiscard]] bool verify(const Params& p, const BlockMatrix& factored);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::sparselu

@@ -1,0 +1,396 @@
+#include "kernels/strassen/strassen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/kernel_glue.hpp"
+#include "core/rng.hpp"
+
+namespace bots::strassen {
+
+namespace {
+
+/// View into a row-major matrix with a leading dimension (stride), so the
+/// quadrant decomposition never copies inputs.
+struct View {
+  const double* p;
+  std::size_t ld;
+  [[nodiscard]] const double* row(std::size_t i) const { return p + i * ld; }
+  [[nodiscard]] View quad(std::size_t qi, std::size_t qj,
+                          std::size_t half) const {
+    return {p + qi * half * ld + qj * half, ld};
+  }
+};
+
+struct MutView {
+  double* p;
+  std::size_t ld;
+  [[nodiscard]] double* row(std::size_t i) const { return p + i * ld; }
+  [[nodiscard]] MutView quad(std::size_t qi, std::size_t qj,
+                             std::size_t half) const {
+    return {p + qi * half * ld + qj * half, ld};
+  }
+  [[nodiscard]] View as_const() const { return {p, ld}; }
+};
+
+/// Conventional blocked multiply (ikj order), the recursion base case.
+template <class Prof>
+void matmul_base(View a, View b, MutView c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
+    Prof::write_private(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a.row(i)[k];
+      const double* bk = b.row(k);
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += aik * bk[j];
+      }
+      Prof::ops(2 * n);
+      Prof::write_private(n);
+    }
+  }
+}
+
+template <class Prof>
+void add(View x, View y, MutView out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x.row(i);
+    const double* yi = y.row(i);
+    double* oi = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) oi[j] = xi[j] + yi[j];
+    Prof::ops(n);
+    Prof::write_private(n);
+  }
+}
+
+template <class Prof>
+void sub(View x, View y, MutView out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x.row(i);
+    const double* yi = y.row(i);
+    double* oi = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) oi[j] = xi[j] - yi[j];
+    Prof::ops(n);
+    Prof::write_private(n);
+  }
+}
+
+/// Temporaries for one recursion level: 7 products + 2 operand scratch
+/// areas, each half*half, allocated contiguously per recursive call (the
+/// BOTS code likewise heap-allocates per decomposition).
+struct Scratch {
+  explicit Scratch(std::size_t half)
+      : buf(9 * half * half), h(half) {}
+  [[nodiscard]] MutView m(std::size_t idx) {
+    return {buf.data() + idx * h * h, h};
+  }
+  std::vector<double> buf;
+  std::size_t h;
+};
+
+/// One Strassen step: the 7 recursive products M1..M7 and the quadrant
+/// combination. `Recurse` is invoked as recurse(slot, prepare) where
+/// prepare(t0, t1) builds the two operands, so the serial, profiled and task
+/// versions share this body.
+template <class Prof, class Recurse>
+void strassen_step(View a, View b, MutView c, std::size_t n,
+                   Recurse&& recurse) {
+  const std::size_t half = n / 2;
+  View a11 = a.quad(0, 0, half);
+  View a12 = a.quad(0, 1, half);
+  View a21 = a.quad(1, 0, half);
+  View a22 = a.quad(1, 1, half);
+  View b11 = b.quad(0, 0, half);
+  View b12 = b.quad(0, 1, half);
+  View b21 = b.quad(1, 0, half);
+  View b22 = b.quad(1, 1, half);
+
+  // Each product owns a private operand scratch so the seven tasks are
+  // independent (no shared temporaries between siblings).
+  recurse(0, [=](MutView t0, MutView t1) {  // M1=(A11+A22)(B11+B22)
+    add<Prof>(a11, a22, t0, half);
+    add<Prof>(b11, b22, t1, half);
+    return std::pair<View, View>{t0.as_const(), t1.as_const()};
+  });
+  recurse(1, [=](MutView t0, MutView) {  // M2=(A21+A22)B11
+    add<Prof>(a21, a22, t0, half);
+    return std::pair<View, View>{t0.as_const(), b11};
+  });
+  recurse(2, [=](MutView, MutView t1) {  // M3=A11(B12-B22)
+    sub<Prof>(b12, b22, t1, half);
+    return std::pair<View, View>{a11, t1.as_const()};
+  });
+  recurse(3, [=](MutView, MutView t1) {  // M4=A22(B21-B11)
+    sub<Prof>(b21, b11, t1, half);
+    return std::pair<View, View>{a22, t1.as_const()};
+  });
+  recurse(4, [=](MutView t0, MutView) {  // M5=(A11+A12)B22
+    add<Prof>(a11, a12, t0, half);
+    return std::pair<View, View>{t0.as_const(), b22};
+  });
+  recurse(5, [=](MutView t0, MutView t1) {  // M6=(A21-A11)(B11+B12)
+    sub<Prof>(a21, a11, t0, half);
+    add<Prof>(b11, b12, t1, half);
+    return std::pair<View, View>{t0.as_const(), t1.as_const()};
+  });
+  recurse(6, [=](MutView t0, MutView t1) {  // M7=(A12-A22)(B21+B22)
+    sub<Prof>(a12, a22, t0, half);
+    add<Prof>(b21, b22, t1, half);
+    return std::pair<View, View>{t0.as_const(), t1.as_const()};
+  });
+  (void)c;
+}
+
+/// Combine M1..M7 into C.
+template <class Prof>
+void strassen_combine(Scratch& s, MutView c, std::size_t half) {
+  View m1 = s.m(0).as_const();
+  View m2 = s.m(1).as_const();
+  View m3 = s.m(2).as_const();
+  View m4 = s.m(3).as_const();
+  View m5 = s.m(4).as_const();
+  View m6 = s.m(5).as_const();
+  View m7 = s.m(6).as_const();
+  MutView c11 = c.quad(0, 0, half);
+  MutView c12 = c.quad(0, 1, half);
+  MutView c21 = c.quad(1, 0, half);
+  MutView c22 = c.quad(1, 1, half);
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = 0; j < half; ++j) {
+      c11.row(i)[j] = m1.row(i)[j] + m4.row(i)[j] - m5.row(i)[j] + m7.row(i)[j];
+      c12.row(i)[j] = m3.row(i)[j] + m5.row(i)[j];
+      c21.row(i)[j] = m2.row(i)[j] + m4.row(i)[j];
+      c22.row(i)[j] = m1.row(i)[j] - m2.row(i)[j] + m3.row(i)[j] + m6.row(i)[j];
+    }
+    Prof::ops(8 * half);
+    Prof::write_shared(4 * half);  // writes land in the caller-visible C
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial / profiled recursion.
+// ---------------------------------------------------------------------------
+
+template <class Prof>
+void strassen_serial(View a, View b, MutView c, std::size_t n,
+                     std::size_t base) {
+  if (n <= base) {
+    matmul_base<Prof>(a, b, c, n);
+    return;
+  }
+  const std::size_t half = n / 2;
+  Scratch products(half);
+  // Operand scratch reused across the 7 serial products.
+  std::vector<double> tbuf(2 * half * half);
+  MutView t0{tbuf.data(), half};
+  MutView t1{tbuf.data() + half * half, half};
+  auto recurse = [&](std::size_t slot, auto&& prepare) {
+    Prof::task(2 * sizeof(View) + sizeof(MutView) + sizeof(std::size_t));
+    MutView dst = products.m(slot);
+    auto [x, y] = prepare(t0, t1);
+    strassen_serial<Prof>(x, y, dst, half, base);
+  };
+  strassen_step<Prof>(a, b, c, n, recurse);
+  Prof::taskwait();
+  strassen_combine<Prof>(products, c, half);
+}
+
+// ---------------------------------------------------------------------------
+// Task-parallel recursion: one task per product (7 per decomposition).
+// ---------------------------------------------------------------------------
+
+struct TaskStrassen {
+  std::size_t base;
+  int cutoff_depth;
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+
+  void multiply(View a, View b, MutView c, std::size_t n, int depth) const {
+    if (n <= base) {
+      matmul_base<prof::NoProf>(a, b, c, n);
+      return;
+    }
+    const std::size_t half = n / 2;
+    auto products = std::make_shared<Scratch>(half);
+    // Each parallel product gets its own operand scratch (independence).
+    auto operands = std::make_shared<std::vector<double>>(14 * half * half);
+    auto recurse = [&](std::size_t slot, auto&& prepare) {
+      MutView dst = products->m(slot);
+      MutView t0{operands->data() + (2 * slot) * half * half, half};
+      MutView t1{operands->data() + (2 * slot + 1) * half * half, half};
+      auto body = [this, prepare, dst, t0, t1, half, depth] {
+        auto [x, y] = prepare(t0, t1);
+        multiply(x, y, dst, half, depth + 1);
+      };
+      switch (cutoff) {
+        case core::AppCutoff::none:
+          rt::spawn(tied, body);
+          break;
+        case core::AppCutoff::if_clause:
+          rt::spawn_if(depth < cutoff_depth, tied, body);
+          break;
+        case core::AppCutoff::manual:
+          if (depth < cutoff_depth) {
+            rt::spawn(tied, body);
+          } else {
+            auto [x, y] = prepare(t0, t1);
+            strassen_serial<prof::NoProf>(x, y, dst, half, base);
+          }
+          break;
+      }
+    };
+    strassen_step<prof::NoProf>(a, b, c, n, recurse);
+    rt::taskwait();
+    strassen_combine<prof::NoProf>(*products, c, half);
+  }
+};
+
+}  // namespace
+
+Params params_for(core::InputClass c) {
+  switch (c) {
+    case core::InputClass::test: return {128, 32, 2, 0x57A55Eu};
+    case core::InputClass::small: return {512, 64, 3, 0x57A55Eu};
+    case core::InputClass::medium: return {1024, 64, 4, 0x57A55Eu};
+    case core::InputClass::large: return {2048, 64, 5, 0x57A55Eu};
+  }
+  throw std::invalid_argument("strassen: bad input class");
+}
+
+std::string describe(const Params& p) {
+  return std::to_string(p.n) + "x" + std::to_string(p.n) + " matrix";
+}
+
+std::vector<double> make_matrix(const Params& p, std::uint64_t salt) {
+  std::vector<double> m(p.n * p.n);
+  core::Xoshiro256 rng(p.seed ^ salt);
+  for (auto& v : m) v = 2.0 * rng.next_double() - 1.0;
+  return m;
+}
+
+std::vector<double> run_serial(const Params& p, const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  std::vector<double> c(p.n * p.n);
+  strassen_serial<prof::NoProf>(View{a.data(), p.n}, View{b.data(), p.n},
+                                MutView{c.data(), p.n}, p.n, p.base);
+  return c;
+}
+
+std::vector<double> run_parallel(const Params& p, const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 rt::Scheduler& sched,
+                                 const VersionOpts& opts) {
+  std::vector<double> c(p.n * p.n);
+  TaskStrassen ts{p.base, p.cutoff_depth, opts.tied, opts.cutoff};
+  sched.run_single([&] {
+    ts.multiply(View{a.data(), p.n}, View{b.data(), p.n},
+                MutView{c.data(), p.n}, p.n, 0);
+  });
+  return c;
+}
+
+bool verify(const Params& p, const std::vector<double>& a,
+            const std::vector<double>& b, const std::vector<double>& c) {
+  const std::size_t n = p.n;
+  if (c.size() != n * n) return false;
+  // Error tolerance: Strassen is less numerically stable than conventional
+  // multiplication; bound grows with n.
+  const double tol = 1e-9 * static_cast<double>(n) * 16.0;
+  auto check_row = [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      if (std::abs(acc - c[i * n + j]) > tol) return false;
+    }
+    return true;
+  };
+  if (n <= 512) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!check_row(i)) return false;
+    }
+    return true;
+  }
+  core::Xoshiro256 rng(0xC0FFEEu);
+  for (int s = 0; s < 32; ++s) {
+    if (!check_row(rng.next_below(n))) return false;
+  }
+  return true;
+}
+
+prof::TableRow profile_row(core::InputClass c) {
+  const Params p = params_for(c);
+  const std::vector<double> a = make_matrix(p, 1);
+  const std::vector<double> b = make_matrix(p, 2);
+  std::vector<double> out(p.n * p.n);
+  prof::CountingProf::reset();
+  core::Timer timer;
+  strassen_serial<prof::CountingProf>(View{a.data(), p.n}, View{b.data(), p.n},
+                                      MutView{out.data(), p.n}, p.n, p.base);
+  const double secs = timer.seconds();
+  if (!verify(p, a, b, out)) {
+    throw std::logic_error("strassen profile run mis-verified");
+  }
+  const std::uint64_t mem = 3ull * p.n * p.n * sizeof(double);
+  return prof::make_row("strassen", describe(p), secs, mem,
+                        prof::CountingProf::totals());
+}
+
+core::AppInfo make_app_info() {
+  core::AppInfo app;
+  app.name = "strassen";
+  app.origin = "Cilk";
+  app.domain = "Dense linear algebra";
+  app.structure = "At each node";
+  app.task_directives = 8;
+  app.tasks_inside = "single";
+  app.nested_tasks = true;
+  app.app_cutoff = "depth-based";
+  app.versions = {
+      {"nocutoff-tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, true},
+      {"nocutoff-untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"if-tied", rt::Tiedness::tied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"if-untied", rt::Tiedness::untied, core::AppCutoff::if_clause,
+       core::Generator::single_gen, false},
+      {"manual-tied", rt::Tiedness::tied, core::AppCutoff::manual,
+       core::Generator::single_gen, false},
+      {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
+       core::Generator::single_gen, false},
+  };
+  app.run = [](core::InputClass ic, const std::string& version,
+               rt::Scheduler& sched, bool verify_run) {
+    const core::AppInfo& self = *core::find_app("strassen");
+    const core::VersionInfo* v = self.find_version(version);
+    if (v == nullptr) {
+      throw std::invalid_argument("strassen: unknown version " + version);
+    }
+    const Params p = params_for(ic);
+    const std::vector<double> a = make_matrix(p, 1);
+    const std::vector<double> b = make_matrix(p, 2);
+    std::vector<double> out;
+    VersionOpts opts{v->tied, v->cutoff};
+    return core::run_and_report(
+        "strassen", version, ic, sched, verify_run,
+        [&] { out = run_parallel(p, a, b, sched, opts); },
+        [&] { return verify(p, a, b, out); });
+  };
+  app.run_serial = [](core::InputClass ic) {
+    const Params p = params_for(ic);
+    const std::vector<double> a = make_matrix(p, 1);
+    const std::vector<double> b = make_matrix(p, 2);
+    std::vector<double> out;
+    return core::run_serial_and_report(
+        "strassen", ic, true, [&] { out = run_serial(p, a, b); },
+        [&] { return verify(p, a, b, out); });
+  };
+  app.profile_row = [](core::InputClass ic) { return profile_row(ic); };
+  app.describe_input = [](core::InputClass ic) {
+    return describe(params_for(ic));
+  };
+  return app;
+}
+
+}  // namespace bots::strassen

@@ -1,0 +1,61 @@
+// Strassen: dense matrix multiplication by hierarchical decomposition
+// (paper Section III-B; Cilk origin, algorithm of Fischer & Probert [13]).
+//
+// "Decomposition is done by dividing each dimension of the matrix into two
+// sections of equal size. For each decomposition a task is created. To
+// avoid the creation of many small tasks, we developed versions with depth
+// based cut-offs."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::strassen {
+
+struct Params {
+  std::size_t n = 128;      ///< matrix dimension (power of two)
+  std::size_t base = 64;    ///< conventional multiply below this size
+  int cutoff_depth = 3;     ///< manual / if-clause task depth cut-off
+  std::uint64_t seed = 0x57A55Eu;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Row-major n*n matrices.
+[[nodiscard]] std::vector<double> make_matrix(const Params& p,
+                                              std::uint64_t salt);
+
+/// Serial Strassen reference.
+[[nodiscard]] std::vector<double> run_serial(const Params& p,
+                                             const std::vector<double>& a,
+                                             const std::vector<double>& b);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::tied;
+  core::AppCutoff cutoff = core::AppCutoff::manual;
+};
+
+[[nodiscard]] std::vector<double> run_parallel(const Params& p,
+                                               const std::vector<double>& a,
+                                               const std::vector<double>& b,
+                                               rt::Scheduler& sched,
+                                               const VersionOpts& opts);
+
+/// Verification against a blocked conventional multiply: full element-wise
+/// compare up to 512x512, random row sampling above.
+[[nodiscard]] bool verify(const Params& p, const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const std::vector<double>& c);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::strassen

@@ -1,0 +1,192 @@
+#include "kernels/uts/uts.hpp"
+
+#include <stdexcept>
+
+#include "core/kernel_glue.hpp"
+#include "core/rng.hpp"
+#include "runtime/worker_local.hpp"
+
+namespace bots::uts {
+
+namespace {
+
+/// Node identity -> child identity, and the per-node synthetic work: a
+/// splitmix64 chain standing in for UTS's SHA-1 node descriptors.
+std::uint64_t child_hash(std::uint64_t node, int index) {
+  std::uint64_t s = node ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  return core::splitmix64(s);
+}
+
+template <class Prof>
+std::uint64_t node_work(std::uint64_t node, int iterations) {
+  std::uint64_t h = node;
+  for (int i = 0; i < iterations; ++i) {
+    h = core::splitmix64(h);
+  }
+  // The hash chain is the node's synthetic payload; keep it observable so
+  // the optimizer cannot elide the loop.
+  asm volatile("" : "+r"(h));
+  Prof::ops(static_cast<std::uint64_t>(iterations) * 5);
+  return h;
+}
+
+template <class Prof>
+int child_count(const Params& p, std::uint64_t node, int depth) {
+  if (depth >= p.max_depth) return 0;
+  if (depth == 0) return p.root_children;
+  int n = 0;
+  for (int i = 0; i < p.max_children; ++i) {
+    std::uint64_t s = node ^ (0xD1B54A32D192ED03ULL * (i + 17));
+    const std::uint64_t h = core::splitmix64(s);
+    Prof::ops(6);
+    if (static_cast<int>(h % 1000) < p.spawn_permille) ++n;
+  }
+  return n;
+}
+
+template <class Prof>
+std::uint64_t count_serial(const Params& p, std::uint64_t node, int depth,
+                           bool mark_task_sites) {
+  (void)node_work<Prof>(node, p.work_per_node);
+  const int nc = child_count<Prof>(p, node, depth);
+  std::uint64_t total = 1;
+  for (int i = 0; i < nc; ++i) {
+    if (mark_task_sites) Prof::task(sizeof(std::uint64_t) + 2 * sizeof(int));
+    total += count_serial<Prof>(p, child_hash(node, i), depth + 1,
+                                mark_task_sites);
+  }
+  if (mark_task_sites) Prof::taskwait();
+  Prof::write_shared(1);
+  return total;
+}
+
+struct TaskCount {
+  const Params* p;
+  rt::WorkerLocal<std::uint64_t>* counts;
+  rt::Tiedness tied;
+
+  void descend(std::uint64_t node, int depth) const {
+    (void)node_work<prof::NoProf>(node, p->work_per_node);
+    ++counts->local();
+    const int nc = child_count<prof::NoProf>(*p, node, depth);
+    for (int i = 0; i < nc; ++i) {
+      const std::uint64_t child = child_hash(node, i);
+      rt::spawn(tied, [this, child, depth] { descend(child, depth + 1); });
+    }
+    // No taskwait: pure counting needs no join before returning (the region
+    // barrier joins everything) — the classic UTS continuation-free shape.
+  }
+};
+
+}  // namespace
+
+Params params_for(core::InputClass c) {
+  Params p;
+  switch (c) {
+    case core::InputClass::test:
+      p.root_children = 32;
+      p.spawn_permille = 150;
+      p.max_depth = 20;
+      p.work_per_node = 50;
+      return p;
+    case core::InputClass::small:
+      p.root_children = 64;
+      p.spawn_permille = 170;
+      p.max_depth = 28;
+      p.work_per_node = 200;
+      return p;
+    case core::InputClass::medium:
+      p.root_children = 96;
+      p.spawn_permille = 170;
+      p.max_depth = 30;
+      p.work_per_node = 150;
+      return p;
+    case core::InputClass::large:
+      p.root_children = 128;
+      p.spawn_permille = 172;
+      p.max_depth = 34;
+      p.work_per_node = 400;
+      return p;
+  }
+  throw std::invalid_argument("uts: bad input class");
+}
+
+std::string describe(const Params& p) {
+  return std::to_string(p.root_children) + "-ary root, p=" +
+         std::to_string(p.spawn_permille) + "/1000";
+}
+
+std::uint64_t run_serial(const Params& p) {
+  return count_serial<prof::NoProf>(p, p.seed, 0, false);
+}
+
+std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                           const VersionOpts& opts) {
+  rt::WorkerLocal<std::uint64_t> counts(sched, 0);
+  TaskCount tc{&p, &counts, opts.tied};
+  sched.run_single([&] { tc.descend(p.seed, 0); });
+  return counts.reduce(std::uint64_t{0},
+                       [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+bool verify(const Params& p, std::uint64_t count) {
+  return count == run_serial(p);
+}
+
+prof::TableRow profile_row(core::InputClass c) {
+  const Params p = params_for(c);
+  prof::CountingProf::reset();
+  core::Timer timer;
+  const std::uint64_t n = count_serial<prof::CountingProf>(p, p.seed, 0, true);
+  const double secs = timer.seconds();
+  if (n == 0) throw std::logic_error("uts profile run produced no nodes");
+  const std::uint64_t mem = static_cast<std::uint64_t>(p.max_depth) * 64;
+  return prof::make_row("uts", describe(p), secs, mem,
+                        prof::CountingProf::totals());
+}
+
+core::AppInfo make_app_info() {
+  core::AppInfo app;
+  app.name = "uts";
+  app.origin = "UTS";
+  app.domain = "Search (extension)";
+  app.structure = "At each node";
+  app.task_directives = 1;
+  app.tasks_inside = "single";
+  app.nested_tasks = true;
+  app.app_cutoff = "none";
+  app.extension = true;
+  app.versions = {
+      {"tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, true},
+  };
+  app.run = [](core::InputClass ic, const std::string& version,
+               rt::Scheduler& sched, bool verify_run) {
+    const core::AppInfo& self = *core::find_app("uts");
+    const core::VersionInfo* v = self.find_version(version);
+    if (v == nullptr) throw std::invalid_argument("uts: unknown version " + version);
+    const Params p = params_for(ic);
+    VersionOpts opts{v->tied};
+    std::uint64_t count = 0;
+    return core::run_and_report(
+        "uts", version, ic, sched, verify_run,
+        [&] { count = run_parallel(p, sched, opts); },
+        [&] { return verify(p, count); });
+  };
+  app.run_serial = [](core::InputClass ic) {
+    const Params p = params_for(ic);
+    std::uint64_t count = 0;
+    return core::run_serial_and_report(
+        "uts", ic, true, [&] { count = run_serial(p); },
+        [&] { return verify(p, count); });
+  };
+  app.profile_row = [](core::InputClass ic) { return profile_row(ic); };
+  app.describe_input = [](core::InputClass ic) {
+    return describe(params_for(ic));
+  };
+  return app;
+}
+
+}  // namespace bots::uts

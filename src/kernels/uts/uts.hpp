@@ -1,0 +1,50 @@
+// UTS: unbalanced tree search (suite extension).
+//
+// The paper's conclusions announce "we are working to add new benchmarks to
+// the suite to cover more problem domains"; UTS is the canonical candidate:
+// counting the nodes of an unpredictable, heavily unbalanced tree whose
+// shape is derived deterministically from per-node hashes. It is the
+// natural stress test for the adaptive runtime cut-off of Duran et al. [27]
+// (bench_ablation_adaptive).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "prof/profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::uts {
+
+struct Params {
+  int root_children = 64;    ///< branching at the root
+  int max_children = 8;      ///< branching of internal nodes
+  int spawn_permille = 150;  ///< probability (/1000) an internal child exists
+  int max_depth = 20;        ///< hard depth bound
+  int work_per_node = 32;    ///< synthetic per-node work (hash iterations)
+  std::uint64_t seed = 0x075u;
+};
+
+[[nodiscard]] Params params_for(core::InputClass c);
+[[nodiscard]] std::string describe(const Params& p);
+
+/// Total number of tree nodes (root included).
+[[nodiscard]] std::uint64_t run_serial(const Params& p);
+
+struct VersionOpts {
+  rt::Tiedness tied = rt::Tiedness::untied;
+};
+
+[[nodiscard]] std::uint64_t run_parallel(const Params& p, rt::Scheduler& sched,
+                                         const VersionOpts& opts);
+
+/// The tree is a pure function of the seed: parallel must equal serial.
+[[nodiscard]] bool verify(const Params& p, std::uint64_t count);
+
+[[nodiscard]] prof::TableRow profile_row(core::InputClass c);
+
+[[nodiscard]] core::AppInfo make_app_info();
+
+}  // namespace bots::uts

@@ -1,0 +1,103 @@
+// Configuration types for the bots::rt task runtime.
+//
+// The runtime reproduces the OpenMP 3.0 tasking execution model the BOTS
+// paper (ICPP'09) evaluates: tied/untied tasks, taskwait, parallel regions
+// with single/multiple task generators, and the runtime-side cut-off
+// policies discussed in Section IV-B of the paper.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace bots::rt {
+
+/// OpenMP 3.0 task tiedness. A tied task, once started, is bound to the
+/// thread that started it; scheduling new tied tasks at a task scheduling
+/// point is restricted by the Task Scheduling Constraint. Untied tasks have
+/// no such restrictions (paper Section IV-C).
+enum class Tiedness : std::uint8_t { tied, untied };
+
+/// Runtime-side cut-off policy (paper Section IV-B, second group:
+/// "mechanisms based on the total number of tasks already created, the
+/// number of tasks ready to be executed, etc. Such pruning mechanisms can be
+/// easily implemented in the OpenMP runtime itself").
+enum class CutoffPolicy : std::uint8_t {
+  none,       ///< never inline; every spawn is deferred
+  max_tasks,  ///< inline when live task count exceeds a bound (models icc 11.0)
+  max_depth,  ///< inline when task depth exceeds a bound
+  adaptive    ///< hysteresis on live task count (models Duran et al. [27])
+};
+
+/// Order in which a worker consumes its own deque.
+/// `lifo` is depth-first (newest task first, Cilk-style work-first);
+/// `fifo` is breadth-first (oldest task first).
+enum class LocalOrder : std::uint8_t { lifo, fifo };
+
+/// Victim selection policy when stealing.
+enum class VictimPolicy : std::uint8_t { random, sequential };
+
+struct SchedulerConfig {
+  /// Number of workers in the team (including the caller thread).
+  unsigned num_threads = std::thread::hardware_concurrency();
+  LocalOrder local_order = LocalOrder::lifo;
+  VictimPolicy victim = VictimPolicy::random;
+  CutoffPolicy cutoff = CutoffPolicy::max_tasks;
+  /// Bound for the cut-off policy. 0 selects a policy-specific default:
+  /// max_tasks -> 64 * num_threads, max_depth -> 16,
+  /// adaptive -> hi = 64 * num_threads (lo = hi / 2).
+  std::uint32_t cutoff_value = 0;
+  /// Pool task descriptors in per-worker freelists instead of the global
+  /// heap (paper Section III-B: "implementations that pre-allocate small
+  /// memory areas associated with tasks descriptors might ... reduce the
+  /// creation overheads"). Togglable so bench_ablation_taskpool can
+  /// measure exactly that claim.
+  bool use_task_pool = true;
+
+  /// Resolved cut-off bound (applies the documented defaults).
+  [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {
+    if (cutoff_value != 0) return cutoff_value;
+    switch (cutoff) {
+      case CutoffPolicy::max_tasks:
+      case CutoffPolicy::adaptive:
+        return 64u * (num_threads == 0 ? 1u : num_threads);
+      case CutoffPolicy::max_depth:
+        return 16u;
+      case CutoffPolicy::none:
+        return 0u;
+    }
+    return 0u;
+  }
+};
+
+/// Pause hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+[[nodiscard]] constexpr const char* to_string(Tiedness t) noexcept {
+  return t == Tiedness::tied ? "tied" : "untied";
+}
+
+[[nodiscard]] constexpr const char* to_string(CutoffPolicy c) noexcept {
+  switch (c) {
+    case CutoffPolicy::none: return "none";
+    case CutoffPolicy::max_tasks: return "max_tasks";
+    case CutoffPolicy::max_depth: return "max_depth";
+    case CutoffPolicy::adaptive: return "adaptive";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(LocalOrder o) noexcept {
+  return o == LocalOrder::lifo ? "lifo" : "fifo";
+}
+
+[[nodiscard]] constexpr const char* to_string(VictimPolicy v) noexcept {
+  return v == VictimPolicy::random ? "random" : "sequential";
+}
+
+}  // namespace bots::rt

@@ -1,0 +1,141 @@
+// Chase-Lev work-stealing deque (growable), after:
+//   D. Chase and Y. Lev, "Dynamic circular work-stealing deque", SPAA 2005,
+// with the C11 memory orderings of:
+//   N. M. Le, A. Pop, A. Cohen, F. Zappa Nardelli, "Correct and efficient
+//   work-stealing for weak memory models", PPoPP 2013.
+//
+// The owner pushes and pops at the bottom; thieves steal from the top.
+// steal() may fail spuriously when it loses the top CAS race; callers treat
+// that as "no work right now" and retry through their outer loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bots::rt {
+
+class Task;
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 1024)
+      : array_(new RingArray(round_up_pow2(initial_capacity))) {
+    retired_.emplace_back(array_.load(std::memory_order_relaxed));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() = default;  // retired_ owns every array ever published
+
+  /// Owner-only: push one task at the bottom. Grows when full.
+  void push(Task* t) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t top = top_.load(std::memory_order_acquire);
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    if (b - top > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, b, top);
+    }
+    a->put(b, t);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop the newest task (LIFO end). Returns nullptr when empty.
+  Task* pop() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t top = top_.load(std::memory_order_relaxed);
+    Task* item = nullptr;
+    if (top <= b) {
+      item = a->get(b);
+      if (top == b) {
+        // Single element left: race against thieves for it.
+        if (!top_.compare_exchange_strong(top, top + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal the oldest task (FIFO end). Returns nullptr when the
+  /// deque looks empty or the CAS race is lost.
+  Task* steal() {
+    std::int64_t top = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (top >= b) return nullptr;
+    RingArray* a = array_.load(std::memory_order_acquire);
+    Task* item = a->get(top);
+    if (!top_.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  [[nodiscard]] std::int64_t size_estimate() const noexcept {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  [[nodiscard]] bool empty_estimate() const noexcept {
+    return size_estimate() == 0;
+  }
+
+ private:
+  struct RingArray {
+    explicit RingArray(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<Task*>[]>(cap)) {}
+
+    [[nodiscard]] Task* get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Task* t) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          t, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 16;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  RingArray* grow(RingArray* old, std::int64_t b, std::int64_t top) {
+    auto bigger = std::make_unique<RingArray>(old->capacity * 2);
+    for (std::int64_t i = top; i < b; ++i) bigger->put(i, old->get(i));
+    RingArray* raw = bigger.get();
+    retired_.push_back(std::move(bigger));
+    // Thieves may still be reading `old`; it stays alive in retired_ until
+    // the deque itself is destroyed (memory is bounded: capacities double).
+    array_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<RingArray*> array_;
+  std::vector<std::unique_ptr<RingArray>> retired_;
+};
+
+}  // namespace bots::rt

@@ -1,0 +1,10 @@
+// Umbrella header for the bots::rt task-parallel runtime.
+#pragma once
+
+#include "runtime/config.hpp"      // IWYU pragma: export
+#include "runtime/deque.hpp"       // IWYU pragma: export
+#include "runtime/scheduler.hpp"   // IWYU pragma: export
+#include "runtime/stats.hpp"       // IWYU pragma: export
+#include "runtime/task.hpp"        // IWYU pragma: export
+#include "runtime/worker_local.hpp"  // IWYU pragma: export
+#include "runtime/worksharing.hpp"   // IWYU pragma: export

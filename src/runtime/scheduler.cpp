@@ -1,0 +1,428 @@
+#include "runtime/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bots::rt {
+
+namespace {
+
+/// Spin backoff: a few pause hints, then yields. Workers inside a region are
+/// expected to find work quickly; between regions they sleep on a condvar.
+struct Backoff {
+  void pause() noexcept {
+    if (spins < 64) {
+      cpu_relax();
+      ++spins;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { spins = 0; }
+  int spins = 0;
+};
+
+}  // namespace
+
+void Region::store_exception() noexcept {
+  std::lock_guard<std::mutex> lock(exception_mutex);
+  if (!first_exception) {
+    first_exception = std::current_exception();
+    has_exception.store(true, std::memory_order_release);
+  }
+}
+
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : cfg_(cfg), cutoff_bound_(cfg.resolved_cutoff_bound()) {
+  if (cfg_.num_threads == 0) cfg_.num_threads = 1;
+  workers_.reserve(cfg_.num_threads);
+  for (unsigned i = 0; i < cfg_.num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        this, i, 0x9E3779B97F4A7C15ULL * (i + 1)));
+  }
+  threads_.reserve(cfg_.num_threads - 1);
+  for (unsigned i = 1; i < cfg_.num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    stopping_ = true;
+  }
+  region_cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void Scheduler::worker_main(unsigned id) {
+  Worker& w = *workers_[id];
+  detail::tls_worker = &w;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Region* r = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(region_mutex_);
+      region_cv_.wait(lock, [&] { return stopping_ || region_seq_ != seen; });
+      if (region_seq_ != seen) {
+        seen = region_seq_;
+        r = region_;
+      } else {
+        break;  // stopping and no new region
+      }
+    }
+    if (r != nullptr) {
+      participate(w, *r);
+      region_done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  detail::tls_worker = nullptr;
+}
+
+void Scheduler::run_single(const std::function<void()>& fn) {
+  Region r(cfg_.num_threads);
+  r.single_fn = &fn;
+  run_region(r);
+}
+
+void Scheduler::run_all(const std::function<void(unsigned)>& fn) {
+  Region r(cfg_.num_threads);
+  r.all_fn = &fn;
+  run_region(r);
+}
+
+void Scheduler::run_region(Region& r) {
+  Worker* inside = detail::tls_worker;
+  if (inside != nullptr) {
+    // Nested region: serialize with a team of one (the OpenMP default of
+    // disabled nested parallelism). The body runs as an undeferred task and
+    // its direct children are joined before returning.
+    if (inside->sched != this) {
+      throw std::logic_error(
+          "bots::rt: a worker of one Scheduler entered a region of another");
+    }
+    if (r.all_fn != nullptr) {
+      run_inline_scope(*inside, [&r] { (*r.all_fn)(0); });
+    } else if (r.single_fn != nullptr) {
+      run_inline_scope(*inside, *r.single_fn);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    region_ = &r;
+    ++region_seq_;
+  }
+  region_cv_.notify_all();
+
+  Worker& w0 = *workers_[0];
+  detail::tls_worker = &w0;
+  participate(w0, r);
+  detail::tls_worker = nullptr;
+
+  // Wait until every worker has left the region before tearing it down.
+  Backoff backoff;
+  while (region_done_.load(std::memory_order_acquire) != cfg_.num_threads - 1) {
+    backoff.pause();
+  }
+  region_done_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    region_ = nullptr;
+  }
+  if (r.has_exception.load(std::memory_order_acquire)) {
+    std::rethrow_exception(r.first_exception);
+  }
+}
+
+void Scheduler::participate(Worker& w, Region& r) {
+  w.region = &r;
+  w.throttled = false;
+
+  // The implicit task for this worker. It lives on this stack frame; the
+  // region-end quiescence barrier guarantees every descendant has finished
+  // (and dropped its reference) before the frame dies.
+  Task root;
+  root.set_links(nullptr, 0, Tiedness::tied, TaskStorage::stack_frame);
+  w.current = &root;
+
+  try {
+    if (r.all_fn != nullptr) {
+      (*r.all_fn)(w.id);
+    } else if (w.id == 0 && r.single_fn != nullptr) {
+      (*r.single_fn)();
+    }
+  } catch (...) {
+    r.store_exception();
+  }
+
+  barrier_from(w);  // implicit region-end barrier: full task quiescence
+
+  assert(root.unfinished_children() == 0);
+  w.current = nullptr;
+  w.region = nullptr;
+}
+
+bool Scheduler::should_defer(Worker& w, std::uint32_t depth) noexcept {
+  switch (cfg_.cutoff) {
+    case CutoffPolicy::none:
+      return true;
+    case CutoffPolicy::max_depth:
+      return depth <= cutoff_bound_;
+    case CutoffPolicy::max_tasks:
+      return w.region->live_tasks.load(std::memory_order_relaxed) <
+             static_cast<std::int64_t>(cutoff_bound_);
+    case CutoffPolicy::adaptive: {
+      const auto live = w.region->live_tasks.load(std::memory_order_relaxed);
+      if (w.throttled) {
+        if (live < static_cast<std::int64_t>(cutoff_bound_ / 2)) {
+          w.throttled = false;
+        }
+      } else if (live > static_cast<std::int64_t>(cutoff_bound_)) {
+        w.throttled = true;
+      }
+      return !w.throttled;
+    }
+  }
+  return true;
+}
+
+Task* Scheduler::alloc_task(Worker& w, TaskStorage& storage_out) {
+  if (cfg_.use_task_pool) {
+    bool reused = false;
+    Task* t = w.pool.allocate(reused);
+    if (reused) {
+      ++w.stats.pool_reuse;
+    } else {
+      ++w.stats.pool_fresh;
+    }
+    storage_out = TaskStorage::pooled;
+    return t;
+  }
+  ++w.stats.pool_fresh;
+  storage_out = TaskStorage::heap;
+  return new Task();
+}
+
+void Scheduler::enqueue(Worker& w, Task& t) {
+  w.region->live_tasks.fetch_add(1, std::memory_order_relaxed);
+  w.deque.push(&t);
+}
+
+void Scheduler::execute_deferred(Worker& w, Task& t) {
+  Task* prev = w.current;
+  w.current = &t;
+  ++w.stats.tasks_executed;
+  try {
+    t.invoke();
+  } catch (...) {
+    w.region->store_exception();
+  }
+  t.destroy_env();
+  w.current = prev;
+  finish_task(w, t, /*deferred=*/true);
+}
+
+void Scheduler::run_undeferred(Worker& w, Task& t) {
+  Task* prev = w.current;
+  w.current = &t;
+  try {
+    t.invoke();
+  } catch (...) {
+    if (w.region != nullptr) {
+      w.region->store_exception();
+    } else {
+      t.destroy_env();
+      w.current = prev;
+      throw;
+    }
+  }
+  t.destroy_env();
+  w.current = prev;
+  finish_task(w, t, /*deferred=*/false);
+}
+
+void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
+  Task* parent = t.parent();
+  Region* region = w.region;
+  // Order matters. (1) Announce completion while the child's reference still
+  // pins the parent (a pooled parent may be freed by the release chain).
+  // (2) Release references; this may recycle ancestors whose refcount hits
+  // zero — never a stack-frame root, those are pinned until (3) has run for
+  // every task. (3) Decrement live_tasks last, so the region barrier's
+  // quiescence (live_tasks == 0) implies every release chain has finished
+  // and the implicit root frames can safely leave the stack.
+  if (parent != nullptr) parent->child_completed();
+  release_chain(w, &t);
+  if (deferred && region != nullptr) {
+    region->live_tasks.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void Scheduler::release_chain(Worker& w, Task* t) noexcept {
+  while (t != nullptr && t->release_ref()) {
+    Task* parent = t->parent();
+    switch (t->storage()) {
+      case TaskStorage::pooled:
+        w.pool.recycle(t);
+        break;
+      case TaskStorage::heap:
+        delete t;
+        break;
+      case TaskStorage::stack_frame:
+        break;  // lifetime owned by a worker stack frame
+    }
+    t = parent;
+  }
+}
+
+void Scheduler::taskwait_from(Worker& w) {
+  ++w.stats.taskwaits;
+  Task* cur = w.current;
+  if (cur == nullptr || cur->unfinished_children() == 0) return;
+  const bool constrains = cur->tiedness() == Tiedness::tied;
+  if (constrains) w.tied_stack.push_back(cur);
+  Backoff backoff;
+  while (cur->unfinished_children() != 0) {
+    if (Task* t = find_work(w)) {
+      execute_deferred(w, *t);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  if (constrains) w.tied_stack.pop_back();
+}
+
+void Scheduler::barrier_from(Worker& w) {
+  Region& r = *w.region;
+  assert(w.current != nullptr && w.current->depth() == 0 &&
+         "barrier() is only valid from the implicit task of a region");
+  const std::uint32_t gen = r.barrier_gen.load(std::memory_order_acquire);
+  const std::uint32_t n = r.arrived.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Backoff backoff;
+  if (n == r.team_size) {
+    // Last arriver: drain every outstanding task, then release the team.
+    while (r.live_tasks.load(std::memory_order_acquire) != 0) {
+      if (Task* t = find_work(w)) {
+        execute_deferred(w, *t);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    r.arrived.store(0, std::memory_order_relaxed);
+    r.barrier_gen.fetch_add(1, std::memory_order_release);
+  } else {
+    while (r.barrier_gen.load(std::memory_order_acquire) == gen) {
+      if (Task* t = find_work(w)) {
+        execute_deferred(w, *t);
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+}
+
+void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
+  TaskStorage storage{};
+  Task* frame = alloc_task(w, storage);
+  frame->init_env([] {});  // scope frames carry no environment of their own
+  Task* parent = w.current;
+  const std::uint32_t depth = parent != nullptr ? parent->depth() + 1 : 1;
+  if (parent != nullptr) parent->add_child_ref();
+  frame->set_links(parent, depth, Tiedness::tied, storage);
+
+  Task* prev = w.current;
+  w.current = frame;
+  std::exception_ptr eptr;
+  try {
+    body();
+  } catch (...) {
+    eptr = std::current_exception();
+  }
+  taskwait_from(w);  // join the nested region's direct children
+  frame->destroy_env();
+  w.current = prev;
+  Task* frame_parent = frame->parent();
+  if (frame_parent != nullptr) frame_parent->child_completed();
+  release_chain(w, frame);
+  if (eptr) std::rethrow_exception(eptr);
+}
+
+Task* Scheduler::find_work(Worker& w) {
+  Region& r = *w.region;
+  // 1. The shared overflow of constraint-refused claims. Checked first so
+  // an ancestor waiting on one of these tasks picks it up promptly.
+  if (r.overflow_count.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lock(r.overflow_mutex);
+    for (std::size_t i = 0; i < r.overflow.size(); ++i) {
+      if (tsc_allows(w, *r.overflow[i])) {
+        Task* t = r.overflow[i];
+        r.overflow.erase(r.overflow.begin() + static_cast<std::ptrdiff_t>(i));
+        r.overflow_count.fetch_sub(1, std::memory_order_release);
+        return t;
+      }
+    }
+  }
+  auto refuse = [&](Task* t) {
+    std::lock_guard<std::mutex> lock(r.overflow_mutex);
+    r.overflow.push_back(t);
+    r.overflow_count.fetch_add(1, std::memory_order_release);
+    ++w.stats.tsc_parked;
+  };
+  // 2. Own deque (order selects depth-first vs breadth-first execution).
+  for (;;) {
+    Task* t = cfg_.local_order == LocalOrder::lifo ? w.deque.pop()
+                                                   : w.deque.steal();
+    if (t == nullptr) break;
+    if (tsc_allows(w, *t)) return t;
+    refuse(t);
+  }
+  // 3. Steal from victims.
+  const unsigned n = cfg_.num_threads;
+  if (n > 1) {
+    const unsigned start = cfg_.victim == VictimPolicy::random
+                               ? static_cast<unsigned>(w.rng_next() % n)
+                               : (w.id + 1) % n;
+    for (unsigned k = 0; k < n; ++k) {
+      const unsigned v = (start + k) % n;
+      if (v == w.id) continue;
+      ++w.stats.steal_attempts;
+      if (Task* t = workers_[v]->deque.steal()) {
+        if (tsc_allows(w, *t)) {
+          ++w.stats.tasks_stolen;
+          return t;
+        }
+        refuse(t);
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool Scheduler::tsc_allows(const Worker& w, const Task& t) const noexcept {
+  if (t.tiedness() == Tiedness::untied) return true;
+  for (const Task* suspended : w.tied_stack) {
+    if (!t.is_descendant_of(*suspended)) return false;
+  }
+  return true;
+}
+
+StatsSnapshot Scheduler::stats() const {
+  StatsSnapshot snap;
+  snap.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    snap.per_worker.push_back(w->stats);
+    snap.total += w->stats;
+  }
+  return snap;
+}
+
+void Scheduler::reset_stats() noexcept {
+  for (auto& w : workers_) w->stats = WorkerStats{};
+}
+
+}  // namespace bots::rt

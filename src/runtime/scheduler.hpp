@@ -1,0 +1,273 @@
+// Work-stealing task scheduler reproducing the OpenMP 3.0 tasking execution
+// model that BOTS (ICPP'09) evaluates.
+//
+// Execution model
+// ---------------
+// * A Scheduler owns a persistent team of workers (the calling thread is
+//   worker 0; the rest are std::jthreads parked on a condition variable
+//   between parallel regions — Core Guidelines CP.41/CP.42).
+// * run_single(fn) opens a parallel region where worker 0 executes fn (the
+//   "single generator" pattern of the paper); everybody else goes straight
+//   to the region barrier and helps by stealing.
+// * run_all(fn) executes fn(worker_id) on every worker (the "multiple
+//   generators" pattern); rt::barrier() is available inside for phased
+//   algorithms such as SparseLU's `for` version.
+// * Tasks run to completion; the only task scheduling points are spawn
+//   (through the cut-off), taskwait and barriers, where the waiting worker
+//   executes other ready tasks ("help first"). Suspended tasks never migrate,
+//   matching the icc 11.0 behaviour reported in Section IV-C of the paper.
+// * Tied tasks obey the Task Scheduling Constraint: at a taskwait inside a
+//   tied task, only descendants of every suspended tied task of this worker
+//   may begin execution. Untied tasks are unconstrained. Claims that fail
+//   the constraint are parked worker-locally and re-offered later.
+// * Regions end with a quiescence barrier: every explicit task created in
+//   the region has completed when run_* returns (the OpenMP guarantee that
+//   barriers complete all outstanding explicit tasks).
+//
+// Exceptions thrown by tasks are captured; the first one is rethrown to the
+// caller of run_single/run_all after the region completes (there is no
+// cancellation: remaining tasks still execute).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/task.hpp"
+
+namespace bots::rt {
+
+class Scheduler;
+
+/// Per-region shared state. One Region is live per Scheduler at a time.
+struct Region {
+  explicit Region(unsigned team) : team_size(team) {}
+
+  std::atomic<std::int64_t> live_tasks{0};   ///< deferred tasks not yet finished
+  std::atomic<std::uint32_t> arrived{0};     ///< barrier arrival count
+  std::atomic<std::uint32_t> barrier_gen{0}; ///< barrier generation (reusable)
+  std::atomic<bool> has_exception{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
+  /// Claimed tasks refused by the Task Scheduling Constraint. They must stay
+  /// globally visible: the ancestor whose taskwait depends on such a task is
+  /// always allowed to run it (it is a descendant of that ancestor), so
+  /// progress is guaranteed; worker-private parking can deadlock instead.
+  std::atomic<std::size_t> overflow_count{0};
+  std::mutex overflow_mutex;
+  std::vector<Task*> overflow;
+  const std::function<void()>* single_fn = nullptr;
+  const std::function<void(unsigned)>* all_fn = nullptr;
+  unsigned team_size;
+
+  void store_exception() noexcept;
+};
+
+/// Internal per-worker state. Public members: this type is an implementation
+/// detail shared between the scheduler core and the inline spawn fast path.
+class Worker {
+ public:
+  Worker(Scheduler* s, unsigned worker_id, std::uint64_t seed)
+      : id(worker_id), sched(s), rng_state(seed | 1u) {}
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  std::uint64_t rng_next() noexcept {  // xorshift64*
+    std::uint64_t x = rng_state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  unsigned id;
+  Scheduler* sched;
+  Region* region = nullptr;
+  Task* current = nullptr;
+  WorkStealingDeque deque;
+  TaskPool pool;
+  WorkerStats stats;
+  std::vector<Task*> tied_stack;  ///< tied tasks suspended at taskwait
+  bool throttled = false;         ///< adaptive cut-off hysteresis state
+  std::uint64_t rng_state;
+};
+
+namespace detail {
+inline thread_local Worker* tls_worker = nullptr;
+}
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig cfg = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Parallel region, single generator: fn runs once on worker 0, the other
+  /// workers help through work stealing until every task has completed.
+  void run_single(const std::function<void()>& fn);
+
+  /// Parallel region, one implicit task per worker: fn(worker_id) runs on
+  /// every worker. rt::barrier() may be used inside.
+  void run_all(const std::function<void(unsigned)>& fn);
+
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return cfg_.num_threads;
+  }
+  [[nodiscard]] const SchedulerConfig& config() const noexcept { return cfg_; }
+
+  /// Aggregate per-worker statistics. Call between regions.
+  [[nodiscard]] StatsSnapshot stats() const;
+  void reset_stats() noexcept;
+
+  // ---- internal API used by the spawn fast path (do not call directly) ----
+  [[nodiscard]] bool should_defer(Worker& w, std::uint32_t depth) noexcept;
+  Task* alloc_task(Worker& w, TaskStorage& storage_out);
+  void enqueue(Worker& w, Task& t);
+  void run_undeferred(Worker& w, Task& t);
+  void taskwait_from(Worker& w);
+  void barrier_from(Worker& w);
+  void run_inline_scope(Worker& w, const std::function<void()>& body);
+
+ private:
+  friend struct Region;
+
+  void run_region(Region& r);
+  void participate(Worker& w, Region& r);
+  void worker_main(unsigned id);
+  Task* find_work(Worker& w);
+  [[nodiscard]] bool tsc_allows(const Worker& w, const Task& t) const noexcept;
+  void execute_deferred(Worker& w, Task& t);
+  void finish_task(Worker& w, Task& t, bool deferred);
+  void release_chain(Worker& w, Task* t) noexcept;
+
+  SchedulerConfig cfg_;
+  std::uint32_t cutoff_bound_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::jthread> threads_;
+
+  std::mutex region_mutex_;
+  std::condition_variable region_cv_;
+  std::uint64_t region_seq_ = 0;       // guarded by region_mutex_
+  Region* region_ = nullptr;           // guarded by region_mutex_
+  bool stopping_ = false;              // guarded by region_mutex_
+  std::atomic<unsigned> region_done_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Free functions: the task API usable from inside kernels. All of them are
+// safe to call outside a parallel region, where they degrade to immediate
+// serial execution (a team of one), mirroring OpenMP constructs outside a
+// parallel construct.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline bool in_region() noexcept {
+  return detail::tls_worker != nullptr;
+}
+
+[[nodiscard]] inline unsigned worker_id() noexcept {
+  Worker* w = detail::tls_worker;
+  return w != nullptr ? w->id : 0u;
+}
+
+[[nodiscard]] inline unsigned team_size() noexcept {
+  Worker* w = detail::tls_worker;
+  return w != nullptr ? w->region->team_size : 1u;
+}
+
+/// Create a task. Equivalent to `#pragma omp task [untied]`.
+template <class F>
+void spawn(Tiedness tied, F&& f) {
+  Worker* w = detail::tls_worker;
+  if (w == nullptr) {  // outside a region: execute immediately
+    std::forward<F>(f)();
+    return;
+  }
+  Scheduler& s = *w->sched;
+  ++w->stats.tasks_created;
+  const std::uint32_t depth = w->current != nullptr ? w->current->depth() + 1 : 1;
+  const bool defer = s.should_defer(*w, depth);
+  TaskStorage storage{};
+  Task* t = s.alloc_task(*w, storage);
+  t->init_env(std::forward<F>(f));
+  w->stats.env_bytes += t->env_bytes();
+  Task* parent = w->current;
+  parent->add_child_ref();
+  t->set_links(parent, depth, tied, storage);
+  if (defer) {
+    ++w->stats.tasks_deferred;
+    s.enqueue(*w, *t);
+  } else {
+    ++w->stats.tasks_cutoff_inlined;
+    s.run_undeferred(*w, *t);
+  }
+}
+
+template <class F>
+void spawn(F&& f) {
+  spawn(Tiedness::tied, std::forward<F>(f));
+}
+
+/// Create a task guarded by an `if` clause: when `condition` is false the
+/// task is undeferred — it still allocates a descriptor and joins the task
+/// hierarchy (the bookkeeping the paper says the runtime "still has to do
+/// ... to keep consistency"), but executes immediately on this worker.
+template <class F>
+void spawn_if(bool condition, Tiedness tied, F&& f) {
+  Worker* w = detail::tls_worker;
+  if (w == nullptr) {
+    std::forward<F>(f)();
+    return;
+  }
+  if (condition) {
+    spawn(tied, std::forward<F>(f));
+    return;
+  }
+  Scheduler& s = *w->sched;
+  ++w->stats.tasks_created;
+  ++w->stats.tasks_if_inlined;
+  const std::uint32_t depth = w->current != nullptr ? w->current->depth() + 1 : 1;
+  TaskStorage storage{};
+  Task* t = s.alloc_task(*w, storage);
+  t->init_env(std::forward<F>(f));
+  w->stats.env_bytes += t->env_bytes();
+  Task* parent = w->current;
+  parent->add_child_ref();
+  t->set_links(parent, depth, tied, storage);
+  s.run_undeferred(*w, *t);
+}
+
+template <class F>
+void spawn_if(bool condition, F&& f) {
+  spawn_if(condition, Tiedness::tied, std::forward<F>(f));
+}
+
+/// Wait for all child tasks of the current task. `#pragma omp taskwait`.
+inline void taskwait() {
+  Worker* w = detail::tls_worker;
+  if (w == nullptr) return;
+  w->sched->taskwait_from(*w);
+}
+
+/// Team barrier; also completes all outstanding explicit tasks (the OpenMP
+/// guarantee). Only valid inside run_all regions. `#pragma omp barrier`.
+inline void barrier() {
+  Worker* w = detail::tls_worker;
+  if (w == nullptr) return;
+  w->sched->barrier_from(*w);
+}
+
+}  // namespace bots::rt

@@ -1,0 +1,49 @@
+// Per-worker scheduler statistics.
+//
+// Counters are single-writer (only the owning worker increments them), so
+// they are plain integers padded to a cache line to avoid false sharing.
+// Snapshots should be taken between parallel regions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bots::rt {
+
+struct alignas(64) WorkerStats {
+  std::uint64_t tasks_created = 0;        ///< spawn / spawn_if calls seen
+  std::uint64_t tasks_deferred = 0;       ///< enqueued onto a deque
+  std::uint64_t tasks_if_inlined = 0;     ///< spawn_if with a false condition
+  std::uint64_t tasks_cutoff_inlined = 0; ///< inlined by the runtime cut-off
+  std::uint64_t tasks_executed = 0;       ///< deferred tasks run by this worker
+  std::uint64_t tasks_stolen = 0;         ///< deferred tasks taken from another worker
+  std::uint64_t steal_attempts = 0;       ///< deque.steal() calls on victims
+  std::uint64_t taskwaits = 0;
+  std::uint64_t tsc_parked = 0;           ///< claims parked by the Task Scheduling Constraint
+  std::uint64_t env_bytes = 0;            ///< captured-environment bytes (Table II)
+  std::uint64_t pool_reuse = 0;           ///< descriptor allocations served by the freelist
+  std::uint64_t pool_fresh = 0;           ///< descriptor allocations that hit the chunk allocator
+
+  WorkerStats& operator+=(const WorkerStats& o) noexcept {
+    tasks_created += o.tasks_created;
+    tasks_deferred += o.tasks_deferred;
+    tasks_if_inlined += o.tasks_if_inlined;
+    tasks_cutoff_inlined += o.tasks_cutoff_inlined;
+    tasks_executed += o.tasks_executed;
+    tasks_stolen += o.tasks_stolen;
+    steal_attempts += o.steal_attempts;
+    taskwaits += o.taskwaits;
+    tsc_parked += o.tsc_parked;
+    env_bytes += o.env_bytes;
+    pool_reuse += o.pool_reuse;
+    pool_fresh += o.pool_fresh;
+    return *this;
+  }
+};
+
+struct StatsSnapshot {
+  WorkerStats total;
+  std::vector<WorkerStats> per_worker;
+};
+
+}  // namespace bots::rt

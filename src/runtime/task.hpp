@@ -1,0 +1,210 @@
+// Task descriptor and per-worker descriptor pool.
+//
+// A Task owns a type-erased closure (the "captured environment" in BOTS
+// terminology; `firstprivate` data in OpenMP terms). Environments up to
+// Task::inline_env_capacity bytes live inside the descriptor itself —
+// Table II of the paper shows almost every BOTS benchmark captures under
+// 45 bytes per task, which is exactly why the paper suggests pre-allocated
+// descriptor areas; larger environments (Floorplan captures ~5 KB) fall
+// back to the heap.
+//
+// Lifetime: refs_ = 1 (the task itself, released when its body finishes)
+// + 1 per live child. A task descriptor must outlive its children because
+// children decrement the parent's unfinished-children counter at completion
+// and the Task Scheduling Constraint walks parent chains.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace bots::rt {
+
+class Worker;
+
+/// Where a task descriptor's storage came from, which decides how it is
+/// released when the last reference drops.
+enum class TaskStorage : std::uint8_t {
+  stack_frame,  ///< implicit/root task living on a worker's stack; never freed
+  pooled,       ///< from a per-worker TaskPool; recycled to the releasing worker
+  heap          ///< plain new/delete (use_task_pool = false)
+};
+
+class Task {
+ public:
+  static constexpr std::size_t inline_env_capacity = 128;
+
+  using InvokeFn = void (*)(Task&);
+  using EnvDtorFn = void (*)(Task&) noexcept;
+
+  Task() = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  /// Move-construct the closure into the descriptor.
+  template <class F>
+  void init_env(F&& f) {
+    using Fn = std::decay_t<F>;
+    env_bytes_ = static_cast<std::uint32_t>(sizeof(Fn));
+    if constexpr (sizeof(Fn) <= inline_env_capacity &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      env_ = ::new (static_cast<void*>(inline_env_)) Fn(std::forward<F>(f));
+      heap_env_ = false;
+    } else {
+      env_ = new Fn(std::forward<F>(f));
+      heap_env_ = true;
+    }
+    invoke_ = [](Task& t) { (*static_cast<Fn*>(t.env_))(); };
+    env_dtor_ = [](Task& t) noexcept {
+      if (t.heap_env_) {
+        delete static_cast<Fn*>(t.env_);
+      } else {
+        static_cast<Fn*>(t.env_)->~Fn();
+      }
+      t.env_ = nullptr;
+    };
+  }
+
+  void invoke() { invoke_(*this); }
+
+  void destroy_env() noexcept {
+    if (env_ != nullptr) env_dtor_(*this);
+  }
+
+  // -- intrusive state ------------------------------------------------------
+  Task* parent() const noexcept { return parent_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+  Tiedness tiedness() const noexcept { return tied_; }
+  std::uint32_t env_bytes() const noexcept { return env_bytes_; }
+  TaskStorage storage() const noexcept { return storage_; }
+
+  void set_links(Task* parent, std::uint32_t depth, Tiedness t,
+                 TaskStorage storage) noexcept {
+    parent_ = parent;
+    depth_ = depth;
+    tied_ = t;
+    storage_ = storage;
+  }
+
+  void add_child_ref() noexcept {
+    refs_.fetch_add(1, std::memory_order_relaxed);
+    unfinished_children_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void child_completed() noexcept {
+    unfinished_children_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::uint32_t unfinished_children() const noexcept {
+    return unfinished_children_.load(std::memory_order_acquire);
+  }
+
+  /// Drops one reference; returns true when this was the last one and the
+  /// caller must recycle the descriptor (and then drop the parent's ref).
+  [[nodiscard]] bool release_ref() noexcept {
+    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  void reset_for_reuse() noexcept {
+    invoke_ = nullptr;
+    env_dtor_ = nullptr;
+    env_ = nullptr;
+    parent_ = nullptr;
+    unfinished_children_.store(0, std::memory_order_relaxed);
+    refs_.store(1, std::memory_order_relaxed);
+    depth_ = 0;
+    env_bytes_ = 0;
+    tied_ = Tiedness::tied;
+    storage_ = TaskStorage::pooled;
+    heap_env_ = false;
+  }
+
+  /// True when `ancestor` appears on this task's parent chain.
+  [[nodiscard]] bool is_descendant_of(const Task& ancestor) const noexcept {
+    const Task* node = this;
+    while (node != nullptr && node->depth_ > ancestor.depth_) {
+      node = node->parent_;
+    }
+    return node == &ancestor;
+  }
+
+  Task* pool_next = nullptr;  ///< freelist link while recycled
+
+ private:
+  InvokeFn invoke_ = nullptr;
+  EnvDtorFn env_dtor_ = nullptr;
+  void* env_ = nullptr;
+  Task* parent_ = nullptr;
+  std::atomic<std::uint32_t> unfinished_children_{0};
+  std::atomic<std::uint32_t> refs_{1};
+  std::uint32_t depth_ = 0;
+  std::uint32_t env_bytes_ = 0;
+  Tiedness tied_ = Tiedness::tied;
+  TaskStorage storage_ = TaskStorage::stack_frame;
+  bool heap_env_ = false;
+  alignas(std::max_align_t) std::byte inline_env_[inline_env_capacity];
+};
+
+/// Per-worker freelist of task descriptors. Allocation and recycling happen
+/// on whichever worker runs them; descriptors migrate between pools when a
+/// task is stolen, which keeps the pools roughly balanced. All chunk memory
+/// is owned here and released when the worker is destroyed.
+class TaskPool {
+ public:
+  static constexpr std::size_t chunk_tasks = 64;
+
+  TaskPool() = default;
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  ~TaskPool() {
+    for (auto& chunk : chunks_) {
+      ::operator delete[](chunk, std::align_val_t{alignof(Task)});
+    }
+  }
+
+  /// `reused` reports whether the freelist served the request (pool_reuse
+  /// vs pool_fresh statistics; bench_ablation_taskpool relies on them).
+  Task* allocate(bool& reused) {
+    if (free_ != nullptr) {
+      Task* t = free_;
+      free_ = t->pool_next;
+      t->pool_next = nullptr;
+      t->reset_for_reuse();
+      reused = true;
+      return t;
+    }
+    reused = false;
+    if (next_in_chunk_ >= chunk_tasks) refill();
+    Task* slot = chunk_cursor_ + next_in_chunk_;
+    ++next_in_chunk_;
+    return ::new (static_cast<void*>(slot)) Task();
+  }
+
+  void recycle(Task* t) noexcept {
+    t->pool_next = free_;
+    free_ = t;
+  }
+
+ private:
+  void refill() {
+    void* raw = ::operator new[](sizeof(Task) * chunk_tasks,
+                                 std::align_val_t{alignof(Task)});
+    chunk_cursor_ = static_cast<Task*>(raw);
+    chunks_.push_back(static_cast<std::byte*>(raw));
+    next_in_chunk_ = 0;
+  }
+
+  Task* free_ = nullptr;
+  Task* chunk_cursor_ = nullptr;
+  std::size_t next_in_chunk_ = chunk_tasks;
+  std::vector<std::byte*> chunks_;
+};
+
+}  // namespace bots::rt

@@ -1,0 +1,54 @@
+// Worker-local storage with reduction: the `threadprivate` idiom.
+//
+// BOTS' NQueens uses threadprivate accumulators so every thread counts the
+// solutions it finds without contention and reduces into a global at the end
+// of the parallel region (paper Section III-B). WorkerLocal reproduces that:
+// one padded slot per worker, reduced on the caller after the region.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace bots::rt {
+
+template <class T>
+class WorkerLocal {
+ public:
+  explicit WorkerLocal(const Scheduler& sched, T initial = T{})
+      : init_(initial), slots_(sched.num_workers(), Slot{initial}) {}
+
+  explicit WorkerLocal(unsigned team, T initial = T{})
+      : init_(initial), slots_(team, Slot{initial}) {}
+
+  /// The current worker's slot. Outside a region, slot 0.
+  [[nodiscard]] T& local() noexcept { return slots_[worker_id()].value; }
+
+  [[nodiscard]] T& slot(std::size_t i) noexcept { return slots_[i].value; }
+  [[nodiscard]] const T& slot(std::size_t i) const noexcept {
+    return slots_[i].value;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Combine all slots. Call after the region (quiescent).
+  template <class BinaryOp>
+  [[nodiscard]] T reduce(T seed, BinaryOp op) const {
+    T acc = seed;
+    for (const Slot& s : slots_) acc = op(acc, s.value);
+    return acc;
+  }
+
+  void reset() {
+    for (Slot& s : slots_) s.value = init_;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value;
+  };
+  T init_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace bots::rt

@@ -1,0 +1,85 @@
+// Worksharing constructs layered over run_all regions.
+//
+// These reproduce the "tasks inside omp for / single" generator schemes of
+// Table I: Alignment generates tasks from a dynamically scheduled `for`,
+// SparseLU's `for` version generates each phase's tasks from a static `for`
+// across the team (multiple generators), while the `single` versions funnel
+// all generation through one worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace bots::rt {
+
+/// Shared iteration state for for_dynamic. Construct one per worksharing
+/// construct, outside run_all, and capture it by reference in the region
+/// body (every worker must use the same object).
+class DynamicSchedule {
+ public:
+  explicit DynamicSchedule(std::int64_t begin = 0) : next_(begin) {}
+
+  void reset(std::int64_t begin) noexcept {
+    next_.store(begin, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t fetch_chunk(std::int64_t chunk) noexcept {
+    return next_.fetch_add(chunk, std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> next_;
+};
+
+/// `#pragma omp for schedule(static)`: contiguous block partition of
+/// [begin, end) across the team. No implicit barrier (nowait); call
+/// rt::barrier() if the phase must synchronize.
+template <class Body>
+void for_static(std::int64_t begin, std::int64_t end, Body&& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t team = static_cast<std::int64_t>(team_size());
+  const std::int64_t id = static_cast<std::int64_t>(worker_id());
+  const std::int64_t base = n / team;
+  const std::int64_t rem = n % team;
+  const std::int64_t lo = begin + id * base + (id < rem ? id : rem);
+  const std::int64_t hi = lo + base + (id < rem ? 1 : 0);
+  for (std::int64_t i = lo; i < hi; ++i) body(i);
+}
+
+/// `#pragma omp for schedule(static, chunk)`: chunk-cyclic partition.
+template <class Body>
+void for_static_chunked(std::int64_t begin, std::int64_t end,
+                        std::int64_t chunk, Body&& body) {
+  const std::int64_t team = static_cast<std::int64_t>(team_size());
+  const std::int64_t id = static_cast<std::int64_t>(worker_id());
+  for (std::int64_t lo = begin + id * chunk; lo < end; lo += team * chunk) {
+    const std::int64_t hi = lo + chunk < end ? lo + chunk : end;
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  }
+}
+
+/// `#pragma omp for schedule(dynamic, chunk)`. The shared DynamicSchedule
+/// must have been reset to `begin` before the region.
+template <class Body>
+void for_dynamic(DynamicSchedule& sched, std::int64_t end, std::int64_t chunk,
+                 Body&& body) {
+  for (;;) {
+    const std::int64_t lo = sched.fetch_chunk(chunk);
+    if (lo >= end) return;
+    const std::int64_t hi = lo + chunk < end ? lo + chunk : end;
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  }
+}
+
+/// `#pragma omp single nowait` (statically bound to worker 0). Follow with
+/// rt::barrier() when the single's effects must be visible to the team.
+template <class F>
+void single_nowait(F&& f) {
+  if (worker_id() == 0) std::forward<F>(f)();
+}
+
+}  // namespace bots::rt

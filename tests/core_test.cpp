@@ -1,0 +1,271 @@
+// Tests for the suite core: input classes, RNG, reporting, profiling math,
+// registry integrity (Table I metadata invariants).
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/input_class.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/rng.hpp"
+#include "prof/profile.hpp"
+
+namespace core = bots::core;
+namespace prof = bots::prof;
+
+namespace {
+
+TEST(InputClass, ParseRoundTrip) {
+  for (auto c : {core::InputClass::test, core::InputClass::small,
+                 core::InputClass::medium, core::InputClass::large}) {
+    const auto parsed = core::parse_input_class(core::to_string(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(core::parse_input_class("huge").has_value());
+  EXPECT_FALSE(core::parse_input_class("").has_value());
+}
+
+TEST(InputClass, EnvOverride) {
+  ::setenv("BOTS_INPUT_CLASS", "large", 1);
+  EXPECT_EQ(core::input_class_from_env(core::InputClass::small),
+            core::InputClass::large);
+  ::setenv("BOTS_INPUT_CLASS", "nonsense", 1);
+  EXPECT_EQ(core::input_class_from_env(core::InputClass::small),
+            core::InputClass::small);
+  ::unsetenv("BOTS_INPUT_CLASS");
+  EXPECT_EQ(core::input_class_from_env(core::InputClass::medium),
+            core::InputClass::medium);
+}
+
+TEST(Rng, Xoshiro256IsDeterministic) {
+  core::Xoshiro256 a(42);
+  core::Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  core::Xoshiro256 a(1);
+  core::Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  core::Xoshiro256 r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleIsUnitInterval) {
+  core::Xoshiro256 r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(Report, SpeedupUsesTimeByDefault) {
+  core::RunReport serial;
+  serial.seconds = 10.0;
+  core::RunReport par;
+  par.seconds = 2.5;
+  EXPECT_DOUBLE_EQ(par.speedup_vs(serial), 4.0);
+}
+
+TEST(Report, SpeedupUsesMetricWhenPresent) {
+  // Floorplan-style: node rate improvement, not elapsed time.
+  core::RunReport serial;
+  serial.seconds = 1.0;
+  serial.metric = 100.0;
+  core::RunReport par;
+  par.seconds = 2.0;  // slower wall clock...
+  par.metric = 500.0; // ...but 5x the node rate
+  EXPECT_DOUBLE_EQ(par.speedup_vs(serial), 5.0);
+}
+
+TEST(Report, TableWriterRendersAlignedTable) {
+  core::TableWriter t({"app", "value"});
+  t.add_row({"fib", "1"});
+  t.add_row({"alignment", "2"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| app "), std::string::npos);
+  EXPECT_NE(out.find("| alignment "), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, TableWriterCsv) {
+  core::TableWriter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Report, TableWriterRejectsRaggedRows) {
+  core::TableWriter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, FormatHelpers) {
+  EXPECT_EQ(core::format_count(42), "42");
+  EXPECT_EQ(core::format_count(40'000'000'000ull), "~ 40 G");
+  EXPECT_EQ(core::format_count(17'000'000ull), "~ 17 M");
+  EXPECT_EQ(core::format_bytes(3ull << 30), "3.0 GB");
+  EXPECT_EQ(core::format_bytes(120ull << 20), "120.0 MB");
+  EXPECT_EQ(core::format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(Prof, CountersAccumulateAndReset) {
+  prof::CountingProf::reset();
+  prof::CountingProf::task(40);
+  prof::CountingProf::task(40);
+  prof::CountingProf::taskwait();
+  prof::CountingProf::ops(10);
+  prof::CountingProf::write_private(3);
+  prof::CountingProf::write_shared(1);
+  prof::CountingProf::write_env(2);
+  const auto& t = prof::CountingProf::totals();
+  EXPECT_EQ(t.potential_tasks, 2u);
+  EXPECT_EQ(t.captured_env_bytes, 80u);
+  EXPECT_EQ(t.taskwaits, 1u);
+  EXPECT_EQ(t.arithmetic_ops, 10u);
+  EXPECT_EQ(t.private_writes, 5u);  // 3 + 2 env writes
+  EXPECT_EQ(t.shared_writes, 1u);
+  EXPECT_EQ(t.env_writes, 2u);
+  EXPECT_EQ(t.total_writes(), 6u);
+  prof::CountingProf::reset();
+  EXPECT_EQ(prof::CountingProf::totals().potential_tasks, 0u);
+}
+
+TEST(Prof, MakeRowComputesPaperColumns) {
+  prof::Totals t;
+  t.potential_tasks = 100;
+  t.arithmetic_ops = 5000;
+  t.taskwaits = 50;
+  t.captured_env_bytes = 1600;
+  t.env_writes = 100;
+  t.private_writes = 900;  // includes env writes
+  t.shared_writes = 100;
+  const auto row = prof::make_row("x", "input", 1.5, 1 << 20, t);
+  EXPECT_DOUBLE_EQ(row.arith_ops_per_task, 50.0);
+  EXPECT_DOUBLE_EQ(row.taskwaits_per_task, 0.5);
+  EXPECT_DOUBLE_EQ(row.captured_env_bytes_per_task, 16.0);
+  EXPECT_DOUBLE_EQ(row.env_writes_per_task, 1.0);
+  EXPECT_DOUBLE_EQ(row.pct_writes_shared, 10.0);
+  EXPECT_DOUBLE_EQ(row.ops_per_write, 5.0);
+  EXPECT_DOUBLE_EQ(row.arith_per_shared_write, 50.0);
+}
+
+TEST(Prof, NoProfIsZeroCostNoOp) {
+  // Compile-time check mostly; the calls must exist and do nothing.
+  prof::NoProf::task(100);
+  prof::NoProf::taskwait();
+  prof::NoProf::ops(5);
+  prof::NoProf::write_private(1);
+  prof::NoProf::write_shared(1);
+  prof::NoProf::write_env(1);
+  EXPECT_FALSE(prof::NoProf::enabled);
+  EXPECT_TRUE(prof::CountingProf::enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Registry integrity: Table I of the paper, as machine-checkable metadata.
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ContainsTheNinePaperApplications) {
+  const char* paper_apps[] = {"alignment", "fft",  "fib",      "floorplan",
+                              "health",    "nqueens", "sort", "sparselu",
+                              "strassen"};
+  for (const char* name : paper_apps) {
+    const auto* app = core::find_app(name);
+    ASSERT_NE(app, nullptr) << name;
+    EXPECT_FALSE(app->extension) << name;
+  }
+  EXPECT_EQ(core::find_app("nonexistent"), nullptr);
+}
+
+TEST(Registry, EveryAppHasRunnableEntryPoints) {
+  for (const auto& app : core::apps()) {
+    EXPECT_TRUE(app.run) << app.name;
+    EXPECT_TRUE(app.run_serial) << app.name;
+    EXPECT_TRUE(app.profile_row) << app.name;
+    EXPECT_TRUE(app.describe_input) << app.name;
+    EXPECT_FALSE(app.versions.empty()) << app.name;
+  }
+}
+
+TEST(Registry, ExactlyOnePaperBestVersionPerApp) {
+  for (const auto& app : core::apps()) {
+    int best = 0;
+    for (const auto& v : app.versions) best += v.paper_best;
+    EXPECT_EQ(best, 1) << app.name;
+  }
+}
+
+TEST(Registry, VersionNamesAreUnique) {
+  for (const auto& app : core::apps()) {
+    for (std::size_t i = 0; i < app.versions.size(); ++i) {
+      for (std::size_t j = i + 1; j < app.versions.size(); ++j) {
+        EXPECT_NE(app.versions[i].name, app.versions[j].name) << app.name;
+      }
+    }
+  }
+}
+
+TEST(Registry, TableOneStaticFieldsMatchThePaper) {
+  struct Row {
+    const char* name;
+    const char* origin;
+    int directives;
+    const char* inside;
+    bool nested;
+    const char* cutoff;
+  };
+  const Row table1[] = {
+      {"alignment", "AKM", 1, "for", false, "none"},
+      {"fft", "Cilk", 41, "single", true, "none"},
+      {"fib", "-", 2, "single", true, "depth-based"},
+      {"floorplan", "AKM", 1, "single", true, "depth-based"},
+      {"health", "Olden", 1, "single", true, "depth-based"},
+      {"nqueens", "Cilk", 1, "single", true, "depth-based"},
+      {"sort", "Cilk", 9, "single", true, "none"},
+      {"sparselu", "-", 4, "single/for", false, "none"},
+      {"strassen", "Cilk", 8, "single", true, "depth-based"},
+  };
+  for (const auto& row : table1) {
+    const auto* app = core::find_app(row.name);
+    ASSERT_NE(app, nullptr) << row.name;
+    EXPECT_EQ(app->origin, row.origin) << row.name;
+    EXPECT_EQ(app->task_directives, row.directives) << row.name;
+    EXPECT_EQ(app->tasks_inside, row.inside) << row.name;
+    EXPECT_EQ(app->nested_tasks, row.nested) << row.name;
+    EXPECT_EQ(app->app_cutoff, row.cutoff) << row.name;
+  }
+}
+
+TEST(Registry, TiedAndUntiedVersionsExistForEveryApp) {
+  // Section III-A: "All benchmarks come with versions with tied and untied
+  // tasks".
+  for (const auto& app : core::apps()) {
+    bool has_tied = false;
+    bool has_untied = false;
+    for (const auto& v : app.versions) {
+      has_tied |= v.tied == bots::rt::Tiedness::tied;
+      has_untied |= v.tied == bots::rt::Tiedness::untied;
+    }
+    EXPECT_TRUE(has_tied) << app.name;
+    EXPECT_TRUE(has_untied) << app.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+// Unit and stress tests for the Chase-Lev work-stealing deque.
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/deque.hpp"
+#include "runtime/task.hpp"
+
+namespace rt = bots::rt;
+
+namespace {
+
+/// Dummy tasks: the deque only traffics in pointers.
+struct TaskArena {
+  explicit TaskArena(std::size_t n) : tasks(new rt::Task[n]), size(n) {}
+  rt::Task* at(std::size_t i) { return &tasks[i]; }
+  std::unique_ptr<rt::Task[]> tasks;
+  std::size_t size;
+};
+
+TEST(Deque, PopFromEmptyIsNull) {
+  rt::WorkStealingDeque d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_TRUE(d.empty_estimate());
+}
+
+TEST(Deque, PopIsLifo) {
+  rt::WorkStealingDeque d;
+  TaskArena a(3);
+  d.push(a.at(0));
+  d.push(a.at(1));
+  d.push(a.at(2));
+  EXPECT_EQ(d.size_estimate(), 3);
+  EXPECT_EQ(d.pop(), a.at(2));
+  EXPECT_EQ(d.pop(), a.at(1));
+  EXPECT_EQ(d.pop(), a.at(0));
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, StealIsFifo) {
+  rt::WorkStealingDeque d;
+  TaskArena a(3);
+  d.push(a.at(0));
+  d.push(a.at(1));
+  d.push(a.at(2));
+  EXPECT_EQ(d.steal(), a.at(0));
+  EXPECT_EQ(d.steal(), a.at(1));
+  EXPECT_EQ(d.steal(), a.at(2));
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopAndStealDisjoint) {
+  rt::WorkStealingDeque d;
+  TaskArena a(4);
+  for (std::size_t i = 0; i < 4; ++i) d.push(a.at(i));
+  EXPECT_EQ(d.steal(), a.at(0));
+  EXPECT_EQ(d.pop(), a.at(3));
+  EXPECT_EQ(d.steal(), a.at(1));
+  EXPECT_EQ(d.pop(), a.at(2));
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, GrowsBeyondInitialCapacity) {
+  rt::WorkStealingDeque d(16);
+  constexpr std::size_t n = 10'000;
+  TaskArena a(n);
+  for (std::size_t i = 0; i < n; ++i) d.push(a.at(i));
+  EXPECT_EQ(d.size_estimate(), static_cast<std::int64_t>(n));
+  for (std::size_t i = n; i-- > 0;) {
+    EXPECT_EQ(d.pop(), a.at(i));
+  }
+}
+
+TEST(Deque, InterleavedPushPopAcrossGrowth) {
+  rt::WorkStealingDeque d(16);
+  TaskArena a(100'000);
+  std::size_t next = 0;
+  std::vector<rt::Task*> expect;
+  for (int round = 0; round < 1000; ++round) {
+    for (int k = 0; k < 73; ++k) {
+      d.push(a.at(next));
+      expect.push_back(a.at(next));
+      ++next;
+    }
+    for (int k = 0; k < 31; ++k) {
+      rt::Task* t = d.pop();
+      ASSERT_EQ(t, expect.back());
+      expect.pop_back();
+    }
+  }
+  while (!expect.empty()) {
+    ASSERT_EQ(d.pop(), expect.back());
+    expect.pop_back();
+  }
+}
+
+/// Concurrency stress: one owner pushes/pops, several thieves steal; every
+/// task must be claimed exactly once overall.
+TEST(Deque, ConcurrentStealClaimsEachTaskOnce) {
+  constexpr std::size_t total = 200'000;
+  constexpr int n_thieves = 6;
+  rt::WorkStealingDeque d(64);
+  TaskArena a(total);
+  std::vector<std::atomic<int>> claimed(total);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> stolen{0};
+  auto claim = [&](rt::Task* t) {
+    const std::size_t idx = static_cast<std::size_t>(t - a.at(0));
+    claimed[idx].fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(n_thieves);
+  for (int i = 0; i < n_thieves; ++i) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (rt::Task* t = d.steal()) {
+          claim(t);
+          stolen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Final drain.
+      while (rt::Task* t = d.steal()) {
+        claim(t);
+        stolen.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    d.push(a.at(i));
+    if (i % 3 == 0) {
+      if (rt::Task* t = d.pop()) {
+        claim(t);
+        ++popped;
+      }
+    }
+  }
+  while (rt::Task* t = d.pop()) {
+    claim(t);
+    ++popped;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::size_t claimed_total = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_LE(claimed[i].load(), 1) << "task " << i << " claimed twice";
+    claimed_total += static_cast<std::size_t>(claimed[i].load());
+  }
+  EXPECT_EQ(claimed_total, total);
+  EXPECT_EQ(popped + stolen.load(), total);
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool.
+// ---------------------------------------------------------------------------
+
+TEST(TaskPool, FreshThenReuse) {
+  rt::TaskPool pool;
+  bool reused = true;
+  rt::Task* t1 = pool.allocate(reused);
+  EXPECT_FALSE(reused);
+  pool.recycle(t1);
+  rt::Task* t2 = pool.allocate(reused);
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(t1, t2);  // freelist returns the recycled descriptor
+}
+
+TEST(TaskPool, ChunksProvideManyDescriptors) {
+  rt::TaskPool pool;
+  std::vector<rt::Task*> all;
+  bool reused = false;
+  for (int i = 0; i < 1000; ++i) all.push_back(pool.allocate(reused));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  for (rt::Task* t : all) pool.recycle(t);
+}
+
+TEST(TaskPool, RecycledTaskIsReset) {
+  rt::TaskPool pool;
+  bool reused = false;
+  rt::Task* t = pool.allocate(reused);
+  t->init_env([] {});
+  t->set_links(nullptr, 7, rt::Tiedness::untied, rt::TaskStorage::pooled);
+  t->add_child_ref();
+  t->destroy_env();
+  pool.recycle(t);
+  rt::Task* t2 = pool.allocate(reused);
+  ASSERT_EQ(t, t2);
+  EXPECT_EQ(t2->depth(), 0u);
+  EXPECT_EQ(t2->unfinished_children(), 0u);
+  EXPECT_EQ(t2->tiedness(), rt::Tiedness::tied);
+  EXPECT_EQ(t2->parent(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Task ancestry.
+// ---------------------------------------------------------------------------
+
+TEST(Task, DescendantChainWalk) {
+  rt::Task root;
+  root.set_links(nullptr, 0, rt::Tiedness::tied, rt::TaskStorage::stack_frame);
+  rt::Task child;
+  child.set_links(&root, 1, rt::Tiedness::tied, rt::TaskStorage::stack_frame);
+  rt::Task grand;
+  grand.set_links(&child, 2, rt::Tiedness::tied, rt::TaskStorage::stack_frame);
+  rt::Task other;
+  other.set_links(&root, 1, rt::Tiedness::tied, rt::TaskStorage::stack_frame);
+
+  EXPECT_TRUE(grand.is_descendant_of(child));
+  EXPECT_TRUE(grand.is_descendant_of(root));
+  EXPECT_TRUE(child.is_descendant_of(root));
+  EXPECT_FALSE(child.is_descendant_of(grand));
+  EXPECT_FALSE(grand.is_descendant_of(other));
+  EXPECT_TRUE(root.is_descendant_of(root));
+}
+
+TEST(Task, InlineVsHeapEnvironmentThreshold) {
+  rt::Task t;
+  int small_val = 3;
+  t.init_env([small_val] { (void)small_val; });
+  EXPECT_LE(t.env_bytes(), rt::Task::inline_env_capacity);
+  t.destroy_env();
+
+  t.reset_for_reuse();
+  std::array<char, 512> big{};
+  t.init_env([big] { (void)big; });
+  EXPECT_GT(t.env_bytes(), rt::Task::inline_env_capacity);
+  t.destroy_env();
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// FFT kernel tests: analytic known answers, DFT cross-checks, linearity and
+// Parseval properties, version/thread sweeps.
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "kernels/fft/fft.hpp"
+
+namespace fft = bots::fft;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+fft::Params sized(std::size_t n) {
+  fft::Params p;
+  p.n = n;
+  return p;
+}
+
+double max_abs_diff(const std::vector<fft::Complex>& a,
+                    const std::vector<fft::Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  const fft::Params p = sized(256);
+  std::vector<fft::Complex> v(p.n, {0.0, 0.0});
+  v[0] = {1.0, 0.0};
+  fft::run_serial(p, v);
+  for (const auto& z : v) {
+    EXPECT_NEAR(z.real(), 1.0, 1e-12);
+    EXPECT_NEAR(z.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantGivesDeltaAtZero) {
+  const fft::Params p = sized(512);
+  std::vector<fft::Complex> v(p.n, {1.0, 0.0});
+  fft::run_serial(p, v);
+  EXPECT_NEAR(v[0].real(), 512.0, 1e-9);
+  for (std::size_t i = 1; i < p.n; ++i) {
+    EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SingleToneLandsInRightBin) {
+  const fft::Params p = sized(1024);
+  std::vector<fft::Complex> v(p.n);
+  const std::size_t k0 = 37;
+  for (std::size_t j = 0; j < p.n; ++j) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k0 * j) /
+                       static_cast<double>(p.n);
+    v[j] = {std::cos(ang), std::sin(ang)};
+  }
+  fft::run_serial(p, v);
+  EXPECT_NEAR(v[k0].real(), 1024.0, 1e-8);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    if (i != k0) ASSERT_NEAR(std::abs(v[i]), 0.0, 1e-8) << "bin " << i;
+  }
+}
+
+TEST(Fft, MatchesDirectDftOnRandomInput) {
+  const fft::Params p = sized(2048);
+  auto v = fft::make_input(p);
+  const auto input = v;
+  fft::run_serial(p, v);
+  EXPECT_TRUE(fft::verify(p, input, v));  // direct DFT compare at this size
+}
+
+TEST(Fft, Linearity) {
+  const fft::Params p = sized(512);
+  auto a = fft::make_input(p);
+  fft::Params p2 = p;
+  p2.seed ^= 0x1234;
+  auto b = fft::make_input(p2);
+  std::vector<fft::Complex> sum(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) sum[i] = a[i] + 2.0 * b[i];
+  fft::run_serial(p, a);
+  fft::run_serial(p, b);
+  fft::run_serial(p, sum);
+  std::vector<fft::Complex> expect(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) expect[i] = a[i] + 2.0 * b[i];
+  EXPECT_LT(max_abs_diff(sum, expect), 1e-9);
+}
+
+TEST(Fft, ParsevalHoldsOnLargerSizes) {
+  const fft::Params p = sized(1u << 16);
+  auto v = fft::make_input(p);
+  double in_energy = 0.0;
+  for (const auto& z : v) in_energy += std::norm(z);
+  fft::run_serial(p, v);
+  double out_energy = 0.0;
+  for (const auto& z : v) out_energy += std::norm(z);
+  EXPECT_NEAR(out_energy / static_cast<double>(p.n), in_energy,
+              1e-9 * in_energy);
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, ParallelMatchesSerial) {
+  const fft::Params p = sized(GetParam());
+  auto serial = fft::make_input(p);
+  auto parallel = serial;
+  fft::run_serial(p, serial);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  fft::run_parallel(p, parallel, sched, {rt::Tiedness::untied});
+  EXPECT_LT(max_abs_diff(serial, parallel), 1e-12);  // identical arithmetic
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizes,
+                         ::testing::Values(std::size_t{64}, 128, 4096,
+                                           std::size_t{1} << 15,
+                                           std::size_t{1} << 18),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class FftThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FftThreads, TiedAndUntiedVerify) {
+  const fft::Params p = sized(1u << 14);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = GetParam()});
+  for (auto tied : {rt::Tiedness::tied, rt::Tiedness::untied}) {
+    auto v = fft::make_input(p);
+    const auto input = v;
+    fft::run_parallel(p, v, sched, {tied});
+    EXPECT_TRUE(fft::verify(p, input, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, FftThreads, ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(Fft, LeafOnlyTransformWorks) {
+  // n == leaf size: the recursion immediately uses the iterative kernel.
+  fft::Params p = sized(64);
+  p.leaf = 64;
+  auto v = fft::make_input(p);
+  const auto input = v;
+  fft::run_serial(p, v);
+  EXPECT_TRUE(fft::verify(p, input, v));
+}
+
+TEST(Fft, VerifyRejectsCorruptedSpectrum) {
+  const fft::Params p = sized(1024);
+  auto v = fft::make_input(p);
+  const auto input = v;
+  fft::run_serial(p, v);
+  v[13] += fft::Complex{0.5, 0.0};
+  EXPECT_FALSE(fft::verify(p, input, v));
+}
+
+TEST(Fft, ProfileRowShape) {
+  const auto row = fft::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  // Only the top-level combine writes count as non-private (a few % — the
+  // paper reports 3.49%).
+  EXPECT_GT(row.pct_writes_shared, 0.0);
+  EXPECT_LT(row.pct_writes_shared, 20.0);
+}
+
+TEST(Fft, AppInfoMetadata) {
+  const auto app = fft::make_app_info();
+  EXPECT_EQ(app.origin, "Cilk");
+  EXPECT_EQ(app.task_directives, 41);
+  EXPECT_EQ(app.structure, "At leafs");
+}
+
+}  // namespace

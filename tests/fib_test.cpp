@@ -1,0 +1,110 @@
+// Fib kernel tests: known answers, version matrix, cut-off equivalence.
+#include <gtest/gtest.h>
+
+#include "kernels/fib/fib.hpp"
+
+namespace fib = bots::fib;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+TEST(Fib, SerialKnownAnswers) {
+  EXPECT_EQ(fib::run_serial({0, 1}), 0u);
+  EXPECT_EQ(fib::run_serial({1, 1}), 1u);
+  EXPECT_EQ(fib::run_serial({2, 1}), 1u);
+  EXPECT_EQ(fib::run_serial({10, 1}), 55u);
+  EXPECT_EQ(fib::run_serial({20, 1}), 6765u);
+  EXPECT_EQ(fib::run_serial({30, 1}), 832040u);
+}
+
+TEST(Fib, VerifyAcceptsCorrectAndRejectsWrong) {
+  EXPECT_TRUE(fib::verify({20, 1}, 6765u));
+  EXPECT_FALSE(fib::verify({20, 1}, 6766u));
+}
+
+struct FibCase {
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+};
+
+class FibVersions
+    : public ::testing::TestWithParam<std::tuple<FibCase, unsigned>> {};
+
+TEST_P(FibVersions, MatchesSerial) {
+  const auto [vc, threads] = GetParam();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  fib::Params p{24, 6};
+  fib::VersionOpts opts{vc.tied, vc.cutoff};
+  EXPECT_EQ(fib::run_parallel(p, sched, opts), 46368u);
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<FibCase, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.cutoff)) + "_" +
+                  to_string(vc.tied) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FibVersions,
+    ::testing::Combine(
+        ::testing::Values(FibCase{rt::Tiedness::tied, core::AppCutoff::none},
+                          FibCase{rt::Tiedness::untied, core::AppCutoff::none},
+                          FibCase{rt::Tiedness::tied, core::AppCutoff::if_clause},
+                          FibCase{rt::Tiedness::untied, core::AppCutoff::if_clause},
+                          FibCase{rt::Tiedness::tied, core::AppCutoff::manual},
+                          FibCase{rt::Tiedness::untied, core::AppCutoff::manual}),
+        ::testing::Values(1u, 4u)), case_name);
+
+TEST(Fib, ManualCutoffCreatesFewerTasks) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  fib::Params p{22, 5};
+  (void)fib::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::manual});
+  const auto manual_created = sched.stats().total.tasks_created;
+  (void)fib::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::none});
+  const auto none_created = sched.stats().total.tasks_created;
+  EXPECT_LT(manual_created, none_created);
+  // Manual cut-off at depth 5: at most 2^6 - 2 tasks.
+  EXPECT_LE(manual_created, 62u);
+}
+
+TEST(Fib, IfClauseStillRegistersTasks) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 2});
+  fib::Params p{18, 4};
+  (void)fib::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::if_clause});
+  const auto t = sched.stats().total;
+  // The if-clause version encounters every task site (the paper's point:
+  // the runtime still manages the hierarchy for if(false) tasks) ...
+  EXPECT_GT(t.tasks_if_inlined, 0u);
+  // ... but only the above-cutoff ones are deferred.
+  EXPECT_LT(t.tasks_deferred, t.tasks_created);
+}
+
+TEST(Fib, ProfileRowCountsBinaryTree) {
+  // fib task-site counting: every node with n >= 2 spawns two child tasks.
+  const auto row = fib::profile_row(core::InputClass::test);  // n = 20
+  // Number of internal nodes of the fib(20) call tree: calls(20) = 2*F(21)-1
+  // total calls; internal calls (n >= 2) spawn 2 tasks each.
+  // calls(n) = calls(n-1) + calls(n-2) + 1; internal = (calls - leaves).
+  EXPECT_EQ(row.potential_tasks, 21890u);  // 2 * internal nodes
+  EXPECT_DOUBLE_EQ(row.taskwaits_per_task, 0.5);  // one taskwait per 2 spawns
+  EXPECT_GT(row.arith_ops_per_task, 0.0);
+  EXPECT_EQ(row.pct_writes_shared, 100.0);  // results return via parent stack
+}
+
+TEST(Fib, AppInfoRegistryMetadata) {
+  const auto app = fib::make_app_info();
+  EXPECT_EQ(app.name, "fib");
+  EXPECT_EQ(app.task_directives, 2);
+  EXPECT_TRUE(app.nested_tasks);
+  EXPECT_EQ(app.app_cutoff, "depth-based");
+  EXPECT_EQ(app.versions.size(), 6u);
+}
+
+}  // namespace

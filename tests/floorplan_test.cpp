@@ -1,0 +1,151 @@
+// Floorplan kernel tests: optimality invariants, bound behaviour, the
+// nodes-visited metric, version matrix.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "kernels/floorplan/floorplan.hpp"
+
+namespace fp = bots::floorplan;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+fp::Params tiny() { return {5, 2, 0xF100Bu}; }
+
+int total_cell_area(const std::vector<fp::Cell>& cells) {
+  int a = 0;
+  for (const auto& c : cells) a += c.area;
+  return a;
+}
+
+TEST(Floorplan, InputShapesPreserveArea) {
+  const fp::Params p = tiny();
+  const auto cells = fp::make_input(p);
+  EXPECT_EQ(cells.size(), 5u);
+  for (const auto& c : cells) {
+    EXPECT_FALSE(c.shapes.empty());
+    for (const auto& [w, h] : c.shapes) {
+      EXPECT_EQ(w * h, c.area);
+      EXPECT_GE(w, 1);
+      EXPECT_LE(w, 8);
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, 8);
+    }
+  }
+}
+
+TEST(Floorplan, SerialOptimumBounds) {
+  const fp::Params p = tiny();
+  const auto cells = fp::make_input(p);
+  const fp::Result r = fp::run_serial(p, cells);
+  // The optimal bounding box is at least the total cell area and at most
+  // the whole board.
+  EXPECT_GE(r.best_area, total_cell_area(cells));
+  EXPECT_LE(r.best_area, fp::board_dim * fp::board_dim);
+  EXPECT_GT(r.nodes, 0u);
+}
+
+TEST(Floorplan, SerialIsDeterministic) {
+  const fp::Params p = tiny();
+  const auto cells = fp::make_input(p);
+  const fp::Result a = fp::run_serial(p, cells);
+  const fp::Result b = fp::run_serial(p, cells);
+  EXPECT_EQ(a.best_area, b.best_area);
+  EXPECT_EQ(a.nodes, b.nodes);  // serial search order is fixed
+}
+
+TEST(Floorplan, SingleSquareCellIsItsOwnArea) {
+  // One 2x3 cell: minimal bounding box is exactly the cell.
+  fp::Params p{1, 1, 0xF100Bu};
+  std::vector<fp::Cell> cells(1);
+  cells[0].area = 6;
+  cells[0].shapes = {{2, 3}, {3, 2}, {1, 6}, {6, 1}};
+  const fp::Result r = fp::run_serial(p, cells);
+  EXPECT_EQ(r.best_area, 6);
+}
+
+TEST(Floorplan, TwoCellsPackPerfectly) {
+  // Two 2x4 cells can tile a 4x4 square (area 16).
+  fp::Params p{2, 1, 0xF100Bu};
+  std::vector<fp::Cell> cells(2);
+  for (auto& c : cells) {
+    c.area = 8;
+    c.shapes = {{2, 4}, {4, 2}, {1, 8}, {8, 1}};
+  }
+  const fp::Result r = fp::run_serial(p, cells);
+  EXPECT_EQ(r.best_area, 16);
+}
+
+struct Case {
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+};
+
+class FloorplanVersions
+    : public ::testing::TestWithParam<std::tuple<Case, unsigned>> {};
+
+TEST_P(FloorplanVersions, FindsTheSerialOptimum) {
+  const auto [vc, threads] = GetParam();
+  const fp::Params p = tiny();
+  const auto cells = fp::make_input(p);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  const fp::Result r = fp::run_parallel(p, cells, sched, {vc.tied, vc.cutoff});
+  // Node counts are schedule-dependent (the paper's controlled
+  // indeterminism) but the optimum is not.
+  EXPECT_TRUE(fp::verify(p, cells, r));
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<Case, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.cutoff)) + "_" +
+                  to_string(vc.tied) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FloorplanVersions,
+    ::testing::Combine(
+        ::testing::Values(Case{rt::Tiedness::tied, core::AppCutoff::none},
+                          Case{rt::Tiedness::untied, core::AppCutoff::none},
+                          Case{rt::Tiedness::untied, core::AppCutoff::if_clause},
+                          Case{rt::Tiedness::tied, core::AppCutoff::manual},
+                          Case{rt::Tiedness::untied, core::AppCutoff::manual}),
+        ::testing::Values(1u, 4u, 8u)), case_name);
+
+TEST(Floorplan, LargeStateForcesHeapEnvironments) {
+  // The copied search state is ~4.2 KB — far beyond the inline descriptor
+  // buffer; this is the suite's heap-environment stressor.
+  const fp::Params p = tiny();
+  const auto cells = fp::make_input(p);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  (void)fp::run_parallel(p, cells, sched,
+                         {rt::Tiedness::untied, core::AppCutoff::none});
+  const auto st = sched.stats().total;
+  ASSERT_GT(st.tasks_created, 0u);
+  EXPECT_GT(st.env_bytes / st.tasks_created, rt::Task::inline_env_capacity);
+}
+
+TEST(Floorplan, ProfileRowShowsBigCapturedEnvironment) {
+  const auto row = fp::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  // Table II: ~5 KB captured per task for Floorplan — ours is the 4.2 KB
+  // board + placement state.
+  EXPECT_GT(row.captured_env_bytes_per_task, 4000.0);
+  EXPECT_GT(row.env_writes_per_task, 0.0);
+}
+
+TEST(Floorplan, AppInfoMetadata) {
+  const auto app = fp::make_app_info();
+  EXPECT_EQ(app.origin, "AKM");
+  EXPECT_EQ(app.domain, "Optimization");
+  EXPECT_EQ(app.best_version().name, "manual-untied");  // Figure 3 annotation
+}
+
+}  // namespace

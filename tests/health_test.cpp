@@ -1,0 +1,151 @@
+// Health kernel tests: exact determinism across schedules (the paper's
+// per-village-seed device), conservation laws, version matrix.
+#include <gtest/gtest.h>
+
+#include "kernels/health/health.hpp"
+
+namespace hl = bots::health;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+hl::Params tiny() {
+  hl::Params p;
+  p.levels = 3;
+  p.branch = 3;
+  p.population = 6;
+  p.sim_steps = 25;
+  p.cutoff_level = 1;
+  return p;
+}
+
+std::uint64_t total_patients(const hl::Params& p) {
+  std::uint64_t villages = 0;
+  std::uint64_t layer = 1;
+  for (int l = 0; l < p.levels; ++l) {
+    villages += layer;
+    layer *= static_cast<std::uint64_t>(p.branch);
+  }
+  return villages * static_cast<std::uint64_t>(p.population);
+}
+
+TEST(Health, PatientsAreConserved) {
+  const hl::Params p = tiny();
+  const hl::Stats s = hl::run_serial(p);
+  // No patient is created or destroyed during simulation; realloc queues
+  // are drained every step, so everyone is in one of the four states.
+  EXPECT_EQ(s.population + s.waiting + s.assess + s.inside, total_patients(p));
+}
+
+TEST(Health, SimulationActuallyHospitalizesPeople) {
+  const hl::Params p = tiny();
+  const hl::Stats s = hl::run_serial(p);
+  EXPECT_GT(s.total_hosps_visited, 0u);
+  EXPECT_GT(s.total_time, 0u);
+}
+
+TEST(Health, SerialRunIsReproducible) {
+  const hl::Params p = tiny();
+  EXPECT_EQ(hl::run_serial(p), hl::run_serial(p));
+}
+
+TEST(Health, DifferentSeedsGiveDifferentHistories) {
+  hl::Params a = tiny();
+  hl::Params b = tiny();
+  b.seed ^= 0xDEADBEEFu;
+  const hl::Stats sa = hl::run_serial(a);
+  const hl::Stats sb = hl::run_serial(b);
+  EXPECT_TRUE(sa.total_time != sb.total_time ||
+              sa.total_hosps_visited != sb.total_hosps_visited);
+}
+
+struct Case {
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+};
+
+class HealthVersions
+    : public ::testing::TestWithParam<std::tuple<Case, unsigned>> {};
+
+TEST_P(HealthVersions, ExactlyMatchesSerialSimulation) {
+  const auto [vc, threads] = GetParam();
+  const hl::Params p = tiny();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  const hl::Stats s = hl::run_parallel(p, sched, {vc.tied, vc.cutoff});
+  // The paper's determinism device makes the parallel simulation *exactly*
+  // equal to the serial one, for any schedule and thread count.
+  EXPECT_EQ(s, hl::run_serial(p));
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<Case, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.cutoff)) + "_" +
+                  to_string(vc.tied) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, HealthVersions,
+    ::testing::Combine(
+        ::testing::Values(Case{rt::Tiedness::tied, core::AppCutoff::none},
+                          Case{rt::Tiedness::untied, core::AppCutoff::none},
+                          Case{rt::Tiedness::tied, core::AppCutoff::if_clause},
+                          Case{rt::Tiedness::untied, core::AppCutoff::manual}),
+        ::testing::Values(1u, 4u, 8u)), case_name);
+
+TEST(Health, RepeatedParallelRunsIdentical) {
+  const hl::Params p = tiny();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  const hl::Stats first =
+      hl::run_parallel(p, sched, {rt::Tiedness::untied, core::AppCutoff::none});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(hl::run_parallel(p, sched,
+                               {rt::Tiedness::untied, core::AppCutoff::none}),
+              first);
+  }
+}
+
+TEST(Health, ManualCutoffSpawnsFewerTasks) {
+  hl::Params p = tiny();
+  p.levels = 4;
+  p.cutoff_level = 3;  // only the top of the hierarchy spawns
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  (void)hl::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::manual});
+  const auto manual = sched.stats().total.tasks_created;
+  (void)hl::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::none});
+  const auto none = sched.stats().total.tasks_created;
+  EXPECT_LT(manual, none);
+}
+
+TEST(Health, ZeroStepsLeavesEveryoneHealthy) {
+  hl::Params p = tiny();
+  p.sim_steps = 0;
+  const hl::Stats s = hl::run_serial(p);
+  EXPECT_EQ(s.population, total_patients(p));
+  EXPECT_EQ(s.total_hosps_visited, 0u);
+}
+
+TEST(Health, ProfileRowShape) {
+  const auto row = hl::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  // One task per village per step; small captured environment (a pointer —
+  // Table II reports 8 bytes).
+  EXPECT_LE(row.captured_env_bytes_per_task, 16.0);
+  EXPECT_GT(row.taskwaits_per_task, 0.0);
+}
+
+TEST(Health, AppInfoMetadata) {
+  const auto app = hl::make_app_info();
+  EXPECT_EQ(app.origin, "Olden");
+  EXPECT_EQ(app.domain, "Simulation");
+  EXPECT_EQ(app.app_cutoff, "depth-based");
+  EXPECT_EQ(app.best_version().name, "manual-tied");  // Figure 3 annotation
+}
+
+}  // namespace

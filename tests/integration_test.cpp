@@ -1,0 +1,123 @@
+// Integration tests: the whole suite driven through the registry, the way
+// the benches and the bots_run example drive it — every application, every
+// version, several thread counts, always self-verified.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace core = bots::core;
+namespace rt = bots::rt;
+
+namespace {
+
+struct SuiteCase {
+  std::string app;
+  std::string version;
+};
+
+std::vector<SuiteCase> all_cases() {
+  std::vector<SuiteCase> cases;
+  for (const auto& app : core::apps()) {
+    for (const auto& v : app.versions) {
+      cases.push_back({app.name, v.name});
+    }
+  }
+  return cases;
+}
+
+class SuiteMatrix : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(SuiteMatrix, TestClassRunVerifies) {
+  const SuiteCase& sc = GetParam();
+  const auto* app = core::find_app(sc.app);
+  ASSERT_NE(app, nullptr);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  const auto rep = app->run(core::InputClass::test, sc.version, sched, true);
+  EXPECT_EQ(rep.verified, core::Verified::ok) << sc.app << "/" << sc.version;
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_EQ(rep.threads, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, SuiteMatrix,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) {
+                           std::string n =
+                               info.param.app + "_" + info.param.version;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Suite, SerialBaselinesVerify) {
+  for (const auto& app : core::apps()) {
+    const auto rep = app.run_serial(core::InputClass::test);
+    EXPECT_EQ(rep.verified, core::Verified::ok) << app.name;
+    EXPECT_EQ(rep.version, "serial");
+    EXPECT_EQ(rep.threads, 1u);
+  }
+}
+
+TEST(Suite, ProfileRowsAreWellFormed) {
+  for (const auto& app : core::apps()) {
+    const auto row = app.profile_row(core::InputClass::test);
+    EXPECT_EQ(row.app, app.name);
+    EXPECT_GT(row.potential_tasks, 0u) << app.name;
+    EXPECT_GE(row.serial_seconds, 0.0) << app.name;
+    EXPECT_GT(row.memory_bytes, 0u) << app.name;
+    EXPECT_GE(row.arith_ops_per_task, 0.0) << app.name;
+    EXPECT_GE(row.pct_writes_shared, 0.0) << app.name;
+    EXPECT_LE(row.pct_writes_shared, 100.0) << app.name;
+  }
+}
+
+TEST(Suite, UnknownVersionThrows) {
+  const auto* app = core::find_app("fib");
+  ASSERT_NE(app, nullptr);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 2});
+  EXPECT_THROW(app->run(core::InputClass::test, "no-such-version", sched, true),
+               std::invalid_argument);
+}
+
+TEST(Suite, BestVersionsRunAtEightThreads) {
+  // The Figure 3 configuration, scaled to the test class.
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  for (const auto& app : core::apps()) {
+    const auto& best = app.best_version();
+    const auto rep = app.run(core::InputClass::test, best.name, sched, true);
+    EXPECT_EQ(rep.verified, core::Verified::ok)
+        << app.name << "/" << best.name;
+  }
+}
+
+TEST(Suite, OneSchedulerRunsTheWholeSuite) {
+  // Scheduler reuse across heterogeneous workloads (persistent worker pool).
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 6});
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& app : core::apps()) {
+      const auto rep =
+          app.run(core::InputClass::test, app.best_version().name, sched, true);
+      ASSERT_EQ(rep.verified, core::Verified::ok) << app.name;
+    }
+  }
+}
+
+TEST(Suite, RuntimeCutoffPoliciesRunBestVersions) {
+  for (auto policy : {rt::CutoffPolicy::none, rt::CutoffPolicy::max_tasks,
+                      rt::CutoffPolicy::max_depth, rt::CutoffPolicy::adaptive}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 4;
+    cfg.cutoff = policy;
+    rt::Scheduler sched(cfg);
+    for (const char* name : {"fib", "nqueens", "sort", "health"}) {
+      const auto* app = core::find_app(name);
+      ASSERT_NE(app, nullptr);
+      const auto rep =
+          app->run(core::InputClass::test, app->best_version().name, sched, true);
+      EXPECT_EQ(rep.verified, core::Verified::ok)
+          << name << " under " << to_string(policy);
+    }
+  }
+}
+
+}  // namespace

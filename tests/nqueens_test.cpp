@@ -1,0 +1,109 @@
+// NQueens kernel tests: published solution counts, version matrix,
+// threadprivate accumulation determinism.
+#include <gtest/gtest.h>
+
+#include "kernels/nqueens/nqueens.hpp"
+
+namespace nq = bots::nqueens;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+TEST(NQueens, SerialKnownCounts) {
+  EXPECT_EQ(nq::run_serial({1, 1}), 1u);
+  EXPECT_EQ(nq::run_serial({4, 1}), 2u);
+  EXPECT_EQ(nq::run_serial({5, 1}), 10u);
+  EXPECT_EQ(nq::run_serial({6, 1}), 4u);
+  EXPECT_EQ(nq::run_serial({7, 1}), 40u);
+  EXPECT_EQ(nq::run_serial({8, 1}), 92u);
+  EXPECT_EQ(nq::run_serial({9, 1}), 352u);
+  EXPECT_EQ(nq::run_serial({10, 1}), 724u);
+}
+
+TEST(NQueens, VerifyUsesPublishedTable) {
+  EXPECT_TRUE(nq::verify({8, 1}, 92u));
+  EXPECT_FALSE(nq::verify({8, 1}, 93u));
+  EXPECT_FALSE(nq::verify({-1, 1}, 0u));
+}
+
+struct Case {
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+};
+
+class NQueensVersions
+    : public ::testing::TestWithParam<std::tuple<Case, unsigned>> {};
+
+TEST_P(NQueensVersions, CountsAllSolutions) {
+  const auto [vc, threads] = GetParam();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  nq::Params p{10, 3};
+  EXPECT_EQ(nq::run_parallel(p, sched, {vc.tied, vc.cutoff}), 724u);
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<Case, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.cutoff)) + "_" +
+                  to_string(vc.tied) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, NQueensVersions,
+    ::testing::Combine(
+        ::testing::Values(Case{rt::Tiedness::tied, core::AppCutoff::none},
+                          Case{rt::Tiedness::untied, core::AppCutoff::none},
+                          Case{rt::Tiedness::tied, core::AppCutoff::if_clause},
+                          Case{rt::Tiedness::untied, core::AppCutoff::if_clause},
+                          Case{rt::Tiedness::tied, core::AppCutoff::manual},
+                          Case{rt::Tiedness::untied, core::AppCutoff::manual}),
+        ::testing::Values(1u, 4u, 8u)), case_name);
+
+TEST(NQueens, DeterministicAcrossRepetitions) {
+  // The paper's device: counting all solutions makes the computational load
+  // (and the result) schedule-independent.
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  nq::Params p{11, 3};
+  const std::uint64_t first =
+      nq::run_parallel(p, sched, {rt::Tiedness::untied, core::AppCutoff::manual});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(nq::run_parallel(
+                  p, sched, {rt::Tiedness::untied, core::AppCutoff::manual}),
+              first);
+  }
+  EXPECT_EQ(first, 2680u);
+}
+
+TEST(NQueens, CutoffDepthZeroRunsSeriallyInsideRegion) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  nq::Params p{9, 0};
+  EXPECT_EQ(nq::run_parallel(p, sched, {rt::Tiedness::tied, core::AppCutoff::manual}),
+            352u);
+  // With cut-off depth 0 the manual version never spawns a deferred task.
+  EXPECT_EQ(sched.stats().total.tasks_deferred, 0u);
+}
+
+TEST(NQueens, ProfileRowHasBoardSizedEnvironment) {
+  const auto row = nq::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  // Captured environment: the board prefix + indices (Table II reports
+  // 42.32 bytes for the 14x14 board; ours carries the fixed 16-slot board).
+  EXPECT_GT(row.captured_env_bytes_per_task, 16.0);
+  EXPECT_LT(row.captured_env_bytes_per_task, 64.0);
+  EXPECT_EQ(row.pct_writes_shared, 0.0);  // Table II: 0% non-private writes
+}
+
+TEST(NQueens, AppInfoMetadata) {
+  const auto app = nq::make_app_info();
+  EXPECT_EQ(app.origin, "Cilk");
+  EXPECT_EQ(app.task_directives, 1);
+  EXPECT_EQ(app.best_version().name, "manual-untied");  // Figure 3 annotation
+}
+
+}  // namespace

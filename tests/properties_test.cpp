@@ -1,0 +1,272 @@
+// Cross-cutting property tests: invariants that must hold across modules,
+// schedules and repetitions — the "does the suite behave like BOTS"
+// contracts beyond single-kernel correctness.
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/rng.hpp"
+#include "kernels/floorplan/floorplan.hpp"
+#include "kernels/health/health.hpp"
+#include "kernels/sort/sort.hpp"
+#include "kernels/uts/uts.hpp"
+#include "runtime/rt.hpp"
+
+namespace core = bots::core;
+namespace rt = bots::rt;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Runtime invariants under stress.
+// ---------------------------------------------------------------------------
+
+TEST(Properties, RegionQuiescenceUnderRandomSpawnTrees) {
+  // Randomly shaped task trees with no taskwaits at all: the region-end
+  // barrier alone must join everything, every time.
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  core::Xoshiro256 rng(99);
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<std::uint64_t> executed{0};
+    const int breadth = 1 + static_cast<int>(rng.next_below(40));
+    const int depth = 1 + static_cast<int>(rng.next_below(5));
+    std::function<void(int)> grow = [&](int d) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (d == 0) return;
+      for (int i = 0; i < breadth; ++i) {
+        rt::spawn(i % 2 == 0 ? rt::Tiedness::tied : rt::Tiedness::untied,
+                  [&grow, d] { grow(d - 1); });
+      }
+      // deliberately no taskwait
+    };
+    sched.run_single([&] { grow(depth); });
+    // Full (breadth)-ary tree of the given depth.
+    std::uint64_t expect = 0;
+    std::uint64_t layer = 1;
+    for (int d = 0; d <= depth; ++d) {
+      expect += layer;
+      layer *= static_cast<std::uint64_t>(breadth);
+    }
+    ASSERT_EQ(executed.load(), expect)
+        << "round " << round << " breadth " << breadth << " depth " << depth;
+  }
+}
+
+TEST(Properties, TwoSchedulersCoexistSequentially) {
+  rt::Scheduler a(rt::SchedulerConfig{.num_threads = 4});
+  rt::Scheduler b(rt::SchedulerConfig{.num_threads = 2});
+  int ra = 0;
+  int rb = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.run_single([&ra] {
+      rt::spawn([&ra] { ++ra; });
+      rt::taskwait();
+    });
+    b.run_single([&rb] {
+      rt::spawn([&rb] { ++rb; });
+      rt::taskwait();
+    });
+  }
+  EXPECT_EQ(ra, 10);
+  EXPECT_EQ(rb, 10);
+}
+
+TEST(Properties, ExceptionFromRunAllWorkerPropagates) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  EXPECT_THROW(sched.run_all([](unsigned id) {
+    if (id == 2) throw std::runtime_error("worker 2 failed");
+  }),
+               std::runtime_error);
+  // And the team is reusable afterwards.
+  std::atomic<int> ok{0};
+  sched.run_all([&](unsigned) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(Properties, DynamicScheduleIsReusableAcrossRegions) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  rt::DynamicSchedule dyn(0);
+  for (int round = 0; round < 3; ++round) {
+    dyn.reset(0);
+    std::vector<std::atomic<int>> hits(500);
+    sched.run_all([&](unsigned) {
+      rt::for_dynamic(dyn, 500, 11, [&](std::int64_t i) { hits[i].fetch_add(1); });
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "round " << round;
+  }
+}
+
+TEST(Properties, TaskwaitOnlyWaitsForDirectChildren) {
+  // A child that finishes while its own (grandchild) task still runs must
+  // release the parent's taskwait; the region barrier catches the rest.
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  std::atomic<bool> grandchild_done{false};
+  std::atomic<bool> waited_before_grandchild{false};
+  sched.run_single([&] {
+    rt::spawn([&] {
+      rt::spawn([&] {
+        // Make the grandchild slow enough to still be pending.
+        for (int i = 0; i < 2'000'000; ++i) {
+          asm volatile("");
+        }
+        grandchild_done.store(true, std::memory_order_release);
+      });
+      // child returns without waiting
+    });
+    rt::taskwait();  // waits for the child only
+    if (!grandchild_done.load(std::memory_order_acquire)) {
+      waited_before_grandchild.store(true);
+    }
+  });
+  EXPECT_TRUE(grandchild_done.load());  // region end joined it
+  // Note: timing-dependent, but on any sane schedule the taskwait returns
+  // before the spun-out grandchild finishes at least occasionally; we only
+  // assert it is *possible* (no deadlock, correct joins), not the timing.
+  SUCCEED();
+}
+
+TEST(Properties, StatsAccountingBalancesOnEveryApp) {
+  // created == deferred + if_inlined + cutoff_inlined, executed == deferred
+  // must hold after any suite run.
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  for (const auto& app : core::apps()) {
+    (void)app.run(core::InputClass::test, app.best_version().name, sched,
+                  false);
+    const auto t = sched.stats().total;
+    EXPECT_EQ(t.tasks_created,
+              t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined)
+        << app.name;
+    EXPECT_EQ(t.tasks_executed, t.tasks_deferred) << app.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism properties across thread counts (the paper's Section III-A
+// indeterminism-handling contract, checked suite-wide).
+// ---------------------------------------------------------------------------
+
+TEST(Properties, DeterministicAppsAgreeAcrossThreadCounts) {
+  // health: exact stats; uts: exact node count; nqueens: exact solutions —
+  // whatever the team size.
+  const auto hp = bots::health::params_for(core::InputClass::test);
+  const auto up = bots::uts::params_for(core::InputClass::test);
+  const bots::health::Stats href = bots::health::run_serial(hp);
+  const std::uint64_t uref = bots::uts::run_serial(up);
+  for (unsigned threads : {1u, 3u, 8u, 16u}) {
+    rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+    EXPECT_EQ(bots::health::run_parallel(
+                  hp, sched, {rt::Tiedness::untied, core::AppCutoff::none}),
+              href)
+        << threads;
+    EXPECT_EQ(bots::uts::run_parallel(up, sched, {rt::Tiedness::untied}), uref)
+        << threads;
+  }
+}
+
+TEST(Properties, FloorplanOptimumIsScheduleInvariant) {
+  const auto p = bots::floorplan::params_for(core::InputClass::test);
+  const auto cells = bots::floorplan::make_input(p);
+  const auto serial = bots::floorplan::run_serial(p, cells);
+  std::set<std::uint64_t> node_counts;
+  for (unsigned threads : {2u, 8u}) {
+    rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto r = bots::floorplan::run_parallel(
+          p, cells, sched, {rt::Tiedness::untied, core::AppCutoff::manual});
+      EXPECT_EQ(r.best_area, serial.best_area);
+      node_counts.insert(r.nodes);
+    }
+  }
+  // The node count is allowed (expected!) to vary; the optimum never.
+  SUCCEED();
+}
+
+TEST(Properties, UtsDepthBoundIsMonotone) {
+  bots::uts::Params p;
+  p.root_children = 8;
+  p.spawn_permille = 300;
+  p.work_per_node = 4;
+  std::uint64_t prev = 0;
+  for (int depth : {0, 2, 4, 6, 8, 10}) {
+    p.max_depth = depth;
+    const std::uint64_t n = bots::uts::run_serial(p);
+    EXPECT_GE(n, prev) << "depth " << depth;
+    prev = n;
+  }
+}
+
+TEST(Properties, FloorplanBestIsNeverWorseThanGreedySeed) {
+  // run_serial seeds the bound with greedy-first-fit + 1; the optimum must
+  // be <= the greedy area (the greedy plan itself is reachable).
+  for (std::uint64_t seed : {0xF100Bull, 0xCAFEull, 0x777ull}) {
+    bots::floorplan::Params p{8, 3, seed};
+    const auto cells = bots::floorplan::make_input(p);
+    const auto r = bots::floorplan::run_serial(p, cells);
+    int total = 0;
+    for (const auto& c : cells) total += c.area;
+    EXPECT_GE(r.best_area, total);
+    EXPECT_LE(r.best_area, bots::floorplan::board_dim *
+                               bots::floorplan::board_dim);
+  }
+}
+
+TEST(Properties, SortThresholdsDoNotChangeTheResult) {
+  // Sorting must be invariant under every threshold configuration.
+  bots::sort::Params base;
+  base.n = 100'000;
+  const auto expect = [&] {
+    auto v = bots::sort::make_input(base);
+    bots::sort::run_serial(base, v);
+    return v;
+  }();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  for (std::size_t quick : {64u, 1024u, 4096u}) {
+    for (std::size_t merge : {64u, 4096u}) {
+      bots::sort::Params p = base;
+      p.quick_threshold = quick;
+      p.merge_threshold = merge;
+      auto v = bots::sort::make_input(p);
+      bots::sort::run_parallel(p, v, sched, {rt::Tiedness::untied});
+      ASSERT_EQ(v, expect) << "quick " << quick << " merge " << merge;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cut-off equivalence: every cut-off strategy must compute the same answer,
+// only the task structure may differ.
+// ---------------------------------------------------------------------------
+
+TEST(Properties, CutoffStrategiesAgreeOnResults) {
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  for (const char* name : {"fib", "nqueens", "floorplan", "health"}) {
+    const auto* app = core::find_app(name);
+    ASSERT_NE(app, nullptr);
+    for (const auto& v : app->versions) {
+      const auto rep = app->run(core::InputClass::test, v.name, sched, true);
+      EXPECT_EQ(rep.verified, core::Verified::ok) << name << "/" << v.name;
+    }
+  }
+}
+
+TEST(Properties, RuntimeCutoffNeverChangesAnswers) {
+  for (auto policy : {rt::CutoffPolicy::none, rt::CutoffPolicy::max_tasks,
+                      rt::CutoffPolicy::max_depth, rt::CutoffPolicy::adaptive}) {
+    for (std::uint32_t bound : {1u, 4u, 1000u}) {
+      rt::SchedulerConfig cfg;
+      cfg.num_threads = 4;
+      cfg.cutoff = policy;
+      cfg.cutoff_value = bound;
+      rt::Scheduler sched(cfg);
+      const auto* app = core::find_app("nqueens");
+      const auto rep =
+          app->run(core::InputClass::test, "untied", sched, true);
+      EXPECT_EQ(rep.verified, core::Verified::ok)
+          << to_string(policy) << "/" << bound;
+    }
+  }
+}
+
+}  // namespace

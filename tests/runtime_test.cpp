@@ -1,0 +1,538 @@
+// Unit tests for the bots::rt task runtime: scheduler semantics, cut-off
+// policies, tiedness/TSC behaviour, worksharing, worker-local storage.
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/rt.hpp"
+
+namespace rt = bots::rt;
+
+namespace {
+
+std::uint64_t fib_ref(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t fib_task(int n, rt::Tiedness tied) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn(tied, [&a, n, tied] { a = fib_task(n - 1, tied); });
+  rt::spawn(tied, [&b, n, tied] { b = fib_task(n - 2, tied); });
+  rt::taskwait();
+  return a + b;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler correctness across thread counts (parameterized).
+// ---------------------------------------------------------------------------
+
+class SchedulerThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SchedulerThreads, FibTiedCorrect) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(22, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(22));
+}
+
+TEST_P(SchedulerThreads, FibUntiedCorrect) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(22, rt::Tiedness::untied); });
+  EXPECT_EQ(r, fib_ref(22));
+}
+
+TEST_P(SchedulerThreads, DeepTiedRecursionNoCutoffTerminates) {
+  // Regression test: deep tied recursion once deadlocked when TSC-refused
+  // claims were parked worker-privately instead of staying globally visible.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.cutoff = rt::CutoffPolicy::none;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(20, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(20));
+}
+
+TEST_P(SchedulerThreads, FireAndForgetTasksCompleteAtRegionEnd) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::atomic<int> done{0};
+  s.run_single([&] {
+    for (int i = 0; i < 500; ++i) {
+      rt::spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // no taskwait: the region-end barrier must join them
+  });
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST_P(SchedulerThreads, RunAllExecutesEveryWorkerOnce) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::vector<std::atomic<int>> hits(cfg.num_threads);
+  s.run_all([&](unsigned id) { hits[id].fetch_add(1); });
+  for (unsigned i = 0; i < cfg.num_threads; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(SchedulerThreads, BarrierSeparatesPhases) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> phase_violation{false};
+  s.run_all([&](unsigned) {
+    for (int i = 0; i < 50; ++i) {
+      rt::spawn([&phase1] { phase1.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt::barrier();  // completes all phase-1 tasks
+    if (phase1.load() != static_cast<int>(50 * rt::team_size())) {
+      phase_violation.store(true);
+    }
+    rt::barrier();
+  });
+  EXPECT_FALSE(phase_violation.load());
+  EXPECT_EQ(phase1.load(), static_cast<int>(50 * s.num_workers()));
+}
+
+TEST_P(SchedulerThreads, ManyRegionsReuseWorkers) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  rt::Scheduler s(cfg);
+  std::atomic<long> total{0};
+  for (int rep = 0; rep < 100; ++rep) {
+    s.run_single([&] {
+      for (int i = 0; i < 20; ++i) {
+        rt::spawn([&total, i] { total.fetch_add(i, std::memory_order_relaxed); });
+      }
+      rt::taskwait();
+    });
+  }
+  EXPECT_EQ(total.load(), 100L * (19 * 20 / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SchedulerThreads,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Single-threaded semantic tests.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, SpawnOutsideRegionExecutesInline) {
+  int x = 0;
+  rt::spawn([&x] { x = 42; });
+  EXPECT_EQ(x, 42);
+  rt::taskwait();  // must be a no-op
+  EXPECT_FALSE(rt::in_region());
+  EXPECT_EQ(rt::worker_id(), 0u);
+  EXPECT_EQ(rt::team_size(), 1u);
+}
+
+TEST(Scheduler, SpawnIfFalseIsUndeferredAndSynchronous) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  int order = 0;
+  int task_saw = -1;
+  s.run_single([&] {
+    rt::spawn_if(false, [&] { task_saw = order; });
+    order = 1;  // runs after the undeferred task finished
+  });
+  EXPECT_EQ(task_saw, 0);
+  const auto st = s.stats();
+  EXPECT_EQ(st.total.tasks_if_inlined, 1u);
+  EXPECT_EQ(st.total.tasks_deferred, 0u);
+}
+
+TEST(Scheduler, SpawnIfTrueDefers) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  int x = 0;
+  s.run_single([&] {
+    rt::spawn_if(true, [&x] { x = 7; });
+    rt::taskwait();
+  });
+  EXPECT_EQ(x, 7);
+  EXPECT_EQ(s.stats().total.tasks_deferred, 1u);
+}
+
+TEST(Scheduler, NestedRegionSerializesAsTeamOfOne) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 4});
+  unsigned inner_team = 0;
+  int inner_done = 0;
+  s.run_single([&] {
+    s.run_single([&] {
+      inner_team = rt::team_size();
+      rt::spawn([&inner_done] { inner_done = 1; });
+      // no explicit taskwait: the nested scope must join its children
+    });
+    EXPECT_EQ(inner_done, 1);
+  });
+  // The nested region inherits the outer team's context but runs the body
+  // serially on the calling worker.
+  EXPECT_EQ(inner_team, 4u);
+}
+
+TEST(Scheduler, ExceptionFromTaskPropagatesToCaller) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 4});
+  EXPECT_THROW(
+      {
+        s.run_single([] {
+          rt::spawn([] { throw std::runtime_error("task boom"); });
+          rt::taskwait();
+        });
+      },
+      std::runtime_error);
+}
+
+TEST(Scheduler, ExceptionFromRegionBodyPropagates) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  EXPECT_THROW(s.run_single([] { throw std::logic_error("body boom"); }),
+               std::logic_error);
+}
+
+TEST(Scheduler, RegionUsableAfterException) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  EXPECT_THROW(s.run_single([] { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  int ok = 0;
+  s.run_single([&ok] { ok = 1; });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(Scheduler, ZeroThreadConfigClampsToOne) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 0});
+  EXPECT_EQ(s.num_workers(), 1u);
+  int x = 0;
+  s.run_single([&x] { x = 1; });
+  EXPECT_EQ(x, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cut-off policies.
+// ---------------------------------------------------------------------------
+
+TEST(Cutoff, NoneDefersEverything) {
+  rt::SchedulerConfig cfg{.num_threads = 2, .cutoff = rt::CutoffPolicy::none};
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(15, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(15));
+  const auto st = s.stats();
+  EXPECT_EQ(st.total.tasks_cutoff_inlined, 0u);
+  EXPECT_EQ(st.total.tasks_deferred, st.total.tasks_created);
+  EXPECT_EQ(st.total.tasks_executed, st.total.tasks_deferred);
+}
+
+TEST(Cutoff, MaxDepthInlinesBelowDepth) {
+  rt::SchedulerConfig cfg{.num_threads = 2,
+                          .cutoff = rt::CutoffPolicy::max_depth,
+                          .cutoff_value = 4};
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(16, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(16));
+  const auto st = s.stats();
+  EXPECT_GT(st.total.tasks_cutoff_inlined, 0u);
+  // Depth <= 4 spawns are deferred: at most 2^5 - 2 of them... count loosely.
+  EXPECT_LT(st.total.tasks_deferred, st.total.tasks_created);
+}
+
+TEST(Cutoff, MaxTasksBoundsLiveTasks) {
+  rt::SchedulerConfig cfg{.num_threads = 2,
+                          .cutoff = rt::CutoffPolicy::max_tasks,
+                          .cutoff_value = 8};
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(18, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(18));
+  EXPECT_GT(s.stats().total.tasks_cutoff_inlined, 0u);
+}
+
+TEST(Cutoff, AdaptiveThrottlesUnderFlood) {
+  rt::SchedulerConfig cfg{.num_threads = 2,
+                          .cutoff = rt::CutoffPolicy::adaptive,
+                          .cutoff_value = 16};
+  rt::Scheduler s(cfg);
+  std::atomic<int> done{0};
+  s.run_single([&] {
+    for (int i = 0; i < 5000; ++i) {
+      rt::spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt::taskwait();
+  });
+  EXPECT_EQ(done.load(), 5000);
+  EXPECT_GT(s.stats().total.tasks_cutoff_inlined, 0u);
+}
+
+TEST(Cutoff, ResolvedBoundDefaults) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.cutoff = rt::CutoffPolicy::max_tasks;
+  cfg.cutoff_value = 0;
+  EXPECT_EQ(cfg.resolved_cutoff_bound(), 256u);
+  cfg.cutoff = rt::CutoffPolicy::max_depth;
+  EXPECT_EQ(cfg.resolved_cutoff_bound(), 16u);
+  cfg.cutoff_value = 9;
+  EXPECT_EQ(cfg.resolved_cutoff_bound(), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics accounting.
+// ---------------------------------------------------------------------------
+
+TEST(Stats, CreatedEqualsDeferredPlusInlined) {
+  rt::SchedulerConfig cfg{.num_threads = 4,
+                          .cutoff = rt::CutoffPolicy::max_tasks,
+                          .cutoff_value = 16};
+  rt::Scheduler s(cfg);
+  s.run_single([] {
+    for (int i = 0; i < 1000; ++i) {
+      rt::spawn_if(i % 3 != 0, [] {});
+    }
+    rt::taskwait();
+  });
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.tasks_created,
+            t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined);
+  EXPECT_EQ(t.tasks_executed, t.tasks_deferred);
+  EXPECT_GT(t.env_bytes, 0u);
+  EXPECT_EQ(t.taskwaits, 1u);
+}
+
+TEST(Stats, ResetClearsCounters) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  s.run_single([] {
+    rt::spawn([] {});
+    rt::taskwait();
+  });
+  EXPECT_GT(s.stats().total.tasks_created, 0u);
+  s.reset_stats();
+  EXPECT_EQ(s.stats().total.tasks_created, 0u);
+}
+
+TEST(Stats, PoolReuseAfterFirstWave) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 1});
+  s.run_single([] {
+    for (int wave = 0; wave < 4; ++wave) {
+      for (int i = 0; i < 100; ++i) rt::spawn([] {});
+      rt::taskwait();
+    }
+  });
+  EXPECT_GT(s.stats().total.pool_reuse, 0u);
+}
+
+TEST(Stats, NoPoolModeUsesFreshAllocations) {
+  rt::SchedulerConfig cfg{.num_threads = 2};
+  cfg.use_task_pool = false;
+  rt::Scheduler s(cfg);
+  s.run_single([] {
+    for (int wave = 0; wave < 3; ++wave) {
+      for (int i = 0; i < 50; ++i) rt::spawn([] {});
+      rt::taskwait();
+    }
+  });
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.pool_reuse, 0u);
+  EXPECT_EQ(t.pool_fresh, t.tasks_created);
+}
+
+// ---------------------------------------------------------------------------
+// Large captured environments take the heap path.
+// ---------------------------------------------------------------------------
+
+TEST(Environment, LargeCaptureIsCopiedCorrectly) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 4});
+  struct Big {
+    std::array<std::uint8_t, 4096> bytes;
+  };
+  Big big{};
+  for (std::size_t i = 0; i < big.bytes.size(); ++i) {
+    big.bytes[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  std::atomic<int> failures{0};
+  s.run_single([&] {
+    for (int t = 0; t < 64; ++t) {
+      rt::spawn([big, &failures] {  // 4 KB captured by value (heap env)
+        for (std::size_t i = 0; i < big.bytes.size(); ++i) {
+          if (big.bytes[i] != static_cast<std::uint8_t>(i * 7)) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    rt::taskwait();
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(s.stats().total.env_bytes, 64u * sizeof(Big));
+}
+
+TEST(Environment, CaptureDestructorsRun) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  auto marker = std::make_shared<int>(13);
+  std::weak_ptr<int> weak = marker;
+  s.run_single([m = std::move(marker)] {
+    rt::spawn([m] { EXPECT_EQ(*m, 13); });
+    rt::taskwait();
+  });
+  EXPECT_TRUE(weak.expired());  // every captured copy destroyed
+}
+
+// ---------------------------------------------------------------------------
+// Worksharing.
+// ---------------------------------------------------------------------------
+
+class WorksharingThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorksharingThreads, ForStaticCoversExactlyOnce) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  std::vector<std::atomic<int>> hits(1000);
+  s.run_all([&](unsigned) {
+    rt::for_static(0, 1000, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(WorksharingThreads, ForStaticChunkedCoversExactlyOnce) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  std::vector<std::atomic<int>> hits(777);
+  s.run_all([&](unsigned) {
+    rt::for_static_chunked(0, 777, 13,
+                           [&](std::int64_t i) { hits[i].fetch_add(1); });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(WorksharingThreads, ForDynamicCoversExactlyOnce) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  std::vector<std::atomic<int>> hits(997);
+  rt::DynamicSchedule dyn(0);
+  s.run_all([&](unsigned) {
+    rt::for_dynamic(dyn, 997, 7, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(WorksharingThreads, SingleNowaitRunsOnce) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  std::atomic<int> runs{0};
+  s.run_all([&](unsigned) {
+    rt::single_nowait([&] { runs.fetch_add(1); });
+    rt::barrier();
+  });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST_P(WorksharingThreads, TasksInsideForJoinAtBarrier) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  std::atomic<long> sum{0};
+  rt::DynamicSchedule dyn(0);
+  s.run_all([&](unsigned) {
+    rt::for_dynamic(dyn, 200, 3, [&](std::int64_t i) {
+      rt::spawn([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    });
+  });
+  EXPECT_EQ(sum.load(), 199L * 200 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, WorksharingThreads,
+                         ::testing::Values(1u, 3u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// WorkerLocal (threadprivate) storage.
+// ---------------------------------------------------------------------------
+
+TEST(WorkerLocal, AccumulatesAndReduces) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 4});
+  rt::WorkerLocal<std::uint64_t> acc(s, 0);
+  s.run_single([&] {
+    for (int i = 0; i < 1000; ++i) {
+      rt::spawn([&acc] { ++acc.local(); });
+    }
+    rt::taskwait();
+  });
+  EXPECT_EQ(acc.reduce(std::uint64_t{0},
+                       [](std::uint64_t a, std::uint64_t b) { return a + b; }),
+            1000u);
+}
+
+TEST(WorkerLocal, ResetRestoresInitial) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  rt::WorkerLocal<int> acc(s, 5);
+  acc.local() += 10;
+  acc.reset();
+  EXPECT_EQ(acc.reduce(0, [](int a, int b) { return a + b; }), 10);  // 2 x 5
+}
+
+TEST(WorkerLocal, SlotsAreCacheLinePadded) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  rt::WorkerLocal<char> acc(s, 0);
+  const auto* a = &acc.slot(0);
+  const auto* b = &acc.slot(1);
+  EXPECT_GE(reinterpret_cast<std::ptrdiff_t>(b) -
+                reinterpret_cast<std::ptrdiff_t>(a),
+            64);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling policy configurations all yield correct results.
+// ---------------------------------------------------------------------------
+
+struct PolicyCase {
+  rt::LocalOrder local;
+  rt::VictimPolicy victim;
+  rt::Tiedness tied;
+};
+
+class PolicyMatrix : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(PolicyMatrix, FibCorrectUnderPolicy) {
+  const PolicyCase pc = GetParam();
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.local_order = pc.local;
+  cfg.victim = pc.victim;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(18, pc.tied); });
+  EXPECT_EQ(r, fib_ref(18));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyMatrix,
+    ::testing::Values(
+        PolicyCase{rt::LocalOrder::lifo, rt::VictimPolicy::random,
+                   rt::Tiedness::tied},
+        PolicyCase{rt::LocalOrder::lifo, rt::VictimPolicy::sequential,
+                   rt::Tiedness::untied},
+        PolicyCase{rt::LocalOrder::fifo, rt::VictimPolicy::random,
+                   rt::Tiedness::untied},
+        PolicyCase{rt::LocalOrder::fifo, rt::VictimPolicy::sequential,
+                   rt::Tiedness::tied}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.local)) + "_" +
+             to_string(info.param.victim) + "_" + to_string(info.param.tied);
+    });
+
+}  // namespace

@@ -1,0 +1,179 @@
+// SparseLU kernel tests: factorization correctness (LU reconstruction),
+// fill-in behaviour, single vs multiple generator versions.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/sparselu/sparselu.hpp"
+
+namespace slu = bots::sparselu;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+slu::Params tiny() { return {6, 16, 0x10Fu}; }
+
+/// Expand the block matrix to a dense n x n double matrix (empty block = 0).
+std::vector<double> to_dense(const slu::BlockMatrix& m) {
+  const std::size_t nb = m.nb();
+  const std::size_t bs = m.bs();
+  const std::size_t n = nb * bs;
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t ii = 0; ii < nb; ++ii) {
+    for (std::size_t jj = 0; jj < nb; ++jj) {
+      if (m.empty(ii, jj)) continue;
+      const float* b = m.block(ii, jj);
+      for (std::size_t r = 0; r < bs; ++r) {
+        for (std::size_t c = 0; c < bs; ++c) {
+          d[(ii * bs + r) * n + (jj * bs + c)] = b[r * bs + c];
+        }
+      }
+    }
+  }
+  return d;
+}
+
+/// Property test: with A0 the original dense matrix and A the factored one
+/// (L strictly below the diagonal with unit diagonal, U on/above), L*U must
+/// reconstruct A0 up to float accumulation error.
+TEST(SparseLu, LuReconstructsOriginalMatrix) {
+  const slu::Params p = tiny();
+  slu::BlockMatrix original = slu::make_input(p);
+  const auto a0 = to_dense(original);
+  slu::run_serial(p, original);
+  const auto lu = to_dense(original);
+  const std::size_t n = p.nb * p.bs;
+  double max_err = 0.0;
+  double max_abs = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k < kmax; ++k) {
+        acc += lu[i * n + k] * lu[k * n + j];  // L(i,k) * U(k,j)
+      }
+      acc += i <= j ? lu[i * n + j] : lu[i * n + j] * lu[j * n + j];
+      // i <= j: L(i,i)=1 times U(i,j). i > j: L(i,j)*U(j,j).
+      max_err = std::max(max_err, std::abs(acc - a0[i * n + j]));
+      max_abs = std::max(max_abs, std::abs(a0[i * n + j]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-2 * max_abs);  // float accumulation over n terms
+}
+
+TEST(SparseLu, InputIsDeterministicAndDiagonalPresent) {
+  const slu::Params p = tiny();
+  const slu::BlockMatrix a = slu::make_input(p);
+  const slu::BlockMatrix b = slu::make_input(p);
+  EXPECT_EQ(a.allocated_blocks(), b.allocated_blocks());
+  for (std::size_t i = 0; i < p.nb; ++i) {
+    EXPECT_FALSE(a.empty(i, i));
+  }
+  // Sparse: strictly fewer than all blocks allocated.
+  EXPECT_LT(a.allocated_blocks(), p.nb * p.nb);
+  EXPECT_GT(a.allocated_blocks(), p.nb);
+}
+
+TEST(SparseLu, FactorizationCreatesFillIn) {
+  const slu::Params p = tiny();
+  slu::BlockMatrix m = slu::make_input(p);
+  const std::size_t before = m.allocated_blocks();
+  slu::run_serial(p, m);
+  EXPECT_GE(m.allocated_blocks(), before);
+}
+
+TEST(SparseLu, SerialVerifiesAgainstItself) {
+  const slu::Params p = tiny();
+  slu::BlockMatrix m = slu::make_input(p);
+  slu::run_serial(p, m);
+  EXPECT_TRUE(slu::verify(p, m));
+}
+
+TEST(SparseLu, VerifyRejectsCorruption) {
+  const slu::Params p = tiny();
+  slu::BlockMatrix m = slu::make_input(p);
+  slu::run_serial(p, m);
+  m.block(0, 0)[3] += 1.0f;
+  EXPECT_FALSE(slu::verify(p, m));
+}
+
+struct Case {
+  rt::Tiedness tied;
+  core::Generator gen;
+};
+
+class SparseLuVersions
+    : public ::testing::TestWithParam<std::tuple<Case, unsigned>> {};
+
+TEST_P(SparseLuVersions, MatchesSerialFactorization) {
+  const auto [vc, threads] = GetParam();
+  const slu::Params p{8, 24, 0x10Fu};
+  slu::BlockMatrix m = slu::make_input(p);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  slu::run_parallel(p, m, sched, {vc.tied, vc.gen});
+  EXPECT_TRUE(slu::verify(p, m));
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<Case, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.gen)) + "_" + to_string(vc.tied) +
+                  "_t" + std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SparseLuVersions,
+    ::testing::Combine(
+        ::testing::Values(
+            Case{rt::Tiedness::tied, core::Generator::single_gen},
+            Case{rt::Tiedness::untied, core::Generator::single_gen},
+            Case{rt::Tiedness::tied, core::Generator::multiple_gen},
+            Case{rt::Tiedness::untied, core::Generator::multiple_gen}),
+        ::testing::Values(1u, 4u, 8u)), case_name);
+
+TEST(SparseLu, BothGeneratorsProduceIdenticalResults) {
+  const slu::Params p{8, 24, 0x10Fu};
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  slu::BlockMatrix m_single = slu::make_input(p);
+  slu::run_parallel(p, m_single, sched,
+                    {rt::Tiedness::tied, core::Generator::single_gen});
+  slu::BlockMatrix m_for = slu::make_input(p);
+  slu::run_parallel(p, m_for, sched,
+                    {rt::Tiedness::tied, core::Generator::multiple_gen});
+  for (std::size_t ii = 0; ii < p.nb; ++ii) {
+    for (std::size_t jj = 0; jj < p.nb; ++jj) {
+      ASSERT_EQ(m_single.empty(ii, jj), m_for.empty(ii, jj));
+      if (m_single.empty(ii, jj)) continue;
+      const float* a = m_single.block(ii, jj);
+      const float* b = m_for.block(ii, jj);
+      for (std::size_t k = 0; k < p.bs * p.bs; ++k) {
+        ASSERT_EQ(a[k], b[k]);  // same arithmetic, same order: bitwise equal
+      }
+    }
+  }
+}
+
+TEST(SparseLu, ProfileRowShape) {
+  const auto row = slu::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  // All kernel writes hit shared blocks: Table II reports 49.46%
+  // non-private with ~12 ops per non-private write.
+  EXPECT_GT(row.pct_writes_shared, 90.0);
+  EXPECT_GT(row.arith_per_shared_write, 1.5);
+  EXPECT_LT(row.arith_per_shared_write, 200.0);
+}
+
+TEST(SparseLu, AppInfoMetadata) {
+  const auto app = slu::make_app_info();
+  EXPECT_EQ(app.tasks_inside, "single/for");
+  EXPECT_EQ(app.task_directives, 4);
+  EXPECT_EQ(app.best_version().name, "for-tied");  // Figure 3 annotation
+  EXPECT_FALSE(app.nested_tasks);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Strassen kernel tests: algebraic identities, conventional-multiply
+// cross-checks, version matrix.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/strassen/strassen.hpp"
+
+namespace st = bots::strassen;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+st::Params sized(std::size_t n, std::size_t base = 32) {
+  st::Params p;
+  p.n = n;
+  p.base = base;
+  return p;
+}
+
+std::vector<double> identity(std::size_t n) {
+  std::vector<double> m(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] = 1.0;
+  return m;
+}
+
+TEST(Strassen, MultiplyByIdentity) {
+  const st::Params p = sized(128);
+  const auto a = st::make_matrix(p, 1);
+  const auto i = identity(p.n);
+  const auto c = st::run_serial(p, a, i);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    ASSERT_NEAR(c[k], a[k], 1e-9);
+  }
+}
+
+TEST(Strassen, MultiplyByZeroIsZero) {
+  const st::Params p = sized(128);
+  const auto a = st::make_matrix(p, 1);
+  const std::vector<double> z(p.n * p.n, 0.0);
+  const auto c = st::run_serial(p, a, z);
+  for (double v : c) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Strassen, MatchesConventionalMultiply) {
+  const st::Params p = sized(256);
+  const auto a = st::make_matrix(p, 1);
+  const auto b = st::make_matrix(p, 2);
+  const auto c = st::run_serial(p, a, b);
+  EXPECT_TRUE(st::verify(p, a, b, c));
+}
+
+TEST(Strassen, VerifyRejectsCorruption) {
+  const st::Params p = sized(128);
+  const auto a = st::make_matrix(p, 1);
+  const auto b = st::make_matrix(p, 2);
+  auto c = st::run_serial(p, a, b);
+  c[p.n + 3] += 0.5;
+  EXPECT_FALSE(st::verify(p, a, b, c));
+}
+
+TEST(Strassen, BaseCaseEqualsRecursiveCase) {
+  // n == base: plain blocked multiply; n >> base: full Strassen recursion.
+  const auto a128 = st::make_matrix(sized(128), 1);
+  const auto b128 = st::make_matrix(sized(128), 2);
+  const auto direct = st::run_serial(sized(128, 128), a128, b128);
+  const auto recursive = st::run_serial(sized(128, 16), a128, b128);
+  for (std::size_t k = 0; k < direct.size(); ++k) {
+    ASSERT_NEAR(direct[k], recursive[k], 1e-7);
+  }
+}
+
+struct Case {
+  rt::Tiedness tied;
+  core::AppCutoff cutoff;
+};
+
+class StrassenVersions
+    : public ::testing::TestWithParam<std::tuple<Case, unsigned>> {};
+
+TEST_P(StrassenVersions, MatchesVerifier) {
+  const auto [vc, threads] = GetParam();
+  st::Params p = sized(256);
+  p.cutoff_depth = 2;
+  const auto a = st::make_matrix(p, 1);
+  const auto b = st::make_matrix(p, 2);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = threads});
+  const auto c = st::run_parallel(p, a, b, sched, {vc.tied, vc.cutoff});
+  EXPECT_TRUE(st::verify(p, a, b, c));
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<Case, unsigned>>& info) {
+  const auto& vc = std::get<0>(info.param);
+  std::string n = std::string(to_string(vc.cutoff)) + "_" +
+                  to_string(vc.tied) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StrassenVersions,
+    ::testing::Combine(
+        ::testing::Values(Case{rt::Tiedness::tied, core::AppCutoff::none},
+                          Case{rt::Tiedness::untied, core::AppCutoff::none},
+                          Case{rt::Tiedness::tied, core::AppCutoff::if_clause},
+                          Case{rt::Tiedness::untied, core::AppCutoff::manual}),
+        ::testing::Values(1u, 7u)), case_name);
+
+TEST(Strassen, ParallelBitwiseMatchesSerial) {
+  // Same arithmetic, same association order: results must be identical.
+  const st::Params p = sized(256);
+  const auto a = st::make_matrix(p, 1);
+  const auto b = st::make_matrix(p, 2);
+  const auto serial = st::run_serial(p, a, b);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+  const auto parallel =
+      st::run_parallel(p, a, b, sched, {rt::Tiedness::untied, core::AppCutoff::none});
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Strassen, SevenTasksPerDecomposition) {
+  st::Params p = sized(128, 64);  // exactly one decomposition level
+  const auto a = st::make_matrix(p, 1);
+  const auto b = st::make_matrix(p, 2);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 2});
+  (void)st::run_parallel(p, a, b, sched,
+                         {rt::Tiedness::tied, core::AppCutoff::none});
+  EXPECT_EQ(sched.stats().total.tasks_created, 7u);
+}
+
+TEST(Strassen, ProfileRowShape) {
+  const auto row = st::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  EXPECT_GT(row.arith_ops_per_task, 1000.0);  // coarse tasks
+  EXPECT_GT(row.pct_writes_shared, 0.0);      // quadrant combines into C
+}
+
+TEST(Strassen, AppInfoMetadata) {
+  const auto app = st::make_app_info();
+  EXPECT_EQ(app.task_directives, 8);
+  EXPECT_EQ(app.best_version().name, "nocutoff-tied");  // Figure 3 annotation
+}
+
+}  // namespace

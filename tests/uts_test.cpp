@@ -1,0 +1,102 @@
+// UTS extension kernel tests: deterministic tree size, thread-count
+// invariance, adaptive cut-off interaction.
+#include <gtest/gtest.h>
+
+#include "kernels/uts/uts.hpp"
+
+namespace uts = bots::uts;
+namespace rt = bots::rt;
+namespace core = bots::core;
+
+namespace {
+
+uts::Params tiny() {
+  uts::Params p;
+  p.root_children = 16;
+  p.spawn_permille = 140;
+  p.max_depth = 15;
+  p.work_per_node = 8;
+  return p;
+}
+
+TEST(Uts, TreeSizeIsDeterministic) {
+  const uts::Params p = tiny();
+  const std::uint64_t a = uts::run_serial(p);
+  EXPECT_EQ(a, uts::run_serial(p));
+  EXPECT_GT(a, static_cast<std::uint64_t>(p.root_children));
+}
+
+TEST(Uts, DifferentSeedsDifferentTrees) {
+  uts::Params a = tiny();
+  uts::Params b = tiny();
+  b.seed ^= 0xABCDEFu;
+  EXPECT_NE(uts::run_serial(a), uts::run_serial(b));
+}
+
+TEST(Uts, DepthZeroBoundGivesRootOnly) {
+  uts::Params p = tiny();
+  p.max_depth = 0;
+  EXPECT_EQ(uts::run_serial(p), 1u);
+}
+
+TEST(Uts, DepthOneGivesRootPlusChildren) {
+  uts::Params p = tiny();
+  p.max_depth = 1;
+  EXPECT_EQ(uts::run_serial(p), 1u + static_cast<std::uint64_t>(p.root_children));
+}
+
+class UtsThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UtsThreads, ParallelCountMatchesSerial) {
+  const uts::Params p = tiny();
+  const std::uint64_t expect = uts::run_serial(p);
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = GetParam()});
+  for (auto tied : {rt::Tiedness::tied, rt::Tiedness::untied}) {
+    EXPECT_EQ(uts::run_parallel(p, sched, {tied}), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, UtsThreads, ::testing::Values(1u, 4u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(Uts, WorksUnderEveryRuntimeCutoff) {
+  const uts::Params p = tiny();
+  const std::uint64_t expect = uts::run_serial(p);
+  for (auto policy :
+       {rt::CutoffPolicy::none, rt::CutoffPolicy::max_tasks,
+        rt::CutoffPolicy::max_depth, rt::CutoffPolicy::adaptive}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 4;
+    cfg.cutoff = policy;
+    rt::Scheduler sched(cfg);
+    EXPECT_EQ(uts::run_parallel(p, sched, {rt::Tiedness::untied}), expect)
+        << "policy " << to_string(policy);
+  }
+}
+
+TEST(Uts, AdaptiveCutoffInlinesUnderFlood) {
+  const uts::Params p = tiny();
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cutoff = rt::CutoffPolicy::adaptive;
+  cfg.cutoff_value = 8;
+  rt::Scheduler sched(cfg);
+  (void)uts::run_parallel(p, sched, {rt::Tiedness::untied});
+  EXPECT_GT(sched.stats().total.tasks_cutoff_inlined, 0u);
+}
+
+TEST(Uts, ProfileRowShape) {
+  const auto row = uts::profile_row(core::InputClass::test);
+  EXPECT_GT(row.potential_tasks, 0u);
+  EXPECT_LT(row.captured_env_bytes_per_task, 32.0);  // tiny environments
+}
+
+TEST(Uts, AppInfoIsMarkedExtension) {
+  const auto app = uts::make_app_info();
+  EXPECT_TRUE(app.extension);
+  EXPECT_EQ(app.versions.size(), 2u);
+}
+
+}  // namespace
