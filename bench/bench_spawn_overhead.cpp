@@ -1,0 +1,143 @@
+// Per-task runtime overhead: ns/task for spawn → run → join, the baseline
+// trajectory number for the spawn/steal fast path. Two workloads:
+//
+//   fib   — tied recursive fib with cutoff none (every spawn deferred), the
+//           paper's canonical task-overhead stressor (Figure 3's fib rows
+//           are dominated by exactly this cost).
+//   null  — a single generator flooding N empty tasks joined by one
+//           taskwait: pure descriptor + deque + accounting cost, no user
+//           work and no recursion.
+//
+// Each workload runs twice on the SAME binary: once with the fast-path
+// knobs on (batched accounting, steal-half, victim affinity, distributed
+// parking — the defaults) and once with all of them off (the seed
+// behaviour). The summary reports the relative overhead reduction.
+//
+// Environment knobs:
+//   BOTS_SPAWN_THREADS  team size              (default 8)
+//   BOTS_SPAWN_FIB      fib argument           (default 30)
+//   BOTS_SPAWN_NULL     null-task flood size   (default 1'000'000)
+//   BOTS_BENCH_REPS     repetitions, best-of   (default 5)
+//
+// Output: one JSON object per line (machine-readable, consumed by
+// bench/run_baseline.sh) followed by a human-readable summary on stderr.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "runtime/rt.hpp"
+
+namespace rt = bots::rt;
+using bots::bench::env_unsigned;
+
+namespace {
+
+std::uint64_t fib_task(unsigned n) {
+  if (n < 2) return n;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  rt::spawn(rt::Tiedness::tied, [&a, n] { a = fib_task(n - 1); });
+  rt::spawn(rt::Tiedness::tied, [&b, n] { b = fib_task(n - 2); });
+  rt::taskwait();
+  return a + b;
+}
+
+rt::SchedulerConfig make_config(unsigned threads, bool fastpath) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  cfg.cutoff = rt::CutoffPolicy::none;  // measure every spawn, no pruning
+  cfg.batch_accounting = fastpath;
+  cfg.steal_half = fastpath;
+  cfg.victim_affinity = fastpath;
+  cfg.distributed_parking = fastpath;
+  cfg.lifo_slot = fastpath;
+  cfg.fused_finish = fastpath;
+  return cfg;
+}
+
+struct Result {
+  double seconds = 0.0;
+  std::uint64_t tasks = 0;
+  [[nodiscard]] double ns_per_task() const {
+    return tasks == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(tasks);
+  }
+};
+
+template <class Body>
+Result measure(unsigned threads, bool fastpath, int reps, Body&& body) {
+  Result best;
+  for (int r = 0; r < reps; ++r) {
+    rt::Scheduler sched(make_config(threads, fastpath));
+    sched.run_single([] {});  // wake the team outside the timed section
+    const auto t0 = std::chrono::steady_clock::now();
+    sched.run_single([&body] { body(); });
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < best.seconds) {
+      best.seconds = s;
+      best.tasks = sched.stats().total.tasks_created;
+    }
+  }
+  return best;
+}
+
+void emit(const char* workload, unsigned threads, bool fastpath,
+          const Result& res) {
+  std::printf(
+      "{\"bench\":\"spawn_overhead\",\"workload\":\"%s\",\"threads\":%u,"
+      "\"fastpath\":\"%s\",\"tasks\":%llu,\"seconds\":%.6f,"
+      "\"ns_per_task\":%.2f}\n",
+      workload, threads, fastpath ? "on" : "off",
+      static_cast<unsigned long long>(res.tasks), res.seconds,
+      res.ns_per_task());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  const unsigned threads = env_unsigned("BOTS_SPAWN_THREADS", 8);
+  const unsigned fib_n = env_unsigned("BOTS_SPAWN_FIB", 30);
+  const unsigned null_n = env_unsigned("BOTS_SPAWN_NULL", 1'000'000);
+  const int reps = static_cast<int>(env_unsigned("BOTS_BENCH_REPS", 5));
+
+  std::fprintf(stderr,
+               "bench_spawn_overhead: threads=%u fib=%u null=%u reps=%d\n",
+               threads, fib_n, null_n, reps);
+
+  std::uint64_t sink = 0;
+  const auto fib_body = [fib_n, &sink] { sink += fib_task(fib_n); };
+  const auto null_body = [null_n] {
+    for (unsigned i = 0; i < null_n; ++i) rt::spawn([] {});
+    rt::taskwait();
+  };
+
+  const Result fib_on = measure(threads, true, reps, fib_body);
+  const Result fib_off = measure(threads, false, reps, fib_body);
+  const Result null_on = measure(threads, true, reps, null_body);
+  const Result null_off = measure(threads, false, reps, null_body);
+
+  emit("fib", threads, true, fib_on);
+  emit("fib", threads, false, fib_off);
+  emit("null", threads, true, null_on);
+  emit("null", threads, false, null_off);
+
+  const auto gain = [](const Result& on, const Result& off) {
+    return off.ns_per_task() > 0.0
+               ? 100.0 * (off.ns_per_task() - on.ns_per_task()) /
+                     off.ns_per_task()
+               : 0.0;
+  };
+  std::printf(
+      "{\"bench\":\"spawn_overhead_summary\",\"threads\":%u,"
+      "\"fib_gain_pct\":%.1f,\"null_gain_pct\":%.1f}\n",
+      threads, gain(fib_on, fib_off), gain(null_on, null_off));
+  std::fprintf(stderr,
+               "fib:  on %.1f ns/task, off %.1f ns/task (%.1f%% lower)\n"
+               "null: on %.1f ns/task, off %.1f ns/task (%.1f%% lower)\n",
+               fib_on.ns_per_task(), fib_off.ns_per_task(),
+               gain(fib_on, fib_off), null_on.ns_per_task(),
+               null_off.ns_per_task(), gain(null_on, null_off));
+  return 0;
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Record the repo's performance-trajectory baseline.
+#
+# Runs bench_spawn_overhead (per-task spawn->run->join overhead, fast path
+# A/B) plus a small 2-thread Figure-3 smoke, and writes the result to
+# BENCH_baseline.json at the repo root. Future PRs rerun this script and
+# compare against the committed baseline.
+#
+# Usage: bench/run_baseline.sh [output.json]
+# Env:   BUILD_DIR (default: build), plus the BOTS_* knobs understood by the
+#        two benches (see bench_spawn_overhead.cpp and bench_common.hpp).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_baseline.json}"
+
+if [[ ! -x "$BUILD/bench_spawn_overhead" || ! -x "$BUILD/bench_fig3_overall" ]]; then
+  echo "error: bench binaries not found under '$BUILD'." >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== spawn/steal overhead (fast path A/B) ==" >&2
+spawn_json="$("$BUILD/bench_spawn_overhead")"
+
+echo "== Figure 3 smoke (2 threads, test input) ==" >&2
+fig3_csv="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
+            BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
+            BOTS_BENCH_REPS="${BOTS_BENCH_REPS:-1}" \
+            "$BUILD/bench_fig3_overall" --benchmark_min_time=0.01 2>/dev/null |
+            awk '/^CSV:$/{f=1;next} f&&/^[[:space:]]*$/{f=0} f')"
+
+{
+  echo "{"
+  echo "  \"schema\": \"bots-bench-baseline-v1\","
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"host_cpus\": $(nproc),"
+  echo "  \"spawn_overhead\": ["
+  printf '%s\n' "$spawn_json" | sed 's/^/    /; $!s/$/,/'
+  echo "  ],"
+  echo "  \"fig3_csv\": ["
+  printf '%s\n' "$fig3_csv" |
+    sed 's/"/\\"/g; s/^[[:space:]]*//; s/^/    "/; s/$/"/' | sed '$!s/$/,/'
+  echo "  ]"
+  echo "}"
+} > "$OUT"
+
+echo "wrote $OUT" >&2

@@ -36,6 +36,10 @@ enum class LocalOrder : std::uint8_t { lifo, fifo };
 /// Victim selection policy when stealing.
 enum class VictimPolicy : std::uint8_t { random, sequential };
 
+/// Cache line size used for padding shared structures (WorkerStats,
+/// WorkerLocal slots, deque tops/bottoms, parked-task inboxes).
+inline constexpr std::size_t cache_line_bytes = 64;
+
 struct SchedulerConfig {
   /// Number of workers in the team (including the caller thread).
   unsigned num_threads = std::thread::hardware_concurrency();
@@ -52,6 +56,47 @@ struct SchedulerConfig {
   /// creation overheads"). Togglable so bench_ablation_taskpool can
   /// measure exactly that claim.
   bool use_task_pool = true;
+
+  // -- spawn/steal fast-path knobs (each togglable so the ablation benches
+  // -- and bench_spawn_overhead can A/B the overhaul piecewise) --------------
+
+  /// Batch live-task accounting: spawn/finish adjust a per-worker delta that
+  /// is flushed to the shared Region::live_tasks atomic every
+  /// `accounting_batch` operations and whenever the worker reaches a task
+  /// scheduling point with no local work. Off: every spawn/finish does its
+  /// own fetch_add on the shared cacheline (the seed behaviour).
+  bool batch_accounting = true;
+  /// Flush threshold for batched accounting. The max_tasks/adaptive cut-offs
+  /// may observe live_tasks stale by at most `accounting_batch * team_size`.
+  std::uint32_t accounting_batch = 32;
+
+  /// Steal up to half of the victim's deque in one grab and keep the surplus
+  /// in the thief's own deque. Off: one task per steal (the seed behaviour).
+  bool steal_half = true;
+  /// Upper bound on tasks taken by one batched steal.
+  std::uint32_t steal_batch_max = 16;
+
+  /// Remember the last victim a steal succeeded from and try it first next
+  /// time (steals come in bursts from the same loaded worker).
+  bool victim_affinity = true;
+
+  /// Park TSC-refused claims on per-worker lock-free inboxes instead of the
+  /// region-global mutex-protected overflow vector (the seed behaviour).
+  bool distributed_parking = true;
+
+  /// Keep the newest spawned task in a private one-entry slot instead of the
+  /// deque (only meaningful with LocalOrder::lifo). The hottest pop of a
+  /// depth-first recursion then skips the Chase-Lev seq_cst fence and the
+  /// deque round trip entirely; the slot is drained at every scheduling
+  /// point before the worker steals or idles, so liveness and quiescence
+  /// arguments are unchanged.
+  bool lifo_slot = true;
+
+  /// Fuse the parent's unfinished-children decrement with the dying child's
+  /// reference drop into one RMW at task completion. Off: announce first,
+  /// then walk the release chain (two parent-cacheline RMWs, the seed
+  /// behaviour).
+  bool fused_finish = true;
 
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {

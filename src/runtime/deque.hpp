@@ -7,12 +7,25 @@
 // The owner pushes and pops at the bottom; thieves steal from the top.
 // steal() may fail spuriously when it loses the top CAS race; callers treat
 // that as "no work right now" and retry through their outer loop.
+//
+// steal_batch() grabs up to half of the victim's tasks in one synchronized
+// raid. Each task is still claimed by its own CAS on `top` — a single CAS
+// covering the whole range is unsound on a Chase-Lev deque, because the
+// owner's pop fast path takes bottom-end items *without* synchronizing on
+// `top` and can walk into a range a thief reserved wholesale (duplicating
+// tasks). The batch still costs roughly one cross-core coherence transfer:
+// after the first successful CAS the `top` cacheline stays exclusive in the
+// thief's cache, so the follow-up CASes are core-local until the owner or
+// another thief intervenes.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "runtime/config.hpp"
 
 namespace bots::rt {
 
@@ -84,6 +97,38 @@ class WorkStealingDeque {
     return item;
   }
 
+  /// Any thread: steal up to `max_n` tasks from the top, bounded by half of
+  /// the victim's observed queue (rounded up, so a 1-element deque is still
+  /// stealable). Returns the number of tasks written to `out`, oldest first.
+  /// Returns 0 when the deque looks empty or the first CAS race is lost;
+  /// stops early (keeping what it already claimed) on any later race loss.
+  std::size_t steal_batch(Task** out, std::size_t max_n) {
+    std::size_t got = 0;
+    std::size_t limit = max_n;
+    while (got < limit) {
+      std::int64_t top = top_.load(std::memory_order_acquire);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::int64_t b = bottom_.load(std::memory_order_acquire);
+      const std::int64_t avail = b - top;
+      if (avail <= 0) break;
+      if (got == 0) {
+        // Take at most half of what is there right now; leave the rest to
+        // the owner and other thieves.
+        const auto half = static_cast<std::size_t>((avail + 1) / 2);
+        limit = half < max_n ? half : max_n;
+      }
+      RingArray* a = array_.load(std::memory_order_acquire);
+      Task* item = a->get(top);
+      if (!top_.compare_exchange_strong(top, top + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        break;  // contended: settle for what we have
+      }
+      out[got++] = item;
+    }
+    return got;
+  }
+
   /// Approximate size; exact only when quiescent.
   [[nodiscard]] std::int64_t size_estimate() const noexcept {
     std::int64_t b = bottom_.load(std::memory_order_relaxed);
@@ -132,9 +177,9 @@ class WorkStealingDeque {
     return raw;
   }
 
-  alignas(64) std::atomic<std::int64_t> top_{0};
-  alignas(64) std::atomic<std::int64_t> bottom_{0};
-  alignas(64) std::atomic<RingArray*> array_;
+  alignas(cache_line_bytes) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_bytes) std::atomic<std::int64_t> bottom_{0};
+  alignas(cache_line_bytes) std::atomic<RingArray*> array_;
   std::vector<std::unique_ptr<RingArray>> retired_;
 };
 

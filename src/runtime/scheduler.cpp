@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -7,20 +9,46 @@ namespace bots::rt {
 
 namespace {
 
-/// Spin backoff: a few pause hints, then yields. Workers inside a region are
-/// expected to find work quickly; between regions they sleep on a condvar.
+/// Spin backoff: a few pause hints, then yields, then short sleeps. Workers
+/// inside a region are expected to find work quickly; between regions they
+/// sleep on a condvar. The sleep phase matters when workers are descheduled
+/// (oversubscription, noisy machines): a pure pause/yield spin — e.g. the
+/// run_region teardown waiting for region_done_ — can otherwise monopolize
+/// the core the straggler needs to finish.
 struct Backoff {
   void pause() noexcept {
     if (spins < 64) {
       cpu_relax();
       ++spins;
-    } else {
+    } else if (spins < 128) {
       std::this_thread::yield();
+      ++spins;
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      if (sleep_us < 500) sleep_us *= 2;
     }
   }
-  void reset() noexcept { spins = 0; }
+  void reset() noexcept {
+    spins = 0;
+    sleep_us = 50;
+  }
   int spins = 0;
+  int sleep_us = 50;
 };
+
+/// Release a dead descriptor according to its storage class.
+void dispose(Worker& w, Task& t) noexcept {
+  switch (t.storage()) {
+    case TaskStorage::pooled:
+      w.pool.recycle(&t);
+      break;
+    case TaskStorage::heap:
+      delete &t;
+      break;
+    case TaskStorage::stack_frame:
+      break;  // lifetime owned by a worker stack frame
+  }
+}
 
 }  // namespace
 
@@ -35,6 +63,8 @@ void Region::store_exception() noexcept {
 Scheduler::Scheduler(SchedulerConfig cfg)
     : cfg_(cfg), cutoff_bound_(cfg.resolved_cutoff_bound()) {
   if (cfg_.num_threads == 0) cfg_.num_threads = 1;
+  use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
+  acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
   workers_.reserve(cfg_.num_threads);
   for (unsigned i = 0; i < cfg_.num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(
@@ -139,6 +169,16 @@ void Scheduler::run_region(Region& r) {
 void Scheduler::participate(Worker& w, Region& r) {
   w.region = &r;
   w.throttled = false;
+  w.live_delta = 0;
+  w.acct_ops = 0;
+  w.barrier_draining = false;
+  w.last_victim = Worker::no_victim;
+  w.slot = nullptr;
+  w.stash_count = 0;
+  w.parked_recheck = true;
+  assert(w.deque.empty_estimate() && "work leaked across regions");
+  assert(w.parked_inbox.load(std::memory_order_relaxed) == nullptr &&
+         "a parked task outlived its region");
 
   // The implicit task for this worker. It lives on this stack frame; the
   // region-end quiescence barrier guarantees every descendant has finished
@@ -171,10 +211,14 @@ bool Scheduler::should_defer(Worker& w, std::uint32_t depth) noexcept {
     case CutoffPolicy::max_depth:
       return depth <= cutoff_bound_;
     case CutoffPolicy::max_tasks:
-      return w.region->live_tasks.load(std::memory_order_relaxed) <
+      // Adding the local unflushed delta keeps the bound exact for this
+      // worker's own contribution even with batched accounting.
+      return w.region->live_tasks.load(std::memory_order_relaxed) +
+                 w.live_delta <
              static_cast<std::int64_t>(cutoff_bound_);
     case CutoffPolicy::adaptive: {
-      const auto live = w.region->live_tasks.load(std::memory_order_relaxed);
+      const auto live =
+          w.region->live_tasks.load(std::memory_order_relaxed) + w.live_delta;
       if (w.throttled) {
         if (live < static_cast<std::int64_t>(cutoff_bound_ / 2)) {
           w.throttled = false;
@@ -205,9 +249,35 @@ Task* Scheduler::alloc_task(Worker& w, TaskStorage& storage_out) {
   return new Task();
 }
 
+void Scheduler::flush_accounting(Worker& w) noexcept {
+  if (w.live_delta != 0) {
+    w.region->live_tasks.fetch_add(w.live_delta, std::memory_order_acq_rel);
+    w.live_delta = 0;
+    ++w.stats.acct_flushes;
+  }
+  w.acct_ops = 0;
+}
+
 void Scheduler::enqueue(Worker& w, Task& t) {
-  w.region->live_tasks.fetch_add(1, std::memory_order_relaxed);
-  w.deque.push(&t);
+  if (cfg_.batch_accounting) {
+    ++w.live_delta;
+    // Once this worker has arrived at a barrier, increments flush eagerly:
+    // a batched +1 held across an execute could otherwise cancel against
+    // the (already flushed) finish of the same subtree on another worker
+    // and let the barrier observe zero with work still in flight.
+    if (w.barrier_draining || ++w.acct_ops >= acct_batch_) {
+      flush_accounting(w);
+    }
+  } else {
+    w.region->live_tasks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (use_slot_) {
+    Task* evicted = w.slot;
+    w.slot = &t;
+    if (evicted != nullptr) w.deque.push(evicted);
+  } else {
+    w.deque.push(&t);
+  }
 }
 
 void Scheduler::execute_deferred(Worker& w, Task& t) {
@@ -246,33 +316,49 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
 void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
   Task* parent = t.parent();
   Region* region = w.region;
-  // Order matters. (1) Announce completion while the child's reference still
-  // pins the parent (a pooled parent may be freed by the release chain).
-  // (2) Release references; this may recycle ancestors whose refcount hits
-  // zero — never a stack-frame root, those are pinned until (3) has run for
-  // every task. (3) Decrement live_tasks last, so the region barrier's
-  // quiescence (live_tasks == 0) implies every release chain has finished
-  // and the implicit root frames can safely leave the stack.
-  if (parent != nullptr) parent->child_completed();
-  release_chain(w, &t);
+  // Order matters. (1) Announce completion to the parent and release
+  // references; in the common case (the finishing descriptor has no live
+  // children and dies here) both halves of the parent update — the
+  // unfinished-children decrement and the reference drop — fuse into a
+  // single RMW on the parent's state word. The fused op also removes the
+  // old pin hazard: completion can no longer be observed while the release
+  // is still pending. (2) Record the live_tasks decrement last, so the
+  // region barrier's quiescence (live_tasks == 0) implies every release
+  // chain has finished and the implicit root frames can safely leave the
+  // stack.
+  if (!cfg_.fused_finish) {
+    // Seed behaviour for A/B: announce completion first (while the child's
+    // reference still pins the parent), then walk the release chain — two
+    // parent-cacheline RMWs.
+    if (parent != nullptr) parent->child_completed();
+    release_chain(w, &t);
+  } else if (t.release_ref()) {
+    dispose(w, t);
+    if (parent != nullptr && parent->child_completed_and_release()) {
+      Task* grand = parent->parent();
+      dispose(w, *parent);
+      release_chain(w, grand);  // pure reference drops from here upward
+    }
+  } else if (parent != nullptr) {
+    // Fire-and-forget children still running: announce completion only. The
+    // descriptor (and the reference it holds on the parent) survives until
+    // the last child's release chain reaches it.
+    parent->child_completed();
+  }
   if (deferred && region != nullptr) {
-    region->live_tasks.fetch_sub(1, std::memory_order_release);
+    if (cfg_.batch_accounting) {
+      --w.live_delta;
+      if (++w.acct_ops >= acct_batch_) flush_accounting(w);
+    } else {
+      region->live_tasks.fetch_sub(1, std::memory_order_release);
+    }
   }
 }
 
 void Scheduler::release_chain(Worker& w, Task* t) noexcept {
   while (t != nullptr && t->release_ref()) {
     Task* parent = t->parent();
-    switch (t->storage()) {
-      case TaskStorage::pooled:
-        w.pool.recycle(t);
-        break;
-      case TaskStorage::heap:
-        delete t;
-        break;
-      case TaskStorage::stack_frame:
-        break;  // lifetime owned by a worker stack frame
-    }
+    dispose(w, *t);
     t = parent;
   }
 }
@@ -281,34 +367,64 @@ void Scheduler::taskwait_from(Worker& w) {
   ++w.stats.taskwaits;
   Task* cur = w.current;
   if (cur == nullptr || cur->unfinished_children() == 0) return;
+  // No accounting flush here: the wait relies on the exact per-parent
+  // unfinished_children counter, not live_tasks, and a worker inside a
+  // taskwait has not arrived at the barrier, so the barrier cannot open on
+  // its unflushed increments. The idle path below still flushes (the
+  // barrier's last arriver may be spinning on this worker's decrements).
   const bool constrains = cur->tiedness() == Tiedness::tied;
-  if (constrains) w.tied_stack.push_back(cur);
+  if (constrains) {
+    w.tied_stack.push_back(cur);
+    w.parked_recheck = true;
+  }
   Backoff backoff;
   while (cur->unfinished_children() != 0) {
     if (Task* t = find_work(w)) {
       execute_deferred(w, *t);
       backoff.reset();
     } else {
+      if (cfg_.batch_accounting) flush_accounting(w);
       backoff.pause();
     }
   }
-  if (constrains) w.tied_stack.pop_back();
+  if (constrains) {
+    w.tied_stack.pop_back();
+    w.parked_recheck = true;  // the constraint relaxed: parked may be eligible
+  }
 }
 
 void Scheduler::barrier_from(Worker& w) {
   Region& r = *w.region;
   assert(w.current != nullptr && w.current->depth() == 0 &&
          "barrier() is only valid from the implicit task of a region");
+  // The barrier opens on live_tasks == 0, so unflushed POSITIVE deltas are
+  // the dangerous direction here (they make the global counter undercount
+  // and could open the barrier with tasks still pending). Two rules keep it
+  // sound: every worker flushes before arriving, and from arrival on its
+  // spawn-side increments flush eagerly (Worker::barrier_draining, checked
+  // by enqueue) — a batched +1 held across an execute could otherwise
+  // cancel against the already-flushed finish of the same subtree on
+  // another worker and zero the counter with work still running. With all
+  // arrivers' increments flushed, unflushed deltas are never positive, so
+  // the global counter never undercounts: zero really means quiescent.
+  // Negative deltas only overcount and merely keep the barrier spinning one
+  // more round until the idle-path flush.
+  if (cfg_.batch_accounting) flush_accounting(w);
+  w.barrier_draining = true;
+  w.parked_recheck = true;  // the barrier suspends no tied task: drain all
   const std::uint32_t gen = r.barrier_gen.load(std::memory_order_acquire);
   const std::uint32_t n = r.arrived.fetch_add(1, std::memory_order_acq_rel) + 1;
   Backoff backoff;
   if (n == r.team_size) {
     // Last arriver: drain every outstanding task, then release the team.
+    // Decrements may lag in the local delta (the counter then overcounts
+    // and we spin one more round); the idle path flushes them.
     while (r.live_tasks.load(std::memory_order_acquire) != 0) {
       if (Task* t = find_work(w)) {
         execute_deferred(w, *t);
         backoff.reset();
       } else {
+        if (cfg_.batch_accounting) flush_accounting(w);
         backoff.pause();
       }
     }
@@ -320,10 +436,12 @@ void Scheduler::barrier_from(Worker& w) {
         execute_deferred(w, *t);
         backoff.reset();
       } else {
+        if (cfg_.batch_accounting) flush_accounting(w);
         backoff.pause();
       }
     }
   }
+  w.barrier_draining = false;
 }
 
 void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
@@ -352,63 +470,192 @@ void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
   if (eptr) std::rethrow_exception(eptr);
 }
 
-Task* Scheduler::find_work(Worker& w) {
+void Scheduler::park_refused(Worker& w, Task* t) {
+  ++w.stats.tsc_parked;
   Region& r = *w.region;
-  // 1. The shared overflow of constraint-refused claims. Checked first so
-  // an ancestor waiting on one of these tasks picks it up promptly.
-  if (r.overflow_count.load(std::memory_order_acquire) != 0) {
+  if (cfg_.distributed_parking) {
+    // Push onto this worker's own inbox. Only the owner pushes, but drains
+    // by other workers race with the push, so a CAS loop is still required.
+    Task* head = w.parked_inbox.load(std::memory_order_relaxed);
+    do {
+      t->pool_next = head;
+    } while (!w.parked_inbox.compare_exchange_weak(
+        head, t, std::memory_order_release, std::memory_order_relaxed));
+    r.parked_count.fetch_add(1, std::memory_order_release);
+  } else {
+    std::lock_guard<std::mutex> lock(r.overflow_mutex);
+    r.overflow.push_back(t);
+    r.parked_count.fetch_add(1, std::memory_order_release);
+  }
+}
+
+Task* Scheduler::claim_parked(Worker& w) {
+  Region& r = *w.region;
+  // Parking is the exception, not the rule: one load gates the whole scan.
+  if (r.parked_count.load(std::memory_order_acquire) == 0) return nullptr;
+  if (!cfg_.distributed_parking) {
     std::lock_guard<std::mutex> lock(r.overflow_mutex);
     for (std::size_t i = 0; i < r.overflow.size(); ++i) {
       if (tsc_allows(w, *r.overflow[i])) {
         Task* t = r.overflow[i];
         r.overflow.erase(r.overflow.begin() + static_cast<std::ptrdiff_t>(i));
-        r.overflow_count.fetch_sub(1, std::memory_order_release);
+        r.parked_count.fetch_sub(1, std::memory_order_release);
+        ++w.stats.parked_claimed;
         return t;
       }
     }
+    return nullptr;
   }
-  auto refuse = [&](Task* t) {
-    std::lock_guard<std::mutex> lock(r.overflow_mutex);
-    r.overflow.push_back(t);
-    r.overflow_count.fetch_add(1, std::memory_order_release);
-    ++w.stats.tsc_parked;
-  };
-  // 2. Own deque (order selects depth-first vs breadth-first execution).
-  for (;;) {
-    Task* t = cfg_.local_order == LocalOrder::lifo ? w.deque.pop()
-                                                   : w.deque.steal();
-    if (t == nullptr) break;
-    if (tsc_allows(w, *t)) return t;
-    refuse(t);
-  }
-  // 3. Steal from victims.
+  // Scan every worker's inbox, own first. A drain takes the whole chain in
+  // one exchange; ineligible survivors are republished onto OUR inbox (the
+  // MPSC handoff), where the next scan — ours or anyone else's — sees them.
   const unsigned n = cfg_.num_threads;
-  if (n > 1) {
-    const unsigned start = cfg_.victim == VictimPolicy::random
-                               ? static_cast<unsigned>(w.rng_next() % n)
-                               : (w.id + 1) % n;
-    for (unsigned k = 0; k < n; ++k) {
-      const unsigned v = (start + k) % n;
-      if (v == w.id) continue;
-      ++w.stats.steal_attempts;
-      if (Task* t = workers_[v]->deque.steal()) {
-        if (tsc_allows(w, *t)) {
-          ++w.stats.tasks_stolen;
-          return t;
-        }
-        refuse(t);
+  for (unsigned k = 0; k < n; ++k) {
+    Worker& v = *workers_[(w.id + k) % n];
+    if (&v == &w) {
+      if (!w.parked_recheck) continue;
+      w.parked_recheck = false;
+    }
+    if (v.parked_inbox.load(std::memory_order_relaxed) == nullptr) continue;
+    Task* chain = v.parked_inbox.exchange(nullptr, std::memory_order_acquire);
+    if (chain == nullptr) continue;
+    Task* take = nullptr;
+    Task* keep_head = nullptr;
+    Task* keep_tail = nullptr;
+    bool kept_unchecked = false;
+    while (chain != nullptr) {
+      Task* next = chain->pool_next;
+      if (take == nullptr && tsc_allows(w, *chain)) {
+        take = chain;
+      } else {
+        // Survivors kept after `take` was found were NOT re-checked against
+        // this worker's constraint: force a rescan of the own inbox next
+        // round, or a second eligible task republished here would be
+        // stranded (nobody else may exist to drain it).
+        kept_unchecked |= take != nullptr;
+        if (keep_head == nullptr) keep_tail = chain;
+        chain->pool_next = keep_head;
+        keep_head = chain;
       }
+      chain = next;
+    }
+    if (kept_unchecked) w.parked_recheck = true;
+    if (keep_head != nullptr) {
+      // Republish the survivors with a single CAS-splice.
+      Task* head = w.parked_inbox.load(std::memory_order_relaxed);
+      do {
+        keep_tail->pool_next = head;
+      } while (!w.parked_inbox.compare_exchange_weak(
+          head, keep_head, std::memory_order_release,
+          std::memory_order_relaxed));
+    }
+    if (take != nullptr) {
+      r.parked_count.fetch_sub(1, std::memory_order_release);
+      ++w.stats.parked_claimed;
+      return take;
     }
   }
   return nullptr;
 }
 
+Task* Scheduler::steal_work(Worker& w, bool& progress) {
+  const unsigned n = cfg_.num_threads;
+  if (n <= 1) return nullptr;
+  Task* batch[Worker::stash_capacity];
+  // A raid returns the oldest stolen task (or parks it when the TSC refuses
+  // it) and keeps any surplus in the private stash, which find_work drains
+  // before touching the deque (see Worker::stash). The caller guarantees
+  // the stash is empty here. Surplus was already counted in live_tasks when
+  // first enqueued, so no accounting happens on this path.
+  auto raid = [&](unsigned v) -> std::size_t {
+    if (v == w.id) return 0;
+    ++w.stats.steal_attempts;
+    WorkStealingDeque& victim = workers_[v]->deque;
+    std::size_t got = 0;
+    // Batch only when unconstrained: a worker suspended inside a tied task
+    // may execute nothing but descendants of it, and a raided batch from an
+    // arbitrary victim is mostly non-descendants — it would go straight to
+    // the parked pool, turning one refusal into a batch of them.
+    if (cfg_.steal_half && w.tied_stack.empty()) {
+      const std::size_t cap = std::clamp<std::size_t>(
+          cfg_.steal_batch_max, std::size_t{1}, Worker::stash_capacity);
+      got = victim.steal_batch(batch, cap);
+      if (got > 0) ++w.stats.steal_batches;
+    } else if (Task* t = victim.steal()) {
+      batch[0] = t;
+      got = 1;
+    }
+    if (got == 0) return 0;
+    w.stats.tasks_stolen += got;
+    if (cfg_.victim_affinity) w.last_victim = v;
+    for (std::size_t i = 1; i < got; ++i) w.stash[w.stash_count++] = batch[i];
+    return got;
+  };
+  auto settle = [&](Task* first) -> Task* {
+    progress = true;
+    if (tsc_allows(w, *first)) return first;
+    park_refused(w, first);
+    return nullptr;  // the caller re-runs the local phase for the surplus
+  };
+  unsigned skip = Worker::no_victim;
+  if (cfg_.victim_affinity && w.last_victim < n) {
+    // Steals come in bursts from the same loaded victim: retry it first.
+    skip = w.last_victim;
+    if (raid(w.last_victim)) return settle(batch[0]);
+    w.last_victim = Worker::no_victim;
+  }
+  const unsigned start = cfg_.victim == VictimPolicy::random
+                             ? static_cast<unsigned>(w.rng_next() % n)
+                             : (w.id + 1) % n;
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == skip) continue;
+    if (raid(v)) return settle(batch[0]);
+  }
+  return nullptr;
+}
+
+Task* Scheduler::find_work(Worker& w) {
+  for (;;) {
+    // 1. The private LIFO slot (the newest spawn — no fence, no deque),
+    // then surplus from the last batched steal (private, two plain stores
+    // per task), then the own deque (order selects depth- vs breadth-first).
+    if (Task* t = w.slot; t != nullptr) {
+      w.slot = nullptr;
+      if (tsc_allows(w, *t)) return t;
+      park_refused(w, t);
+    }
+    while (w.stash_count > 0) {
+      Task* t = w.stash[--w.stash_count];
+      if (tsc_allows(w, *t)) return t;
+      park_refused(w, t);
+    }
+    for (;;) {
+      Task* t = cfg_.local_order == LocalOrder::lifo ? w.deque.pop()
+                                                     : w.deque.steal();
+      if (t == nullptr) break;
+      if (tsc_allows(w, *t)) return t;
+      park_refused(w, t);
+    }
+    // 2. Parked constraint-refused claims. Checked once local work is out —
+    // off the per-pop hot path — but before stealing, so a waiting ancestor
+    // reaches its parked descendant on every idle round.
+    if (Task* t = claim_parked(w)) return t;
+    // 3. Steal. A raid that only yielded TSC-refused or stashed tasks made
+    // progress without returning one: loop back to the local phase.
+    bool progress = false;
+    if (Task* t = steal_work(w, progress)) return t;
+    if (!progress) return nullptr;
+  }
+}
+
 bool Scheduler::tsc_allows(const Worker& w, const Task& t) const noexcept {
   if (t.tiedness() == Tiedness::untied) return true;
-  for (const Task* suspended : w.tied_stack) {
-    if (!t.is_descendant_of(*suspended)) return false;
-  }
-  return true;
+  // The suspended stack is a chain: every entry was TSC-checked against the
+  // entries below it when it was claimed, so each entry is a descendant of
+  // all entries below. A task that descends from the deepest entry therefore
+  // descends from every entry — one ancestry walk decides the whole stack.
+  return w.tied_stack.empty() || t.is_descendant_of(*w.tied_stack.back());
 }
 
 StatsSnapshot Scheduler::stats() const {

@@ -24,6 +24,49 @@
 //   the region has completed when run_* returns (the OpenMP guarantee that
 //   barriers complete all outstanding explicit tasks).
 //
+// Fast-path design (the BOTS overhead knobs this repo exists to measure)
+// ----------------------------------------------------------------------
+// * Batched live-task accounting: Region::live_tasks is the only per-spawn
+//   shared-cacheline counter, so spawn/finish adjust a per-worker delta
+//   instead and flush it every SchedulerConfig::accounting_batch operations
+//   and at every task scheduling point where the worker finds no local work
+//   (taskwait/barrier entry and their idle iterations). Quiescence stays
+//   sound: the global counter always equals true-live minus the sum of
+//   unflushed deltas, and once a worker arrives at a barrier its spawn-side
+//   increments flush eagerly (enqueue checks Worker::barrier_draining) —
+//   so when all workers have arrived, no unflushed delta is ever positive,
+//   the global counter never undercounts, and zero really means quiescent.
+//   (Batching an increment across an execute would otherwise let it cancel
+//   against the already-flushed finish of the same subtree executed
+//   elsewhere, zeroing the counter with work still running.) taskwait needs
+//   no such care: it waits on the exact per-parent unfinished-children
+//   counter, not on live_tasks. Deltas are region-scoped, reset on entry.
+// * LIFO slot: the newest spawned task waits in a private one-entry slot
+//   (Worker::slot) instead of the deque, so the hottest pop of depth-first
+//   recursion costs two plain stores instead of a seq_cst-fenced deque pop.
+//   find_work drains the slot before the worker steals or reports no work,
+//   so a task can hide there only while its owner is between scheduling
+//   points — liveness and quiescence arguments see it like any queued task.
+// * Batched stealing: an unconstrained thief raids up to half the victim's
+//   deque in one coherence transfer (deque.hpp explains why it is one CAS
+//   *per task* but one cacheline transfer per raid), returns one eligible
+//   task and keeps the surplus in a private stash consumed before the deque
+//   (constrained thieves — a non-empty tied stack — raid single tasks: a
+//   batch of non-descendants would land straight in the parked pool). A
+//   worker also remembers the last victim a steal succeeded from and tries
+//   it first (steals come in bursts from loaded workers).
+// * TSC parking: a claimed task the constraint refuses is pushed onto the
+//   claiming worker's lock-free parked inbox (a Treiber stack). Idle workers
+//   drain whole inboxes with one exchange(nullptr) — MPSC-style handoff —
+//   keep the first eligible task and republish the rest onto their own
+//   inbox. Progress: a parked task always sits in exactly one inbox except
+//   while a drainer transiently holds it, and the drainer either executes it
+//   or immediately republishes it; every find_work round scans all inboxes;
+//   a worker waiting at a taskwait inside tied task P may always execute any
+//   pending descendant of P (its suspended stack is a chain of ancestors of
+//   that descendant), so the waited-on subtree is always claimable by the
+//   waiter itself and parking can never deadlock the region.
+//
 // Exceptions thrown by tasks are captured; the first one is rethrown to the
 // caller of run_single/run_all after the region completes (there is no
 // cancellation: remaining tasks still execute).
@@ -59,11 +102,17 @@ struct Region {
   std::atomic<bool> has_exception{false};
   std::exception_ptr first_exception;
   std::mutex exception_mutex;
-  /// Claimed tasks refused by the Task Scheduling Constraint. They must stay
+  /// Approximate number of TSC-refused tasks currently parked (either in
+  /// per-worker inboxes or the fallback overflow vector). Lets find_work
+  /// skip the inbox scan with a single load in the common no-parking case.
+  std::atomic<std::size_t> parked_count{0};
+  /// Claimed tasks refused by the Task Scheduling Constraint, fallback path
+  /// (SchedulerConfig::distributed_parking == false). They must stay
   /// globally visible: the ancestor whose taskwait depends on such a task is
   /// always allowed to run it (it is a descendant of that ancestor), so
-  /// progress is guaranteed; worker-private parking can deadlock instead.
-  std::atomic<std::size_t> overflow_count{0};
+  /// progress is guaranteed; invisible worker-private parking could deadlock
+  /// instead. The default path parks on per-worker lock-free inboxes
+  /// (Worker::parked_inbox) that every worker's find_work scans.
   std::mutex overflow_mutex;
   std::vector<Task*> overflow;
   const std::function<void()>* single_fn = nullptr;
@@ -92,6 +141,8 @@ class Worker {
     return x * 0x2545F4914F6CDD1DULL;
   }
 
+  static constexpr unsigned no_victim = ~0u;
+
   unsigned id;
   Scheduler* sched;
   Region* region = nullptr;
@@ -102,6 +153,39 @@ class Worker {
   std::vector<Task*> tied_stack;  ///< tied tasks suspended at taskwait
   bool throttled = false;         ///< adaptive cut-off hysteresis state
   std::uint64_t rng_state;
+
+  static constexpr std::size_t stash_capacity = 64;
+
+  // -- spawn/steal fast-path state (region-scoped, reset on region entry) --
+  std::int64_t live_delta = 0;     ///< unflushed Region::live_tasks change
+  std::uint32_t acct_ops = 0;      ///< spawns/finishes since the last flush
+  bool barrier_draining = false;   ///< arrived at a barrier: increments flush eagerly
+  /// Re-examine the own parked inbox on the next claim_parked. Eligibility
+  /// of a parked task against THIS worker only changes when the worker's
+  /// tied_stack changes, so between changes the own-inbox scan is skipped
+  /// (other workers always scan it; fresh refusals were just checked).
+  bool parked_recheck = true;
+  unsigned last_victim = no_victim;  ///< steal affinity hint
+  /// Newest spawned task (SchedulerConfig::lifo_slot): the next pop takes it
+  /// with two plain stores instead of a fenced deque pop. Invisible to
+  /// thieves only until this worker's next scheduling point — find_work
+  /// drains it before it steals or reports no work.
+  Task* slot = nullptr;
+  /// Surplus from the last batched steal, consumed before the deque. A plain
+  /// private array: surplus handling costs two stores per task instead of a
+  /// deque push + fenced pop. Invisible to other thieves only while waiting
+  /// here — every find_work drains the stash first and parks (publishes) any
+  /// entry the TSC refuses, so the progress argument is unaffected; entries
+  /// are still counted in Region::live_tasks, so quiescence is unaffected.
+  std::size_t stash_count = 0;
+  Task* stash[stash_capacity];
+
+  /// TSC-refused tasks parked by THIS worker (its own refusals plus tasks it
+  /// drained from other inboxes but could not run). Pushed with a CAS loop,
+  /// drained wholesale by any worker with one exchange(nullptr); chained
+  /// through Task::pool_next. Padded so thieves' drains do not bounce the
+  /// owner's hot state.
+  alignas(cache_line_bytes) std::atomic<Task*> parked_inbox{nullptr};
 };
 
 namespace detail {
@@ -149,6 +233,10 @@ class Scheduler {
   void participate(Worker& w, Region& r);
   void worker_main(unsigned id);
   Task* find_work(Worker& w);
+  Task* steal_work(Worker& w, bool& progress);
+  void flush_accounting(Worker& w) noexcept;
+  void park_refused(Worker& w, Task* t);
+  Task* claim_parked(Worker& w);
   [[nodiscard]] bool tsc_allows(const Worker& w, const Task& t) const noexcept;
   void execute_deferred(Worker& w, Task& t);
   void finish_task(Worker& w, Task& t, bool deferred);
@@ -156,6 +244,8 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   std::uint32_t cutoff_bound_;
+  bool use_slot_ = false;  ///< cfg_.lifo_slot effective under LocalOrder::lifo
+  std::uint32_t acct_batch_ = 1;  ///< cached cfg_.accounting_batch (>= 1)
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::jthread> threads_;
 

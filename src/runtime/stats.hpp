@@ -8,18 +8,23 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/config.hpp"
+
 namespace bots::rt {
 
-struct alignas(64) WorkerStats {
+struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t tasks_created = 0;        ///< spawn / spawn_if calls seen
   std::uint64_t tasks_deferred = 0;       ///< enqueued onto a deque
   std::uint64_t tasks_if_inlined = 0;     ///< spawn_if with a false condition
   std::uint64_t tasks_cutoff_inlined = 0; ///< inlined by the runtime cut-off
   std::uint64_t tasks_executed = 0;       ///< deferred tasks run by this worker
   std::uint64_t tasks_stolen = 0;         ///< deferred tasks taken from another worker
-  std::uint64_t steal_attempts = 0;       ///< deque.steal() calls on victims
+  std::uint64_t steal_attempts = 0;       ///< deque.steal()/steal_batch() calls on victims
+  std::uint64_t steal_batches = 0;        ///< successful steal_batch() raids
   std::uint64_t taskwaits = 0;
   std::uint64_t tsc_parked = 0;           ///< claims parked by the Task Scheduling Constraint
+  std::uint64_t parked_claimed = 0;       ///< parked tasks this worker claimed back
+  std::uint64_t acct_flushes = 0;         ///< batched live-task delta flushes
   std::uint64_t env_bytes = 0;            ///< captured-environment bytes (Table II)
   std::uint64_t pool_reuse = 0;           ///< descriptor allocations served by the freelist
   std::uint64_t pool_fresh = 0;           ///< descriptor allocations that hit the chunk allocator
@@ -32,8 +37,11 @@ struct alignas(64) WorkerStats {
     tasks_executed += o.tasks_executed;
     tasks_stolen += o.tasks_stolen;
     steal_attempts += o.steal_attempts;
+    steal_batches += o.steal_batches;
     taskwaits += o.taskwaits;
     tsc_parked += o.tsc_parked;
+    parked_claimed += o.parked_claimed;
+    acct_flushes += o.acct_flushes;
     env_bytes += o.env_bytes;
     pool_reuse += o.pool_reuse;
     pool_fresh += o.pool_fresh;

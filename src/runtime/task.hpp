@@ -27,6 +27,7 @@
 namespace bots::rt {
 
 class Worker;
+class Task;
 
 /// Where a task descriptor's storage came from, which decides how it is
 /// released when the last reference drops.
@@ -36,12 +37,23 @@ enum class TaskStorage : std::uint8_t {
   heap          ///< plain new/delete (use_task_pool = false)
 };
 
+/// Static per-closure-type operations table. One immutable instance exists
+/// per closure type, so a task descriptor stores a single pointer instead of
+/// an (invoke, env_dtor) function-pointer pair — 8 bytes off the header and
+/// one store less on the spawn fast path.
+struct TaskOps {
+  void (*invoke)(Task&);
+  void (*destroy_env)(Task&) noexcept;
+};
+
+namespace detail {
+template <class Fn>
+struct TaskOpsFor;
+}  // namespace detail
+
 class Task {
  public:
   static constexpr std::size_t inline_env_capacity = 128;
-
-  using InvokeFn = void (*)(Task&);
-  using EnvDtorFn = void (*)(Task&) noexcept;
 
   Task() = default;
   Task(const Task&) = delete;
@@ -60,21 +72,13 @@ class Task {
       env_ = new Fn(std::forward<F>(f));
       heap_env_ = true;
     }
-    invoke_ = [](Task& t) { (*static_cast<Fn*>(t.env_))(); };
-    env_dtor_ = [](Task& t) noexcept {
-      if (t.heap_env_) {
-        delete static_cast<Fn*>(t.env_);
-      } else {
-        static_cast<Fn*>(t.env_)->~Fn();
-      }
-      t.env_ = nullptr;
-    };
+    ops_ = &detail::TaskOpsFor<Fn>::ops;
   }
 
-  void invoke() { invoke_(*this); }
+  void invoke() { ops_->invoke(*this); }
 
   void destroy_env() noexcept {
-    if (env_ != nullptr) env_dtor_(*this);
+    if (env_ != nullptr) ops_->destroy_env(*this);
   }
 
   // -- intrusive state ------------------------------------------------------
@@ -92,37 +96,56 @@ class Task {
     storage_ = storage;
   }
 
+  // The reference count (low half) and unfinished-children count (high half)
+  // live in ONE 64-bit atomic: a spawn charges its parent one reference and
+  // one unfinished child in a single RMW, halving the parent-cacheline
+  // traffic of the spawn and finish fast paths.
+  static constexpr std::uint64_t ref_one = 1;
+  static constexpr std::uint64_t child_one = std::uint64_t{1} << 32;
+  static constexpr std::uint64_t ref_mask = child_one - 1;
+
   void add_child_ref() noexcept {
-    refs_.fetch_add(1, std::memory_order_relaxed);
-    unfinished_children_.fetch_add(1, std::memory_order_relaxed);
+    state_.fetch_add(child_one + ref_one, std::memory_order_relaxed);
   }
 
   void child_completed() noexcept {
-    unfinished_children_.fetch_sub(1, std::memory_order_acq_rel);
+    state_.fetch_sub(child_one, std::memory_order_acq_rel);
+  }
+
+  /// Fused child_completed + release_ref for the common case where the
+  /// completing child descriptor dies in the same breath: one RMW announces
+  /// the completion and drops the child's reference. Returns true when this
+  /// was the last reference and the caller must recycle the descriptor.
+  [[nodiscard]] bool child_completed_and_release() noexcept {
+    return (state_.fetch_sub(child_one + ref_one, std::memory_order_acq_rel) &
+            ref_mask) == 1;
   }
 
   [[nodiscard]] std::uint32_t unfinished_children() const noexcept {
-    return unfinished_children_.load(std::memory_order_acquire);
+    return static_cast<std::uint32_t>(state_.load(std::memory_order_acquire) >>
+                                      32);
   }
 
   /// Drops one reference; returns true when this was the last one and the
   /// caller must recycle the descriptor (and then drop the parent's ref).
+  /// Fast path: observing exactly one reference and no unfinished children
+  /// means every party that ever held a reference is gone (references are
+  /// only ever added by this task's own executor, in spawn), so the caller
+  /// is exclusive and no RMW is needed — leaf tasks release with one load.
   [[nodiscard]] bool release_ref() noexcept {
-    return refs_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    if (state_.load(std::memory_order_acquire) == ref_one) return true;
+    return (state_.fetch_sub(ref_one, std::memory_order_acq_rel) & ref_mask) ==
+           1;
   }
 
+  /// Restore the invariants a recycled descriptor must re-enter the spawn
+  /// path with. Only the fields init_env/set_links do not overwrite need
+  /// resetting: the fused state word (refs back to 1, children 0) and the
+  /// environment pointer (so a stray destroy_env on an uninitialised
+  /// descriptor stays a no-op).
   void reset_for_reuse() noexcept {
-    invoke_ = nullptr;
-    env_dtor_ = nullptr;
     env_ = nullptr;
-    parent_ = nullptr;
-    unfinished_children_.store(0, std::memory_order_relaxed);
-    refs_.store(1, std::memory_order_relaxed);
-    depth_ = 0;
-    env_bytes_ = 0;
-    tied_ = Tiedness::tied;
-    storage_ = TaskStorage::pooled;
-    heap_env_ = false;
+    state_.store(ref_one, std::memory_order_relaxed);
   }
 
   /// True when `ancestor` appears on this task's parent chain.
@@ -134,15 +157,19 @@ class Task {
     return node == &ancestor;
   }
 
-  Task* pool_next = nullptr;  ///< freelist link while recycled
+  /// Intrusive link: freelist chain while recycled in a TaskPool, parked
+  /// chain while sitting in a worker's TSC inbox. The two uses are disjoint
+  /// in a task's lifetime (a parked task is live, a pooled one is dead).
+  Task* pool_next = nullptr;
 
  private:
-  InvokeFn invoke_ = nullptr;
-  EnvDtorFn env_dtor_ = nullptr;
+  template <class Fn>
+  friend struct detail::TaskOpsFor;
+
+  const TaskOps* ops_ = nullptr;
   void* env_ = nullptr;
   Task* parent_ = nullptr;
-  std::atomic<std::uint32_t> unfinished_children_{0};
-  std::atomic<std::uint32_t> refs_{1};
+  std::atomic<std::uint64_t> state_{ref_one};  ///< children<<32 | refs
   std::uint32_t depth_ = 0;
   std::uint32_t env_bytes_ = 0;
   Tiedness tied_ = Tiedness::tied;
@@ -150,6 +177,24 @@ class Task {
   bool heap_env_ = false;
   alignas(std::max_align_t) std::byte inline_env_[inline_env_capacity];
 };
+
+namespace detail {
+
+template <class Fn>
+struct TaskOpsFor {
+  static void invoke(Task& t) { (*static_cast<Fn*>(t.env_))(); }
+  static void destroy_env(Task& t) noexcept {
+    if (t.heap_env_) {
+      delete static_cast<Fn*>(t.env_);
+    } else {
+      static_cast<Fn*>(t.env_)->~Fn();
+    }
+    t.env_ = nullptr;
+  }
+  static constexpr TaskOps ops{&TaskOpsFor::invoke, &TaskOpsFor::destroy_env};
+};
+
+}  // namespace detail
 
 /// Per-worker freelist of task descriptors. Allocation and recycling happen
 /// on whichever worker runs them; descriptors migrate between pools when a

@@ -44,7 +44,7 @@ class WorkerLocal {
   }
 
  private:
-  struct alignas(64) Slot {
+  struct alignas(cache_line_bytes) Slot {
     T value;
   };
   T init_;

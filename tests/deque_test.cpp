@@ -160,6 +160,121 @@ TEST(Deque, ConcurrentStealClaimsEachTaskOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// steal_batch.
+// ---------------------------------------------------------------------------
+
+TEST(Deque, StealBatchFromEmptyIsZero) {
+  rt::WorkStealingDeque d;
+  rt::Task* out[8];
+  EXPECT_EQ(d.steal_batch(out, 8), 0u);
+}
+
+TEST(Deque, StealBatchTakesHalfOldestFirst) {
+  rt::WorkStealingDeque d;
+  TaskArena a(8);
+  for (std::size_t i = 0; i < 8; ++i) d.push(a.at(i));
+  rt::Task* out[16];
+  // Asks for more than available: bounded by half of the observed 8.
+  const std::size_t got = d.steal_batch(out, 16);
+  ASSERT_EQ(got, 4u);
+  for (std::size_t i = 0; i < got; ++i) EXPECT_EQ(out[i], a.at(i));
+  // The owner still holds the newer half.
+  EXPECT_EQ(d.size_estimate(), 4);
+  EXPECT_EQ(d.pop(), a.at(7));
+  EXPECT_EQ(d.steal(), a.at(4));
+}
+
+TEST(Deque, StealBatchRespectsMaxN) {
+  rt::WorkStealingDeque d;
+  TaskArena a(100);
+  for (std::size_t i = 0; i < 100; ++i) d.push(a.at(i));
+  rt::Task* out[3];
+  const std::size_t got = d.steal_batch(out, 3);
+  ASSERT_EQ(got, 3u);
+  EXPECT_EQ(out[0], a.at(0));
+  EXPECT_EQ(out[2], a.at(2));
+  EXPECT_EQ(d.size_estimate(), 97);
+}
+
+TEST(Deque, StealBatchTakesTheLastElement) {
+  // Half rounds up, so a 1-element deque is still stealable.
+  rt::WorkStealingDeque d;
+  TaskArena a(1);
+  d.push(a.at(0));
+  rt::Task* out[4];
+  ASSERT_EQ(d.steal_batch(out, 4), 1u);
+  EXPECT_EQ(out[0], a.at(0));
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+/// Concurrency stress mixing pop, steal and steal_batch: every task must be
+/// claimed exactly once — no loss, no duplication — whatever the interleave.
+TEST(Deque, ConcurrentStealBatchClaimsEachTaskOnce) {
+  constexpr std::size_t total = 150'000;
+  constexpr int n_thieves = 6;
+  rt::WorkStealingDeque d(64);
+  TaskArena a(total);
+  std::vector<std::atomic<int>> claimed(total);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> stolen{0};
+  auto claim = [&](rt::Task* t) {
+    const std::size_t idx = static_cast<std::size_t>(t - a.at(0));
+    claimed[idx].fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(n_thieves);
+  for (int i = 0; i < n_thieves; ++i) {
+    thieves.emplace_back([&, i] {
+      rt::Task* batch[16];
+      auto raid = [&] {
+        std::size_t n = 0;
+        if (i % 2 == 0) {
+          n = d.steal_batch(batch, 16);
+        } else if (rt::Task* t = d.steal()) {
+          batch[0] = t;
+          n = 1;
+        }
+        for (std::size_t k = 0; k < n; ++k) claim(batch[k]);
+        stolen.fetch_add(n, std::memory_order_relaxed);
+      };
+      while (!done.load(std::memory_order_acquire)) raid();
+      for (int k = 0; k < 1000; ++k) raid();  // final drain
+    });
+  }
+
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    d.push(a.at(i));
+    if (i % 3 == 0) {
+      if (rt::Task* t = d.pop()) {
+        claim(t);
+        ++popped;
+      }
+    }
+  }
+  while (rt::Task* t = d.pop()) {
+    claim(t);
+    ++popped;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  while (rt::Task* t = d.pop()) {  // whatever the thieves left behind
+    claim(t);
+    ++popped;
+  }
+
+  std::size_t claimed_total = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_LE(claimed[i].load(), 1) << "task " << i << " claimed twice";
+    claimed_total += static_cast<std::size_t>(claimed[i].load());
+  }
+  EXPECT_EQ(claimed_total, total);
+  EXPECT_EQ(popped + stolen.load(), total);
+}
+
+// ---------------------------------------------------------------------------
 // TaskPool.
 // ---------------------------------------------------------------------------
 
@@ -185,20 +300,24 @@ TEST(TaskPool, ChunksProvideManyDescriptors) {
 }
 
 TEST(TaskPool, RecycledTaskIsReset) {
+  // The recycle contract: the fused refs/children word is re-armed and the
+  // environment cleared (destroy_env on the fresh descriptor is a no-op);
+  // everything else is overwritten by init_env/set_links on the next spawn.
   rt::TaskPool pool;
   bool reused = false;
   rt::Task* t = pool.allocate(reused);
   t->init_env([] {});
   t->set_links(nullptr, 7, rt::Tiedness::untied, rt::TaskStorage::pooled);
   t->add_child_ref();
+  t->child_completed();
+  EXPECT_FALSE(t->release_ref());  // the child's reference is still held
   t->destroy_env();
   pool.recycle(t);
   rt::Task* t2 = pool.allocate(reused);
   ASSERT_EQ(t, t2);
-  EXPECT_EQ(t2->depth(), 0u);
   EXPECT_EQ(t2->unfinished_children(), 0u);
-  EXPECT_EQ(t2->tiedness(), rt::Tiedness::tied);
-  EXPECT_EQ(t2->parent(), nullptr);
+  t2->destroy_env();  // must be a no-op on a recycled descriptor
+  EXPECT_TRUE(t2->release_ref());  // refs re-armed to exactly one
 }
 
 // ---------------------------------------------------------------------------

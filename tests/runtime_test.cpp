@@ -135,6 +135,165 @@ INSTANTIATE_TEST_SUITE_P(Threads, SchedulerThreads,
                          });
 
 // ---------------------------------------------------------------------------
+// Spawn/steal fast path: batched accounting, steal-half, parking.
+// ---------------------------------------------------------------------------
+
+TEST_P(SchedulerThreads, QuiescenceWithBatchedAccountingDeltas) {
+  // The flush threshold is far larger than the task count, so the region can
+  // only end correctly if every worker's delta is flushed at the barrier —
+  // an unflushed increment would let the quiescence check miss live tasks,
+  // an unflushed decrement would hang the region (caught by the timeout).
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.cutoff = rt::CutoffPolicy::none;
+  cfg.batch_accounting = true;
+  cfg.accounting_batch = 1u << 20;
+  rt::Scheduler s(cfg);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    s.run_single([&] {
+      for (int i = 0; i < 300; ++i) {
+        rt::spawn([&done] {
+          rt::spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+          done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      // no taskwait: the region-end barrier alone joins everything
+    });
+    ASSERT_EQ(done.load(), 600) << "round " << round;
+  }
+}
+
+TEST_P(SchedulerThreads, QuiescenceWithBatchedAccountingAcrossPhases) {
+  // Mid-region barriers must also observe batched deltas: tasks spawned by
+  // tasks executed inside the barrier drain flush eagerly.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.cutoff = rt::CutoffPolicy::none;
+  cfg.accounting_batch = 1u << 20;
+  rt::Scheduler s(cfg);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  s.run_all([&](unsigned) {
+    for (int i = 0; i < 40; ++i) {
+      rt::spawn([&phase1] {
+        rt::spawn(
+            [&phase1] { phase1.fetch_add(1, std::memory_order_relaxed); });
+        phase1.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    rt::barrier();
+    if (phase1.load() != static_cast<int>(80 * rt::team_size())) {
+      violation.store(true);
+    }
+    rt::barrier();
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(phase1.load(), static_cast<int>(80 * s.num_workers()));
+}
+
+TEST_P(SchedulerThreads, FibCorrectWithFastPathDisabled) {
+  // The A/B baseline bench_spawn_overhead compares against: all overhaul
+  // knobs off must still be a correct scheduler.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = GetParam();
+  cfg.batch_accounting = false;
+  cfg.steal_half = false;
+  cfg.victim_affinity = false;
+  cfg.distributed_parking = false;
+  cfg.lifo_slot = false;
+  cfg.fused_finish = false;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(20, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(20));
+}
+
+/// A tied task refused by the Task Scheduling Constraint is parked and later
+/// executed by an eligible claimant. The scenario is deterministic: with
+/// FIFO local order the body spawns tied A then tied X; the worker picks up
+/// A (oldest first), A spawns child B and taskwaits. Waiting inside tied A,
+/// the worker pulls X — the oldest pending task in its own deque — and MUST
+/// refuse it (X is A's sibling, not a descendant), parking it. B unblocks
+/// the taskwait, and the region-end barrier (which suspends no tied task)
+/// claims X back from the parked pool and runs it. Run with both parking
+/// implementations.
+void exercise_parked_path(bool distributed, unsigned threads) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  cfg.cutoff = rt::CutoffPolicy::none;  // A, B and X must all be deferred
+  cfg.local_order = rt::LocalOrder::fifo;
+  cfg.distributed_parking = distributed;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> x_ran{false};
+  std::atomic<bool> b_ran{false};
+  s.run_single([&] {
+    rt::spawn(rt::Tiedness::tied, [&b_ran] {  // A
+      rt::spawn(rt::Tiedness::tied,
+                [&b_ran] { b_ran.store(true); });  // B
+      rt::taskwait();
+    });
+    rt::spawn(rt::Tiedness::tied, [&x_ran] { x_ran.store(true); });  // X
+    // no taskwait: the implicit task constrains nothing at the barrier
+  });
+  EXPECT_TRUE(x_ran.load());
+  EXPECT_TRUE(b_ran.load());
+  const auto t = s.stats().total;
+  // Everything deferred was executed: the parked task was not lost.
+  EXPECT_EQ(t.tasks_executed, t.tasks_deferred);
+  if (threads == 1) {
+    // Single worker: the refusal above is unavoidable, so the parked path
+    // is guaranteed to have fired (with >1 worker a thief may legally run X
+    // first). Each parked task is claimed back exactly once.
+    EXPECT_GT(t.tsc_parked, 0u) << "TSC parking not exercised";
+    EXPECT_EQ(t.parked_claimed, t.tsc_parked);
+  } else {
+    EXPECT_EQ(t.parked_claimed, t.tsc_parked);
+  }
+}
+
+TEST(Scheduler, MultipleParkedSiblingsAllReclaimed) {
+  // Regression: claim_parked once republished the survivors found after its
+  // `take` without re-checking them and without re-arming the own-inbox
+  // rescan — with a single worker every parked sibling beyond the first was
+  // stranded and the region-end barrier hung (caught as a test timeout).
+  for (bool distributed : {true, false}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 1;
+    cfg.cutoff = rt::CutoffPolicy::none;
+    cfg.local_order = rt::LocalOrder::fifo;
+    cfg.distributed_parking = distributed;
+    rt::Scheduler s(cfg);
+    std::atomic<int> ran{0};
+    s.run_single([&ran] {
+      rt::spawn(rt::Tiedness::tied, [&ran] {  // A: suspends over B
+        rt::spawn(rt::Tiedness::tied,
+                  [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        rt::taskwait();  // pulls the X siblings first (FIFO) and parks them
+      });
+      for (int i = 0; i < 3; ++i) {  // X1..X3: A's siblings, refused under A
+        rt::spawn(rt::Tiedness::tied,
+                  [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+    EXPECT_EQ(ran.load(), 4) << "distributed=" << distributed;
+    const auto t = s.stats().total;
+    EXPECT_EQ(t.tasks_executed, t.tasks_deferred) << "distributed=" << distributed;
+    EXPECT_GE(t.tsc_parked, 3u) << "distributed=" << distributed;
+  }
+}
+
+TEST(Scheduler, ParkedTiedTaskExecutedByEligibleClaimantDistributed) {
+  exercise_parked_path(/*distributed=*/true, 1);
+  exercise_parked_path(/*distributed=*/true, 4);
+}
+
+TEST(Scheduler, ParkedTiedTaskExecutedByEligibleClaimantGlobalOverflow) {
+  exercise_parked_path(/*distributed=*/false, 1);
+  exercise_parked_path(/*distributed=*/false, 4);
+}
+
+// ---------------------------------------------------------------------------
 // Single-threaded semantic tests.
 // ---------------------------------------------------------------------------
 
