@@ -93,9 +93,13 @@ struct SchedulerConfig {
   bool lifo_slot = true;
 
   /// Fuse the parent's unfinished-children decrement with the dying child's
-  /// reference drop into one RMW at task completion. Off: announce first,
-  /// then walk the release chain (two parent-cacheline RMWs, the seed
-  /// behaviour).
+  /// reference drop into one RMW at task completion — taken only when the
+  /// finishing task is observably exclusive (state word exactly ref_one, a
+  /// stable observation once its body is done), since announcing completion
+  /// after the self-reference is already dropped would unpin the parent
+  /// against a concurrent release chain. Non-exclusive finishes, and the
+  /// knob turned off, use the seed ordering: announce first, then walk the
+  /// release chain (two parent-cacheline RMWs).
   bool fused_finish = true;
 
   /// Resolved cut-off bound (applies the documented defaults).

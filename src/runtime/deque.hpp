@@ -27,6 +27,25 @@
 
 #include "runtime/config.hpp"
 
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-published relaxed buffer slots of the PPoPP'13 orderings read as
+// data races under it (a known false positive of fence-based Chase-Lev).
+// Under TSAN each slot is published with per-slot release/acquire instead —
+// stronger than the hardware needs, but it restores the happens-before
+// edges the sanitizer can see, so every OTHER ordering in the runtime
+// (descriptor contents, finish/release chains, parking) is verified for
+// real instead of being buried in this noise.
+#if defined(__SANITIZE_THREAD__)
+#define BOTS_DEQUE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BOTS_DEQUE_TSAN 1
+#endif
+#endif
+#ifndef BOTS_DEQUE_TSAN
+#define BOTS_DEQUE_TSAN 0
+#endif
+
 namespace bots::rt {
 
 class Task;
@@ -146,13 +165,16 @@ class WorkStealingDeque {
         : capacity(cap), mask(cap - 1),
           slots(std::make_unique<std::atomic<Task*>[]>(cap)) {}
 
+    static constexpr std::memory_order slot_load =
+        BOTS_DEQUE_TSAN ? std::memory_order_acquire : std::memory_order_relaxed;
+    static constexpr std::memory_order slot_store =
+        BOTS_DEQUE_TSAN ? std::memory_order_release : std::memory_order_relaxed;
+
     [[nodiscard]] Task* get(std::int64_t i) const noexcept {
-      return slots[static_cast<std::size_t>(i) & mask].load(
-          std::memory_order_relaxed);
+      return slots[static_cast<std::size_t>(i) & mask].load(slot_load);
     }
     void put(std::int64_t i, Task* t) noexcept {
-      slots[static_cast<std::size_t>(i) & mask].store(
-          t, std::memory_order_relaxed);
+      slots[static_cast<std::size_t>(i) & mask].store(t, slot_store);
     }
 
     std::size_t capacity;

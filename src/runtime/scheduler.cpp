@@ -172,6 +172,8 @@ void Scheduler::participate(Worker& w, Region& r) {
   w.live_delta = 0;
   w.acct_ops = 0;
   w.barrier_draining = false;
+  w.tied_chain = 0;
+  assert(w.tied_stack.empty() && "a suspended tied task outlived its region");
   w.last_victim = Worker::no_victim;
   w.slot = nullptr;
   w.stash_count = 0;
@@ -316,34 +318,42 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
 void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
   Task* parent = t.parent();
   Region* region = w.region;
-  // Order matters. (1) Announce completion to the parent and release
-  // references; in the common case (the finishing descriptor has no live
-  // children and dies here) both halves of the parent update — the
-  // unfinished-children decrement and the reference drop — fuse into a
-  // single RMW on the parent's state word. The fused op also removes the
-  // old pin hazard: completion can no longer be observed while the release
-  // is still pending. (2) Record the live_tasks decrement last, so the
-  // region barrier's quiescence (live_tasks == 0) implies every release
-  // chain has finished and the implicit root frames can safely leave the
-  // stack.
-  if (!cfg_.fused_finish) {
-    // Seed behaviour for A/B: announce completion first (while the child's
-    // reference still pins the parent), then walk the release chain — two
-    // parent-cacheline RMWs.
-    if (parent != nullptr) parent->child_completed();
-    release_chain(w, &t);
-  } else if (t.release_ref()) {
+  // Order matters. (1) The completion announcement (the parent's
+  // unfinished-children decrement) must never be preceded by dropping this
+  // task's self-reference: t's reference on the parent is released only when
+  // t itself is disposed, so an undisposed t transitively pins the parent.
+  // Dropping the self-reference first would open a window where a still
+  // running child of t finishes on another worker, takes t's references to
+  // zero, and walks the release chain into the parent — and release_ref
+  // ignores the children bits, so the parent (whose own body may long be
+  // done) can be recycled before our announcement lands: a use-after-free.
+  // Two safe shapes exist: announce-then-release (the pin order, also the
+  // seed behaviour), or — when t is observably exclusive, state word exactly
+  // ref_one — fuse the announcement and the release into ONE parent RMW, so
+  // no window exists at all. Exclusivity is stable here because refs and
+  // children are only ever added by t's own executor, and t's body has
+  // finished. (2) Record the live_tasks decrement last, so the region
+  // barrier's quiescence (live_tasks == 0) implies every release chain has
+  // finished and the implicit root frames can safely leave the stack.
+  if (cfg_.fused_finish && t.exclusive()) {
+    // Exclusive: no child or release chain can reach t anymore, so t dies
+    // without an RMW and both halves of the parent update — the
+    // unfinished-children decrement and the reference drop — fuse into a
+    // single RMW on the parent's state word.
     dispose(w, t);
     if (parent != nullptr && parent->child_completed_and_release()) {
       Task* grand = parent->parent();
       dispose(w, *parent);
       release_chain(w, grand);  // pure reference drops from here upward
     }
-  } else if (parent != nullptr) {
-    // Fire-and-forget children still running: announce completion only. The
-    // descriptor (and the reference it holds on the parent) survives until
-    // the last child's release chain reaches it.
-    parent->child_completed();
+  } else {
+    // Children (or their not-yet-drained release chains) may still hold
+    // references on t: announce first — while t's own reference still pins
+    // the parent — then release. Whoever drops t's last reference (possibly
+    // this very release_chain call) continues the pure-reference walk
+    // upward; the announcement is already done by then.
+    if (parent != nullptr) parent->child_completed();
+    release_chain(w, &t);
   }
   if (deferred && region != nullptr) {
     if (cfg_.batch_accounting) {
@@ -374,6 +384,15 @@ void Scheduler::taskwait_from(Worker& w) {
   // barrier's last arriver may be spinning on this worker's decrements).
   const bool constrains = cur->tiedness() == Tiedness::tied;
   if (constrains) {
+    // Extend the verified ancestor-chain prefix when possible. The claim's
+    // tsc_allows does not cover this: cur may have been inlined
+    // (run_undeferred) under an untied task and never TSC-checked, so the
+    // descent from the previous top must be established here — one ancestry
+    // walk per suspension, amortized over every claim it later speeds up.
+    if (w.tied_chain == w.tied_stack.size() &&
+        (w.tied_stack.empty() || cur->is_descendant_of(*w.tied_stack.back()))) {
+      ++w.tied_chain;
+    }
     w.tied_stack.push_back(cur);
     w.parked_recheck = true;
   }
@@ -389,6 +408,9 @@ void Scheduler::taskwait_from(Worker& w) {
   }
   if (constrains) {
     w.tied_stack.pop_back();
+    if (w.tied_chain > w.tied_stack.size()) {
+      w.tied_chain = w.tied_stack.size();
+    }
     w.parked_recheck = true;  // the constraint relaxed: parked may be eligible
   }
 }
@@ -651,11 +673,26 @@ Task* Scheduler::find_work(Worker& w) {
 
 bool Scheduler::tsc_allows(const Worker& w, const Task& t) const noexcept {
   if (t.tiedness() == Tiedness::untied) return true;
-  // The suspended stack is a chain: every entry was TSC-checked against the
-  // entries below it when it was claimed, so each entry is a descendant of
-  // all entries below. A task that descends from the deepest entry therefore
-  // descends from every entry — one ancestry walk decides the whole stack.
-  return w.tied_stack.empty() || t.is_descendant_of(*w.tied_stack.back());
+  if (w.tied_stack.empty()) return true;
+  // Every suspended entry must be an ancestor. The stack is NOT inherently
+  // an ancestry chain — untied tasks are claimed without a TSC check, and a
+  // tied task inlined under one (cutoff / spawn_if) pushes a taskwait entry
+  // that need not descend from the entries below it — so a back()-only
+  // check alone would let that entry's descendants run despite violating
+  // the constraint for the earlier suspended tied tasks. taskwait_from
+  // therefore verifies descent at push time and tracks the chained prefix
+  // (Worker::tied_chain): while the whole stack is chained (all-tied nested
+  // graphs, the hot case — this check runs on every claim, a suspension
+  // only once), descent from the deepest entry implies descent from all by
+  // transitivity. Otherwise fall back to scanning every entry,
+  // deepest-first so mismatches fail on the most restrictive probe.
+  if (w.tied_chain == w.tied_stack.size()) {
+    return t.is_descendant_of(*w.tied_stack.back());
+  }
+  for (auto it = w.tied_stack.rbegin(); it != w.tied_stack.rend(); ++it) {
+    if (!t.is_descendant_of(**it)) return false;
+  }
+  return true;
 }
 
 StatsSnapshot Scheduler::stats() const {

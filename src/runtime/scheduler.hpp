@@ -61,11 +61,14 @@
 //   keep the first eligible task and republish the rest onto their own
 //   inbox. Progress: a parked task always sits in exactly one inbox except
 //   while a drainer transiently holds it, and the drainer either executes it
-//   or immediately republishes it; every find_work round scans all inboxes;
-//   a worker waiting at a taskwait inside tied task P may always execute any
-//   pending descendant of P (its suspended stack is a chain of ancestors of
-//   that descendant), so the waited-on subtree is always claimable by the
-//   waiter itself and parking can never deadlock the region.
+//   or immediately republishes it; every find_work round scans all inboxes,
+//   so any worker the constraint permits finds a parked task on its next
+//   idle round. A worker waiting at a taskwait inside tied task P can claim
+//   any pending descendant of P whenever every entry of its suspended stack
+//   is an ancestor of that descendant — true by construction for all-tied
+//   nested task graphs (each entry was TSC-checked against the ones below
+//   when claimed), where the waited-on subtree is therefore always claimable
+//   by the waiter itself, exactly as with the seed's global parking list.
 //
 // Exceptions thrown by tasks are captured; the first one is rethrown to the
 // caller of run_single/run_all after the region completes (there is no
@@ -151,6 +154,14 @@ class Worker {
   TaskPool pool;
   WorkerStats stats;
   std::vector<Task*> tied_stack;  ///< tied tasks suspended at taskwait
+  /// Length of the leading tied_stack prefix verified to be an ancestor
+  /// chain (each entry a descendant of the one below). While the whole
+  /// stack is chained — the case for all-tied nested task graphs — the TSC
+  /// check reduces to one ancestry walk against the deepest entry; untied
+  /// or inlined tasks can push entries that break the chain, after which
+  /// tsc_allows falls back to scanning every entry. Maintained by
+  /// taskwait_from: one descent check per push, capped on pop.
+  std::size_t tied_chain = 0;
   bool throttled = false;         ///< adaptive cut-off hysteresis state
   std::uint64_t rng_state;
 

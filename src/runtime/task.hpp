@@ -126,6 +126,17 @@ class Task {
                                       32);
   }
 
+  /// Exclusivity probe for the fused finish path: true when the state word
+  /// reads exactly one reference and zero unfinished children. References
+  /// and children are only ever added by this task's own executor (spawn),
+  /// so once the body has finished both counts can only decrease — an
+  /// observed ref_one is stable, and the caller owns the descriptor outright
+  /// with no RMW needed. (children > 0 implies refs >= 2, since every live
+  /// child holds a reference, so ref_one alone proves both halves.)
+  [[nodiscard]] bool exclusive() const noexcept {
+    return state_.load(std::memory_order_acquire) == ref_one;
+  }
+
   /// Drops one reference; returns true when this was the last one and the
   /// caller must recycle the descriptor (and then drop the parent's ref).
   /// Fast path: observing exactly one reference and no unfinished children

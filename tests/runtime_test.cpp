@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -291,6 +292,111 @@ TEST(Scheduler, ParkedTiedTaskExecutedByEligibleClaimantDistributed) {
 TEST(Scheduler, ParkedTiedTaskExecutedByEligibleClaimantGlobalOverflow) {
   exercise_parked_path(/*distributed=*/false, 1);
   exercise_parked_path(/*distributed=*/false, 4);
+}
+
+/// Regression: tsc_allows must check EVERY suspended tied task, not only the
+/// deepest one. The suspended stack is not an ancestry chain: untied tasks
+/// are claimed without a TSC check, and a tied task inlined under one pushes
+/// a taskwait entry that need not descend from the deeper entries. Forced
+/// scenario (2 threads, FIFO): worker 0 spawns tied A and untied U; at the
+/// region barrier it runs A, which spawns B and taskwaits (stack [A]); the
+/// wait claims U (untied, unconstrained), which inlines tied C via
+/// spawn_if(false); C spawns tied D and taskwaits (stack [A, C]). D descends
+/// from C — the stack top — but NOT from A, so worker 0 must refuse it; a
+/// back()-only check would run D on worker 0 while A is suspended there,
+/// violating the constraint. Worker 1 spins in its implicit body until C
+/// waits (so it cannot perturb the setup), then drains the parked tasks at
+/// the barrier, which keeps the refusing schedule deadlock-free.
+TEST(Scheduler, TscChecksEveryStackEntryAcrossUntiedAndInlinedTasks) {
+  for (bool distributed : {true, false}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.cutoff = rt::CutoffPolicy::none;  // A, U, B, D must all be deferred
+    cfg.local_order = rt::LocalOrder::fifo;
+    cfg.distributed_parking = distributed;
+    rt::Scheduler s(cfg);
+    std::atomic<bool> violation{false};
+    std::atomic<bool> c_waiting{false};
+    std::atomic<bool> d_ran{false};
+    std::atomic<unsigned> a_worker{~0u};
+    std::atomic<bool> a_waiting{false};
+    s.run_all([&](unsigned id) {
+      if (id != 0) {
+        while (!c_waiting.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        return;  // proceed to the barrier and drain the parked tasks
+      }
+      rt::spawn(rt::Tiedness::tied, [&] {  // A
+        a_worker.store(rt::worker_id(), std::memory_order_relaxed);
+        rt::spawn(rt::Tiedness::tied, [] {});  // B: keeps A's taskwait open
+        a_waiting.store(true, std::memory_order_release);
+        rt::taskwait();
+        a_waiting.store(false, std::memory_order_release);
+      });
+      rt::spawn(rt::Tiedness::untied, [&] {  // U
+        rt::spawn_if(false, rt::Tiedness::tied, [&] {  // C, inlined under U
+          rt::spawn(rt::Tiedness::tied, [&] {  // D: descendant of C, not of A
+            if (a_waiting.load(std::memory_order_acquire) &&
+                rt::worker_id() == a_worker.load(std::memory_order_relaxed)) {
+              violation.store(true);
+            }
+            d_ran.store(true);
+          });
+          c_waiting.store(true, std::memory_order_release);
+          rt::taskwait();
+        });
+      });
+    });
+    EXPECT_TRUE(d_ran.load()) << "distributed=" << distributed;
+    EXPECT_FALSE(violation.load())
+        << "a tied task ran on a worker holding a suspended non-ancestor "
+           "tied task (distributed="
+        << distributed << ")";
+    const auto t = s.stats().total;
+    EXPECT_EQ(t.tasks_executed, t.tasks_deferred)
+        << "distributed=" << distributed;
+  }
+}
+
+/// Regression stress for the fused finish path: fire-and-forget trees where
+/// every interior task finishes (and releases its descriptor reference)
+/// while its children may still be running. The dying task must announce
+/// child_completed() to its parent BEFORE dropping its own reference (or
+/// fuse both into one RMW, only legal when observably exclusive): releasing
+/// first lets a concurrent child's release chain recycle the parent under
+/// the announcement — a use-after-free that surfaced as corrupted counts or
+/// hangs on recycled pooled descriptors.
+TEST_P(SchedulerThreads, FireAndForgetTreesFusedFinishStress) {
+  constexpr int depth = 9;                         // 2^10 - 1 nodes per tree
+  constexpr long nodes = (1L << (depth + 1)) - 1;  // all levels counted
+  struct Fire {
+    static void tree(int d, std::atomic<long>& count) {
+      count.fetch_add(1, std::memory_order_relaxed);
+      if (d == 0) return;
+      rt::spawn([d, &count] { tree(d - 1, count); });
+      rt::spawn([d, &count] { tree(d - 1, count); });
+      // no taskwait: the parent dies with its children possibly running
+    }
+  };
+  // Heap descriptors matter here: with the pool a corrupted recycled
+  // descriptor only shows up as a wrong count or a hang, while plain
+  // new/delete turns the parent being released under the announcement into
+  // a heap-use-after-free the sanitizers can attribute.
+  for (bool pooled : {true, false}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = GetParam();
+    cfg.cutoff = rt::CutoffPolicy::none;
+    cfg.fused_finish = true;
+    cfg.use_task_pool = pooled;
+    rt::Scheduler s(cfg);
+    for (int round = 0; round < 10; ++round) {
+      std::atomic<long> count{0};
+      s.run_single([&count] { Fire::tree(depth, count); });
+      ASSERT_EQ(count.load(), nodes)
+          << "round " << round << " pooled=" << pooled;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
