@@ -137,6 +137,29 @@ std::vector<int> run_parallel(const Params& p,
   const int gap_open = p.gap_open;
   const int gap_extend = p.gap_extend;
   const rt::Tiedness tied = opts.tied;
+  if (sched.config().use_range_tasks) {
+    // Range-task scheme: the first-arriving worker publishes ONE splittable
+    // range over the outer rows (each iteration scores its row's pairs
+    // serially); everyone else is already at the region barrier stealing
+    // halves, so load balance comes from split-on-steal instead of
+    // one-descriptor-per-pair generation.
+    rt::SingleGate gate(sched.num_workers());
+    sched.run_all([&](unsigned) {
+      rt::single_nowait(gate, [&] {
+        rt::spawn_range(
+            tied, 0, nseq, 1,
+            [out, sq, nseq, gap_open, gap_extend](std::int64_t i) {
+              for (int j = static_cast<int>(i) + 1; j < nseq; ++j) {
+                out[pair_index(nseq, static_cast<int>(i), j)] =
+                    score_pair<prof::NoProf>(sq[i], sq[j], gap_open,
+                                             gap_extend);
+              }
+            });
+      });
+      // The range and its splits join at the implicit region-end barrier.
+    });
+    return scores;
+  }
   // The paper's scheme: outer loop under a dynamically scheduled `for`
   // worksharing construct, one task per pair inside the parallel loop.
   rt::DynamicSchedule dyn(0);

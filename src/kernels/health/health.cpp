@@ -5,6 +5,7 @@
 
 #include "core/kernel_glue.hpp"
 #include "core/rng.hpp"
+#include "runtime/worksharing.hpp"
 
 namespace bots::health {
 
@@ -307,6 +308,18 @@ struct TaskSim {
   }
 };
 
+/// Group villages by level (leaves = 1 ... root = p.levels), build order
+/// within a level. Any order that simulates a whole level before the next
+/// level up is equivalent to the recursion's children-before-parent
+/// taskwaits: villages interact only by pushing reallocated patients into
+/// their parent's mutex-protected list, and the parent admits them in
+/// ascending patient-id order, so same-level ordering cannot leak into the
+/// simulation (the paper's determinism device).
+void collect_levels(Village* v, std::vector<std::vector<Village*>>& levels) {
+  levels[static_cast<std::size_t>(v->level)].push_back(v);
+  for (auto& c : v->children) collect_levels(c.get(), levels);
+}
+
 void collect(const Village& v, Stats& s) {
   s.population += v.population.size();
   s.waiting += v.hosp.waiting.size();
@@ -386,6 +399,44 @@ Stats run_parallel(const Params& p, rt::Scheduler& sched,
                    const VersionOpts& opts) {
   Builder b{&p, 0, 1};
   auto root = b.build(p.levels, nullptr);
+  if (opts.generator == core::Generator::multiple_gen) {
+    // `for` version: level-ordered sweep, barriers between levels (see
+    // VersionOpts::generator for the equivalence argument).
+    std::vector<std::vector<Village*>> levels(
+        static_cast<std::size_t>(p.levels) + 1);
+    collect_levels(root.get(), levels);
+    const bool ranges = sched.config().use_range_tasks;
+    const rt::Tiedness tied = opts.tied;
+    const Params* prm = &p;
+    rt::SingleGate gate(sched.num_workers());
+    sched.run_all([&](unsigned) {
+      for (int step = 0; step < p.sim_steps; ++step) {
+        for (int l = 1; l <= p.levels; ++l) {
+          auto& vs = levels[static_cast<std::size_t>(l)];
+          const auto n = static_cast<std::int64_t>(vs.size());
+          if (ranges) {
+            rt::single_nowait(gate, [&] {
+              Village** vptr = vs.data();
+              rt::spawn_range(tied, 0, n, 1, [vptr, prm](std::int64_t idx) {
+                sim_village_local<prof::NoProf>(*prm, *vptr[idx]);
+              });
+            });
+          } else {
+            rt::for_static(0, n, [&](std::int64_t idx) {
+              Village* v = vs[static_cast<std::size_t>(idx)];
+              rt::spawn(tied, [v, prm] {
+                sim_village_local<prof::NoProf>(*prm, *v);
+              });
+            });
+          }
+          rt::barrier();  // a level's tasks (and splits) complete before the next
+        }
+      }
+    });
+    Stats s;
+    collect(*root, s);
+    return s;
+  }
   TaskSim sim{&p, opts.tied, opts.cutoff};
   sched.run_single([&] {
     for (int step = 0; step < p.sim_steps; ++step) {
@@ -447,6 +498,10 @@ core::AppInfo make_app_info() {
        core::Generator::single_gen, true},
       {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
        core::Generator::single_gen, false},
+      {"for-tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::multiple_gen, false},
+      {"for-untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::multiple_gen, false},
   };
   app.run = [](core::InputClass ic, const std::string& version,
                rt::Scheduler& sched, bool verify_run) {
@@ -456,7 +511,7 @@ core::AppInfo make_app_info() {
       throw std::invalid_argument("health: unknown version " + version);
     }
     const Params p = params_for(ic);
-    VersionOpts opts{v->tied, v->cutoff};
+    VersionOpts opts{v->tied, v->cutoff, v->generator};
     Stats result;
     return core::run_and_report(
         "health", version, ic, sched, verify_run,

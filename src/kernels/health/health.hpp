@@ -64,6 +64,13 @@ struct Stats {
 struct VersionOpts {
   rt::Tiedness tied = rt::Tiedness::tied;
   core::AppCutoff cutoff = core::AppCutoff::manual;
+  /// single_gen: the paper's recursive per-village tasks under a `single`.
+  /// multiple_gen: a level-ordered sweep — every village of one level is
+  /// simulated before the next level up (children before parents, the same
+  /// topological order the recursion's taskwaits enforce), each level driven
+  /// by a splittable range task (or per-village spawns from a `for`
+  /// worksharing construct when use_range_tasks is off).
+  core::Generator generator = core::Generator::single_gen;
 };
 
 [[nodiscard]] Stats run_parallel(const Params& p, rt::Scheduler& sched,

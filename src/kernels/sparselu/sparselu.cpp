@@ -151,51 +151,83 @@ void factor_single(BlockMatrix& m, rt::Scheduler& sched, rt::Tiedness tied) {
   });
 }
 
-/// Multiple-generator parallel version: each phase's task-creating loop is a
-/// `for` worksharing construct across the team; phases separated by team
-/// barriers (which complete all tasks, as OpenMP guarantees).
+/// Multiple-generator parallel version. With use_range_tasks (the default)
+/// each phase publishes ONE splittable range task over its block loop — the
+/// first-arriving worker factors the diagonal and spawns the ranges, the
+/// rest are already at the phase barrier stealing halves — so descriptor
+/// count per phase drops from one-per-nonempty-block to one-plus-splits.
+/// With the knob off, each phase's task-creating loop is a static `for`
+/// worksharing construct across the team (one descriptor per block, the
+/// paper's scheme). Phases are separated by team barriers, which complete
+/// all tasks as OpenMP guarantees.
 void factor_for(BlockMatrix& m, rt::Scheduler& sched, rt::Tiedness tied) {
   const std::size_t nb = m.nb();
   const std::size_t bs = m.bs();
+  const bool ranges = sched.config().use_range_tasks;
+  rt::SingleGate gate(sched.num_workers());
   sched.run_all([&](unsigned) {
     for (std::size_t kk = 0; kk < nb; ++kk) {
-      rt::single_nowait([&] { lu0<prof::NoProf>(m.ensure(kk, kk), bs); });
-      rt::barrier();
-      const float* diag = m.block(kk, kk);
-      rt::for_static(static_cast<std::int64_t>(kk) + 1,
-                     static_cast<std::int64_t>(nb), [&](std::int64_t jj) {
-                       if (!m.empty(kk, static_cast<std::size_t>(jj))) {
-                         float* blk = m.block(kk, static_cast<std::size_t>(jj));
-                         rt::spawn(tied, [diag, blk, bs] {
-                           fwd<prof::NoProf>(diag, blk, bs);
-                         });
-                       }
-                     });
-      rt::for_static(static_cast<std::int64_t>(kk) + 1,
-                     static_cast<std::int64_t>(nb), [&](std::int64_t ii) {
-                       if (!m.empty(static_cast<std::size_t>(ii), kk)) {
-                         float* blk = m.block(static_cast<std::size_t>(ii), kk);
-                         rt::spawn(tied, [diag, blk, bs] {
-                           bdiv<prof::NoProf>(diag, blk, bs);
-                         });
-                       }
-                     });
-      rt::barrier();
-      rt::for_static(
-          static_cast<std::int64_t>(kk) + 1, static_cast<std::int64_t>(nb),
-          [&](std::int64_t ii) {
+      const auto lo = static_cast<std::int64_t>(kk) + 1;
+      const auto hi = static_cast<std::int64_t>(nb);
+      if (ranges) {
+        rt::single_nowait(gate, [&] {
+          lu0<prof::NoProf>(m.ensure(kk, kk), bs);
+          const float* diag = m.block(kk, kk);
+          rt::spawn_range(tied, lo, hi, 1, [&m, diag, bs, kk](std::int64_t jj) {
+            const auto j = static_cast<std::size_t>(jj);
+            if (!m.empty(kk, j)) fwd<prof::NoProf>(diag, m.block(kk, j), bs);
+          });
+          rt::spawn_range(tied, lo, hi, 1, [&m, diag, bs, kk](std::int64_t ii) {
+            const auto i = static_cast<std::size_t>(ii);
+            if (!m.empty(i, kk)) bdiv<prof::NoProf>(diag, m.block(i, kk), bs);
+          });
+        });
+        rt::barrier();
+        rt::single_nowait(gate, [&] {
+          rt::spawn_range(tied, lo, hi, 1, [&m, bs, kk, nb](std::int64_t ii) {
             const auto i = static_cast<std::size_t>(ii);
             if (m.empty(i, kk)) return;
+            const float* row = m.block(i, kk);
             for (std::size_t jj = kk + 1; jj < nb; ++jj) {
               if (m.empty(kk, jj)) continue;
-              const float* row = m.block(i, kk);
-              const float* col = m.block(kk, jj);
-              float* target = m.ensure(i, jj);  // unique generator per (i,*)
-              rt::spawn(tied, [row, col, target, bs] {
-                bmod<prof::NoProf>(row, col, target, bs);
-              });
+              // Fill-in by the (unique) iteration owning row i.
+              bmod<prof::NoProf>(row, m.block(kk, jj), m.ensure(i, jj), bs);
             }
           });
+        });
+        rt::barrier();
+        continue;
+      }
+      rt::single_nowait(gate,
+                        [&] { lu0<prof::NoProf>(m.ensure(kk, kk), bs); });
+      rt::barrier();
+      const float* diag = m.block(kk, kk);
+      rt::for_static(lo, hi, [&](std::int64_t jj) {
+        if (!m.empty(kk, static_cast<std::size_t>(jj))) {
+          float* blk = m.block(kk, static_cast<std::size_t>(jj));
+          rt::spawn(tied, [diag, blk, bs] { fwd<prof::NoProf>(diag, blk, bs); });
+        }
+      });
+      rt::for_static(lo, hi, [&](std::int64_t ii) {
+        if (!m.empty(static_cast<std::size_t>(ii), kk)) {
+          float* blk = m.block(static_cast<std::size_t>(ii), kk);
+          rt::spawn(tied, [diag, blk, bs] { bdiv<prof::NoProf>(diag, blk, bs); });
+        }
+      });
+      rt::barrier();
+      rt::for_static(lo, hi, [&](std::int64_t ii) {
+        const auto i = static_cast<std::size_t>(ii);
+        if (m.empty(i, kk)) return;
+        for (std::size_t jj = kk + 1; jj < nb; ++jj) {
+          if (m.empty(kk, jj)) continue;
+          const float* row = m.block(i, kk);
+          const float* col = m.block(kk, jj);
+          float* target = m.ensure(i, jj);  // unique generator per (i,*)
+          rt::spawn(tied, [row, col, target, bs] {
+            bmod<prof::NoProf>(row, col, target, bs);
+          });
+        }
+      });
       rt::barrier();
     }
   });

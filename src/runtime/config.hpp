@@ -102,6 +102,29 @@ struct SchedulerConfig {
   /// release chain (two parent-cacheline RMWs).
   bool fused_finish = true;
 
+  /// Zero-allocation undeferred execution: when spawn_if's condition is
+  /// false or the runtime cut-off refuses deferral, run the closure directly
+  /// on the parent's frame with NO Task descriptor, no pool traffic and no
+  /// refcount/children RMWs — only depth tracking (Worker::inline_depth) and
+  /// a tied-stack entry that keeps the Task Scheduling Constraint sound
+  /// across inlined tied tasks. The inlined task's children are adopted by
+  /// the nearest enclosing task with a descriptor, so a taskwait inside the
+  /// inlined body waits on a superset of its own children (never fewer). Off:
+  /// undeferred tasks still allocate a descriptor and join the task graph
+  /// (the seed behaviour the paper describes as bookkeeping the runtime
+  /// "still has to do ... to keep consistency").
+  bool use_inline_fast_path = true;
+
+  /// Splittable range tasks: spawn_range publishes ONE descriptor for a
+  /// whole iteration range; whoever executes it splits off the upper half as
+  /// a sibling task whenever its local queue runs dry (which is exactly what
+  /// a steal causes — the thief's first check always splits, re-exposing
+  /// half for other thieves). Loop-style kernels (Alignment, SparseLU `for`,
+  /// Health `for`) use this to replace one-descriptor-per-iteration
+  /// generation. Off: those kernels fall back to per-iteration spawning, so
+  /// bench_ablation_generators-style A/B comparisons stay possible.
+  bool use_range_tasks = true;
+
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {
     if (cutoff_value != 0) return cutoff_value;

@@ -173,6 +173,7 @@ void Scheduler::participate(Worker& w, Region& r) {
   w.acct_ops = 0;
   w.barrier_draining = false;
   w.tied_chain = 0;
+  w.inline_depth = 0;
   assert(w.tied_stack.empty() && "a suspended tied task outlived its region");
   w.last_victim = Worker::no_victim;
   w.slot = nullptr;
@@ -273,7 +274,10 @@ void Scheduler::enqueue(Worker& w, Task& t) {
   } else {
     w.region->live_tasks.fetch_add(1, std::memory_order_relaxed);
   }
-  if (use_slot_) {
+  // Range tasks never hide in the private slot: their whole point is to be
+  // splittable on steal, and a slot entry is invisible to thieves until the
+  // owner's next scheduling point.
+  if (use_slot_ && t.range() == nullptr) {
     Task* evicted = w.slot;
     w.slot = &t;
     if (evicted != nullptr) w.deque.push(evicted);
@@ -284,6 +288,12 @@ void Scheduler::enqueue(Worker& w, Task& t) {
 
 void Scheduler::execute_deferred(Worker& w, Task& t) {
   Task* prev = w.current;
+  // inline_depth counts descriptor-less frames stacked above `current`; a
+  // claimed task is a fresh frame whose depth is fully recorded in its
+  // descriptor, so the count must not leak into depths computed under it
+  // (a scheduling point inside an inline body claims unrelated tasks).
+  const std::uint32_t prev_inline = w.inline_depth;
+  w.inline_depth = 0;
   w.current = &t;
   ++w.stats.tasks_executed;
   try {
@@ -293,11 +303,16 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
   }
   t.destroy_env();
   w.current = prev;
+  w.inline_depth = prev_inline;
   finish_task(w, t, /*deferred=*/true);
 }
 
 void Scheduler::run_undeferred(Worker& w, Task& t) {
   Task* prev = w.current;
+  // As in execute_deferred: t's descriptor depth already includes any inline
+  // frames below it, so depths computed under t start from zero again.
+  const std::uint32_t prev_inline = w.inline_depth;
+  w.inline_depth = 0;
   w.current = &t;
   try {
     t.invoke();
@@ -307,11 +322,13 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
     } else {
       t.destroy_env();
       w.current = prev;
+      w.inline_depth = prev_inline;
       throw;
     }
   }
   t.destroy_env();
   w.current = prev;
+  w.inline_depth = prev_inline;
   finish_task(w, t, /*deferred=*/false);
 }
 
@@ -471,11 +488,14 @@ void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
   Task* frame = alloc_task(w, storage);
   frame->init_env([] {});  // scope frames carry no environment of their own
   Task* parent = w.current;
-  const std::uint32_t depth = parent != nullptr ? parent->depth() + 1 : 1;
+  const std::uint32_t depth =
+      (parent != nullptr ? parent->depth() + 1 : 1) + w.inline_depth;
   if (parent != nullptr) parent->add_child_ref();
   frame->set_links(parent, depth, Tiedness::tied, storage);
 
   Task* prev = w.current;
+  const std::uint32_t prev_inline = w.inline_depth;
+  w.inline_depth = 0;  // the frame's depth already accounts for inline frames
   w.current = frame;
   std::exception_ptr eptr;
   try {
@@ -486,6 +506,7 @@ void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
   taskwait_from(w);  // join the nested region's direct children
   frame->destroy_env();
   w.current = prev;
+  w.inline_depth = prev_inline;
   Task* frame_parent = frame->parent();
   if (frame_parent != nullptr) frame_parent->child_completed();
   release_chain(w, frame);

@@ -55,6 +55,21 @@
 //   batch of non-descendants would land straight in the parked pool). A
 //   worker also remembers the last victim a steal succeeded from and tries
 //   it first (steals come in bursts from loaded workers).
+// * Zero-alloc undeferred execution: when spawn_if's condition is false or
+//   the cut-off refuses deferral, the closure runs directly on the parent's
+//   frame with no descriptor at all (detail::run_inline_fast): depth is
+//   tracked in Worker::inline_depth and an inlined tied task pushes its
+//   parent on the tied stack so the TSC stays enforced across it. Children
+//   spawned inside the body are adopted by the nearest descriptor-carrying
+//   ancestor, which makes every join conservative (a superset wait), never
+//   weaker. Knob: use_inline_fast_path.
+// * Range tasks: spawn_range (worksharing.hpp) publishes one descriptor per
+//   iteration range; the executor peels grain-sized chunks and splits the
+//   upper half into a sibling descriptor whenever its local queue is empty —
+//   the state a steal leaves behind, so splits chase demand (a thief's first
+//   check always splits). enqueue routes range tasks past the private LIFO
+//   slot so a freshly published half is immediately stealable. Knob:
+//   use_range_tasks (consumed by the loop-style kernels).
 // * TSC parking: a claimed task the constraint refuses is pushed onto the
 //   claiming worker's lock-free parked inbox (a Treiber stack). Idle workers
 //   drain whole inboxes with one exchange(nullptr) — MPSC-style handoff —
@@ -160,8 +175,15 @@ class Worker {
   /// check reduces to one ancestry walk against the deepest entry; untied
   /// or inlined tasks can push entries that break the chain, after which
   /// tsc_allows falls back to scanning every entry. Maintained by
-  /// taskwait_from: one descent check per push, capped on pop.
+  /// taskwait_from and the zero-alloc inline path: one descent check per
+  /// push, capped on pop.
   std::size_t tied_chain = 0;
+  /// Number of zero-alloc inlined task bodies currently live on this
+  /// worker's stack (SchedulerConfig::use_inline_fast_path). Such tasks
+  /// have no descriptor, so Worker::current skips them; adding this to the
+  /// depth computed from `current` keeps task depths — and with them the
+  /// max_depth cut-off and the is_descendant_of depth walk — exact.
+  std::uint32_t inline_depth = 0;
   bool throttled = false;         ///< adaptive cut-off hysteresis state
   std::uint64_t rng_state;
 
@@ -289,6 +311,66 @@ class Scheduler {
   return w != nullptr ? w->region->team_size : 1u;
 }
 
+namespace detail {
+
+/// Zero-allocation undeferred execution (SchedulerConfig::use_inline_fast_path):
+/// run the closure directly on the parent's frame — no Task descriptor, no
+/// pool traffic, no refcount/children RMWs. Only two pieces of bookkeeping
+/// remain, because correctness requires them:
+///
+/// * Depth: Worker::inline_depth counts live inline frames so spawns inside
+///   the body still compute exact task depths (max_depth cut-off, ancestry
+///   walks) even though Worker::current skips the descriptor-less task.
+/// * The Task Scheduling Constraint: an inlined TIED task is tied to this
+///   worker from the moment it starts, so while its body is suspended at a
+///   scheduling point, claims must be restricted to its descendants. The
+///   task has no descriptor to push, but its children are adopted by
+///   `current` (the nearest descriptor-carrying ancestor), so pushing
+///   `current` represents the constraint exactly as precisely as the graph
+///   can: descendants-of-current is the tightest representable superset of
+///   descendants-of-the-inlined-task. The push maintains the PR-1 verified
+///   tied_chain prefix the same way taskwait_from does; a duplicate of the
+///   current back() entry adds no constraint and is skipped, which makes
+///   deep inline recursion — the cut-off hot case — cost one compare.
+///
+/// The body's children reattach to `current`, so a taskwait inside the body
+/// waits on a superset of the inlined task's children (never fewer): join
+/// semantics are conservative, data dependences are preserved. Exceptions
+/// behave exactly like run_undeferred: captured into the region, rethrown
+/// after it completes.
+template <class F>
+void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
+  ++w.stats.tasks_inlined_fast;
+  const bool push_tied =
+      tied == Tiedness::tied &&
+      (w.tied_stack.empty() || w.tied_stack.back() != w.current);
+  if (push_tied) {
+    if (w.tied_chain == w.tied_stack.size() &&
+        (w.tied_stack.empty() ||
+         w.current->is_descendant_of(*w.tied_stack.back()))) {
+      ++w.tied_chain;
+    }
+    w.tied_stack.push_back(w.current);
+    w.parked_recheck = true;
+  }
+  ++w.inline_depth;
+  try {
+    std::forward<F>(f)();
+  } catch (...) {
+    w.region->store_exception();
+  }
+  --w.inline_depth;
+  if (push_tied) {
+    w.tied_stack.pop_back();
+    if (w.tied_chain > w.tied_stack.size()) {
+      w.tied_chain = w.tied_stack.size();
+    }
+    w.parked_recheck = true;  // the constraint relaxed: parked may be eligible
+  }
+}
+
+}  // namespace detail
+
 /// Create a task. Equivalent to `#pragma omp task [untied]`.
 template <class F>
 void spawn(Tiedness tied, F&& f) {
@@ -299,8 +381,14 @@ void spawn(Tiedness tied, F&& f) {
   }
   Scheduler& s = *w->sched;
   ++w->stats.tasks_created;
-  const std::uint32_t depth = w->current != nullptr ? w->current->depth() + 1 : 1;
+  const std::uint32_t depth =
+      (w->current != nullptr ? w->current->depth() + 1 : 1) + w->inline_depth;
   const bool defer = s.should_defer(*w, depth);
+  if (!defer && s.config().use_inline_fast_path) {
+    ++w->stats.tasks_cutoff_inlined;
+    detail::run_inline_fast(*w, tied, std::forward<F>(f));
+    return;
+  }
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
   t->init_env(std::forward<F>(f));
@@ -323,9 +411,11 @@ void spawn(F&& f) {
 }
 
 /// Create a task guarded by an `if` clause: when `condition` is false the
-/// task is undeferred — it still allocates a descriptor and joins the task
-/// hierarchy (the bookkeeping the paper says the runtime "still has to do
-/// ... to keep consistency"), but executes immediately on this worker.
+/// task is undeferred and executes immediately on this worker. With
+/// use_inline_fast_path (the default) that costs no descriptor at all; with
+/// the knob off it still allocates one and joins the task hierarchy (the
+/// bookkeeping the paper says the runtime "still has to do ... to keep
+/// consistency" — kept as the A/B baseline).
 template <class F>
 void spawn_if(bool condition, Tiedness tied, F&& f) {
   Worker* w = detail::tls_worker;
@@ -340,7 +430,12 @@ void spawn_if(bool condition, Tiedness tied, F&& f) {
   Scheduler& s = *w->sched;
   ++w->stats.tasks_created;
   ++w->stats.tasks_if_inlined;
-  const std::uint32_t depth = w->current != nullptr ? w->current->depth() + 1 : 1;
+  if (s.config().use_inline_fast_path) {
+    detail::run_inline_fast(*w, tied, std::forward<F>(f));
+    return;
+  }
+  const std::uint32_t depth =
+      (w->current != nullptr ? w->current->depth() + 1 : 1) + w->inline_depth;
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
   t->init_env(std::forward<F>(f));

@@ -17,6 +17,9 @@ struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t tasks_deferred = 0;       ///< enqueued onto a deque
   std::uint64_t tasks_if_inlined = 0;     ///< spawn_if with a false condition
   std::uint64_t tasks_cutoff_inlined = 0; ///< inlined by the runtime cut-off
+  std::uint64_t tasks_inlined_fast = 0;   ///< undeferred on the zero-alloc path (no descriptor)
+  std::uint64_t range_tasks = 0;          ///< spawn_range calls (one descriptor per range)
+  std::uint64_t range_splits = 0;         ///< range halves split off for hungry thieves
   std::uint64_t tasks_executed = 0;       ///< deferred tasks run by this worker
   std::uint64_t tasks_stolen = 0;         ///< deferred tasks taken from another worker
   std::uint64_t steal_attempts = 0;       ///< deque.steal()/steal_batch() calls on victims
@@ -34,6 +37,9 @@ struct alignas(cache_line_bytes) WorkerStats {
     tasks_deferred += o.tasks_deferred;
     tasks_if_inlined += o.tasks_if_inlined;
     tasks_cutoff_inlined += o.tasks_cutoff_inlined;
+    tasks_inlined_fast += o.tasks_inlined_fast;
+    range_tasks += o.range_tasks;
+    range_splits += o.range_splits;
     tasks_executed += o.tasks_executed;
     tasks_stolen += o.tasks_stolen;
     steal_attempts += o.steal_attempts;

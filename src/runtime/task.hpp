@@ -51,6 +51,22 @@ template <class Fn>
 struct TaskOpsFor;
 }  // namespace detail
 
+/// Payload variant for splittable range tasks (rt::spawn_range): one
+/// descriptor stands for the whole iteration range [lo, hi). The executing
+/// worker peels grain-sized chunks off the front and, whenever its local
+/// queue runs dry (the signature a steal leaves behind), splits [mid, hi)
+/// into a sibling descriptor that thieves can take. The fields live inside
+/// the captured environment (the range runner closure); the descriptor
+/// carries a pointer to them so the scheduler can recognize range tasks —
+/// enqueue keeps them out of the private LIFO slot, where a splittable
+/// range would be invisible to thieves until the owner's next scheduling
+/// point.
+struct RangeDesc {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t grain = 1;
+};
+
 class Task {
  public:
   static constexpr std::size_t inline_env_capacity = 128;
@@ -80,6 +96,17 @@ class Task {
   void destroy_env() noexcept {
     if (env_ != nullptr) ops_->destroy_env(*this);
   }
+
+  /// Typed view of the captured environment. Only valid between init_env and
+  /// destroy_env, for the exact closure type passed to init_env.
+  template <class Fn>
+  [[nodiscard]] Fn* env_as() noexcept {
+    return static_cast<Fn*>(env_);
+  }
+
+  /// Range payload (see RangeDesc). Null for ordinary tasks.
+  [[nodiscard]] RangeDesc* range() const noexcept { return range_; }
+  void set_range(RangeDesc* r) noexcept { range_ = r; }
 
   // -- intrusive state ------------------------------------------------------
   Task* parent() const noexcept { return parent_; }
@@ -156,6 +183,7 @@ class Task {
   /// descriptor stays a no-op).
   void reset_for_reuse() noexcept {
     env_ = nullptr;
+    range_ = nullptr;
     state_.store(ref_one, std::memory_order_relaxed);
   }
 
@@ -180,6 +208,7 @@ class Task {
   const TaskOps* ops_ = nullptr;
   void* env_ = nullptr;
   Task* parent_ = nullptr;
+  RangeDesc* range_ = nullptr;  ///< range payload inside env_, else null
   std::atomic<std::uint64_t> state_{ref_one};  ///< children<<32 | refs
   std::uint32_t depth_ = 0;
   std::uint32_t env_bytes_ = 0;

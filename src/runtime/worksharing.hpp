@@ -5,11 +5,18 @@
 // SparseLU's `for` version generates each phase's tasks from a static `for`
 // across the team (multiple generators), while the `single` versions funnel
 // all generation through one worker.
+//
+// spawn_range is the loop-style alternative to per-iteration task
+// generation: one descriptor stands for a whole iteration range and splits
+// on demand (see RangeDesc in task.hpp and the design note at the top of
+// scheduler.hpp). The Alignment, SparseLU `for` and Health `for` generators
+// use it when SchedulerConfig::use_range_tasks is on.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
 
@@ -75,11 +82,152 @@ void for_dynamic(DynamicSchedule& sched, std::int64_t end, std::int64_t chunk,
   }
 }
 
-/// `#pragma omp single nowait` (statically bound to worker 0). Follow with
-/// rt::barrier() when the single's effects must be visible to the team.
+/// Shared claim state for single_nowait. Construct one per lexical `single`
+/// construct, outside the region, and capture it by reference in the region
+/// body — like DynamicSchedule. One gate serves any number of dynamic
+/// encounters of its construct (e.g. a single inside a loop): per-worker
+/// encounter counters line the workers up on the same instance sequence and
+/// one shared claim counter elects the first arriver of each instance.
+class SingleGate {
+ public:
+  /// `team` must cover every worker id that can reach the construct
+  /// (Scheduler::num_workers()).
+  explicit SingleGate(unsigned team) : seen_(team) {}
+
+  SingleGate(const SingleGate&) = delete;
+  SingleGate& operator=(const SingleGate&) = delete;
+
+  /// First-arrival claim for this worker's next encounter of the construct.
+  /// Exactly one worker per instance gets `true`. Every worker of the team
+  /// must encounter the construct instances in the same order (the usual
+  /// OpenMP worksharing requirement).
+  [[nodiscard]] bool try_claim() noexcept {
+    const std::uint64_t instance = ++seen_[worker_id()].encounters;
+    std::uint64_t expected = instance - 1;
+    // claimed_ counts fully claimed instances. A worker reaching instance n
+    // has already passed (and observed claimed or claimed itself) every
+    // earlier instance, so claimed_ >= n - 1 here: the CAS succeeds exactly
+    // for the first arriver of instance n.
+    return claimed_.compare_exchange_strong(expected, instance,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+  }
+
+ private:
+  struct alignas(cache_line_bytes) Slot {
+    std::uint64_t encounters = 0;
+  };
+  std::vector<Slot> seen_;
+  alignas(cache_line_bytes) std::atomic<std::uint64_t> claimed_{0};
+};
+
+/// `#pragma omp single nowait` with OpenMP's first-arrival semantics: the
+/// FIRST worker to reach the construct executes it; nobody waits. (A static
+/// worker-0 binding would stall task generation behind a late worker 0.)
+/// Follow with rt::barrier() when the single's effects must be visible to
+/// the team.
 template <class F>
-void single_nowait(F&& f) {
-  if (worker_id() == 0) std::forward<F>(f)();
+void single_nowait(SingleGate& gate, F&& f) {
+  if (gate.try_claim()) std::forward<F>(f)();
+}
+
+// ---------------------------------------------------------------------------
+// Splittable range tasks.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// The closure executed by a range-task descriptor: peels grain-sized chunks
+/// off [lo, hi) and splits off the upper half as a sibling descriptor
+/// whenever this worker's local queue is dry — which is the state a steal
+/// leaves behind, so splitting tracks thief demand. A thief that steals a
+/// range immediately splits on its first check (its deque is empty: it was
+/// stealing), re-exposing half for other thieves; an uncontended owner keeps
+/// the one descriptor and only re-splits along a logarithmic chain.
+template <class Body>
+struct RangeRunner {
+  RangeDesc desc;
+  Body body;
+
+  void operator()() {
+    Worker* w = tls_worker;  // range tasks only ever run deferred, in-region
+    std::int64_t lo = desc.lo;
+    std::int64_t hi = desc.hi;
+    const std::int64_t grain = desc.grain;
+    const bool splittable = w->region->team_size > 1;
+    while (lo < hi) {
+      if (splittable && hi - lo > grain && w->slot == nullptr &&
+          w->stash_count == 0 && w->deque.empty_estimate()) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        split_off(*w, mid, hi);
+        hi = mid;
+        continue;
+      }
+      const std::int64_t stop = lo + grain < hi ? lo + grain : hi;
+      for (std::int64_t i = lo; i < stop; ++i) body(i);
+      lo = stop;
+    }
+  }
+
+  /// Publish [lo2, hi2) as a sibling of the running range task (same parent,
+  /// same depth, same tiedness), so a taskwait at the original spawner joins
+  /// every split exactly like the range itself.
+  void split_off(Worker& w, std::int64_t lo2, std::int64_t hi2) {
+    Scheduler& s = *w.sched;
+    Task* self = w.current;
+    ++w.stats.range_splits;
+    ++w.stats.tasks_deferred;
+    TaskStorage storage{};
+    Task* t = s.alloc_task(w, storage);
+    t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body});
+    w.stats.env_bytes += t->env_bytes();
+    Task* parent = self->parent();
+    if (parent != nullptr) parent->add_child_ref();
+    t->set_links(parent, self->depth(), self->tiedness(), storage);
+    t->set_range(&t->env_as<RangeRunner<Body>>()->desc);
+    s.enqueue(w, *t);
+  }
+};
+
+}  // namespace detail
+
+/// Create ONE splittable task for the whole iteration range [lo, hi):
+/// `body(i)` runs exactly once per i. `grain` is the iteration budget
+/// between split checks and the threshold below which a remainder is never
+/// split (a split halves the remainder, so descriptors can cover as few as
+/// (grain + 1) / 2 iterations). Joins like any task: a taskwait in the
+/// spawner (or any barrier) covers the range and every half split off it.
+/// Outside a region the range runs serially in place.
+template <class Body>
+void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
+                 std::int64_t grain, Body body) {
+  if (hi - lo <= 0) return;
+  if (grain < 1) grain = 1;
+  Worker* w = detail::tls_worker;
+  if (w == nullptr) {
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  Scheduler& s = *w->sched;
+  ++w->stats.tasks_created;
+  ++w->stats.range_tasks;
+  ++w->stats.tasks_deferred;
+  TaskStorage storage{};
+  Task* t = s.alloc_task(*w, storage);
+  t->init_env(detail::RangeRunner<Body>{{lo, hi, grain}, std::move(body)});
+  w->stats.env_bytes += t->env_bytes();
+  Task* parent = w->current;
+  parent->add_child_ref();
+  const std::uint32_t depth = parent->depth() + 1 + w->inline_depth;
+  t->set_links(parent, depth, tied, storage);
+  t->set_range(&t->env_as<detail::RangeRunner<Body>>()->desc);
+  s.enqueue(*w, *t);
+}
+
+template <class Body>
+void spawn_range(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                 Body body) {
+  spawn_range(Tiedness::tied, lo, hi, grain, std::move(body));
 }
 
 }  // namespace bots::rt

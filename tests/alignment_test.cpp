@@ -113,13 +113,45 @@ TEST(Alignment, VerifyCatchesCorruptedScore) {
 }
 
 TEST(Alignment, TasksAreCreatedPerPair) {
+  // The paper's per-pair generation scheme, kept behind use_range_tasks=false
+  // as the ablation baseline.
   al::Params p = tiny();
   p.nseq = 12;
   const auto seqs = al::make_input(p);
-  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  rt::SchedulerConfig cfg{.num_threads = 4};
+  cfg.use_range_tasks = false;
+  rt::Scheduler sched(cfg);
   (void)al::run_parallel(p, seqs, sched, {rt::Tiedness::untied});
   EXPECT_EQ(sched.stats().total.tasks_created, 66u);  // C(12,2)
   EXPECT_EQ(sched.stats().total.taskwaits, 0u);  // Table II: 0 taskwaits
+}
+
+TEST(Alignment, RangeTasksCreateTenfoldFewerDescriptorsSameOutput) {
+  // PR-2 acceptance: the range-task generator must create >= 10x fewer
+  // descriptors than per-pair generation (tasks_created stats) while the
+  // verified output is unchanged.
+  const al::Params p = al::params_for(core::InputClass::test);  // C(16,2)=120
+  const auto seqs = al::make_input(p);
+
+  rt::SchedulerConfig legacy_cfg{.num_threads = 4};
+  legacy_cfg.use_range_tasks = false;
+  rt::Scheduler legacy(legacy_cfg);
+  const auto legacy_scores =
+      al::run_parallel(p, seqs, legacy, {rt::Tiedness::tied});
+  const auto legacy_created = legacy.stats().total.tasks_created;
+  EXPECT_TRUE(al::verify(p, seqs, legacy_scores));
+
+  rt::Scheduler ranged(rt::SchedulerConfig{.num_threads = 4});
+  ASSERT_TRUE(ranged.config().use_range_tasks);  // the default
+  const auto ranged_scores =
+      al::run_parallel(p, seqs, ranged, {rt::Tiedness::tied});
+  const auto t = ranged.stats().total;
+  EXPECT_TRUE(al::verify(p, seqs, ranged_scores));
+  EXPECT_EQ(ranged_scores, legacy_scores);
+
+  EXPECT_GT(t.range_tasks, 0u);
+  EXPECT_LE(t.tasks_created * 10, legacy_created)
+      << "range generator lost its descriptor advantage";
 }
 
 TEST(Alignment, ProfileRowShape) {

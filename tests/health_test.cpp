@@ -99,6 +99,43 @@ INSTANTIATE_TEST_SUITE_P(
                           Case{rt::Tiedness::untied, core::AppCutoff::manual}),
         ::testing::Values(1u, 4u, 8u)), case_name);
 
+TEST(Health, ForVersionLevelSweepExactlyMatchesSerial) {
+  // The `for` version simulates whole levels bottom-up (children before
+  // parents, like the recursion's taskwaits) with a splittable range task
+  // per level — or per-village spawns when use_range_tasks is off. Both must
+  // reproduce the serial history exactly, on any team.
+  const hl::Params p = tiny();
+  const hl::Stats serial = hl::run_serial(p);
+  for (bool ranges : {true, false}) {
+    for (unsigned threads : {1u, 4u, 8u}) {
+      for (rt::Tiedness tied : {rt::Tiedness::tied, rt::Tiedness::untied}) {
+        rt::SchedulerConfig cfg{.num_threads = threads};
+        cfg.use_range_tasks = ranges;
+        rt::Scheduler sched(cfg);
+        const hl::Stats s = hl::run_parallel(
+            p, sched, {tied, core::AppCutoff::none,
+                       core::Generator::multiple_gen});
+        EXPECT_EQ(s, serial) << "ranges=" << ranges << " threads=" << threads
+                             << " tied=" << to_string(tied);
+      }
+    }
+  }
+}
+
+TEST(Health, ForVersionCreatesFarFewerDescriptors) {
+  const hl::Params p = tiny();
+  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  (void)hl::run_parallel(
+      p, sched,
+      {rt::Tiedness::tied, core::AppCutoff::none, core::Generator::single_gen});
+  const auto single_created = sched.stats().total.tasks_created;
+  (void)hl::run_parallel(p, sched,
+                         {rt::Tiedness::tied, core::AppCutoff::none,
+                          core::Generator::multiple_gen});
+  const auto for_created = sched.stats().total.tasks_created - single_created;
+  EXPECT_LT(for_created * 2, single_created);
+}
+
 TEST(Health, RepeatedParallelRunsIdentical) {
   const hl::Params p = tiny();
   rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});

@@ -128,14 +128,16 @@ TEST(Properties, TaskwaitOnlyWaitsForDirectChildren) {
 }
 
 TEST(Properties, StatsAccountingBalancesOnEveryApp) {
-  // created == deferred + if_inlined + cutoff_inlined, executed == deferred
-  // must hold after any suite run.
+  // Every spawn construct is deferred or inlined, every range split adds one
+  // more deferred descriptor, and every deferred descriptor executes exactly
+  // once: created + range_splits == deferred + if_inlined + cutoff_inlined
+  // and executed == deferred must hold after any suite run.
   rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
   for (const auto& app : core::apps()) {
     (void)app.run(core::InputClass::test, app.best_version().name, sched,
                   false);
     const auto t = sched.stats().total;
-    EXPECT_EQ(t.tasks_created,
+    EXPECT_EQ(t.tasks_created + t.range_splits,
               t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined)
         << app.name;
     EXPECT_EQ(t.tasks_executed, t.tasks_deferred) << app.name;

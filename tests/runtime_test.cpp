@@ -307,56 +307,149 @@ TEST(Scheduler, ParkedTiedTaskExecutedByEligibleClaimantGlobalOverflow) {
 /// violating the constraint. Worker 1 spins in its implicit body until C
 /// waits (so it cannot perturb the setup), then drains the parked tasks at
 /// the barrier, which keeps the refusing schedule deadlock-free.
-TEST(Scheduler, TscChecksEveryStackEntryAcrossUntiedAndInlinedTasks) {
-  for (bool distributed : {true, false}) {
-    rt::SchedulerConfig cfg;
-    cfg.num_threads = 2;
-    cfg.cutoff = rt::CutoffPolicy::none;  // A, U, B, D must all be deferred
-    cfg.local_order = rt::LocalOrder::fifo;
-    cfg.distributed_parking = distributed;
-    rt::Scheduler s(cfg);
-    std::atomic<bool> violation{false};
-    std::atomic<bool> c_waiting{false};
-    std::atomic<bool> d_ran{false};
-    std::atomic<unsigned> a_worker{~0u};
-    std::atomic<bool> a_waiting{false};
-    s.run_all([&](unsigned id) {
-      if (id != 0) {
-        while (!c_waiting.load(std::memory_order_acquire)) {
-          std::this_thread::yield();
-        }
-        return;  // proceed to the barrier and drain the parked tasks
+///
+/// Runs with the zero-alloc inline path both on and off: with it on, C never
+/// gets a descriptor — its constraint is represented by the tied-stack entry
+/// the inline path pushes for its parent U (D reattaches to U as well), and
+/// the refusal must still fire; with it off, C is a descriptor-carrying
+/// undeferred task (the seed behaviour PR 1 fixed).
+void exercise_tsc_broken_chain(bool distributed, bool inline_fast) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cutoff = rt::CutoffPolicy::none;  // A, U, B, D must all be deferred
+  cfg.local_order = rt::LocalOrder::fifo;
+  cfg.distributed_parking = distributed;
+  cfg.use_inline_fast_path = inline_fast;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> violation{false};
+  std::atomic<bool> c_waiting{false};
+  std::atomic<bool> d_ran{false};
+  std::atomic<unsigned> a_worker{~0u};
+  std::atomic<bool> a_waiting{false};
+  s.run_all([&](unsigned id) {
+    if (id != 0) {
+      while (!c_waiting.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
       }
-      rt::spawn(rt::Tiedness::tied, [&] {  // A
-        a_worker.store(rt::worker_id(), std::memory_order_relaxed);
-        rt::spawn(rt::Tiedness::tied, [] {});  // B: keeps A's taskwait open
-        a_waiting.store(true, std::memory_order_release);
-        rt::taskwait();
-        a_waiting.store(false, std::memory_order_release);
-      });
-      rt::spawn(rt::Tiedness::untied, [&] {  // U
-        rt::spawn_if(false, rt::Tiedness::tied, [&] {  // C, inlined under U
-          rt::spawn(rt::Tiedness::tied, [&] {  // D: descendant of C, not of A
-            if (a_waiting.load(std::memory_order_acquire) &&
-                rt::worker_id() == a_worker.load(std::memory_order_relaxed)) {
-              violation.store(true);
-            }
-            d_ran.store(true);
-          });
-          c_waiting.store(true, std::memory_order_release);
-          rt::taskwait();
+      return;  // proceed to the barrier and drain the parked tasks
+    }
+    rt::spawn(rt::Tiedness::tied, [&] {  // A
+      a_worker.store(rt::worker_id(), std::memory_order_relaxed);
+      rt::spawn(rt::Tiedness::tied, [] {});  // B: keeps A's taskwait open
+      a_waiting.store(true, std::memory_order_release);
+      rt::taskwait();
+      a_waiting.store(false, std::memory_order_release);
+    });
+    rt::spawn(rt::Tiedness::untied, [&] {  // U
+      rt::spawn_if(false, rt::Tiedness::tied, [&] {  // C, inlined under U
+        rt::spawn(rt::Tiedness::tied, [&] {  // D: descendant of C, not of A
+          if (a_waiting.load(std::memory_order_acquire) &&
+              rt::worker_id() == a_worker.load(std::memory_order_relaxed)) {
+            violation.store(true);
+          }
+          d_ran.store(true);
         });
+        c_waiting.store(true, std::memory_order_release);
+        rt::taskwait();
       });
     });
-    EXPECT_TRUE(d_ran.load()) << "distributed=" << distributed;
-    EXPECT_FALSE(violation.load())
-        << "a tied task ran on a worker holding a suspended non-ancestor "
-           "tied task (distributed="
-        << distributed << ")";
-    const auto t = s.stats().total;
-    EXPECT_EQ(t.tasks_executed, t.tasks_deferred)
-        << "distributed=" << distributed;
+  });
+  EXPECT_TRUE(d_ran.load()) << "distributed=" << distributed
+                            << " inline_fast=" << inline_fast;
+  EXPECT_FALSE(violation.load())
+      << "a tied task ran on a worker holding a suspended non-ancestor "
+         "tied task (distributed="
+      << distributed << " inline_fast=" << inline_fast << ")";
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.tasks_executed, t.tasks_deferred)
+      << "distributed=" << distributed << " inline_fast=" << inline_fast;
+  if (inline_fast) {
+    EXPECT_EQ(t.tasks_inlined_fast, 1u);  // exactly C took the zero-alloc path
+  } else {
+    EXPECT_EQ(t.tasks_inlined_fast, 0u);
   }
+}
+
+TEST(Scheduler, TscChecksEveryStackEntryAcrossUntiedAndInlinedTasks) {
+  for (bool distributed : {true, false}) {
+    exercise_tsc_broken_chain(distributed, /*inline_fast=*/false);
+  }
+}
+
+TEST(Scheduler, TscEnforcedAcrossZeroAllocInlinedTiedTasks) {
+  for (bool distributed : {true, false}) {
+    exercise_tsc_broken_chain(distributed, /*inline_fast=*/true);
+  }
+}
+
+std::uint64_t fib_if(int n, int depth_left) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  const bool defer = depth_left > 0;
+  const int d = defer ? depth_left - 1 : 0;
+  rt::spawn_if(defer, rt::Tiedness::tied, [&a, n, d] { a = fib_if(n - 1, d); });
+  rt::spawn_if(defer, rt::Tiedness::tied, [&b, n, d] { b = fib_if(n - 2, d); });
+  rt::taskwait();
+  return a + b;
+}
+
+TEST(Scheduler, ZeroAllocInlinePathAllocatesNoDescriptors) {
+  // The allocation-regression tripwire (also enforced in CI through
+  // bench_spawn_overhead): with every construct inlined and the fast path
+  // on, the run must report ZERO pool activity — any pool_fresh/pool_reuse
+  // means a descriptor sneaked back onto the zero-alloc path.
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  ASSERT_TRUE(s.config().use_inline_fast_path);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_if(20, 0); });  // depth 0: everything inlined
+  EXPECT_EQ(r, fib_ref(20));
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.pool_fresh + t.pool_reuse, 0u)
+      << "the zero-alloc inline path allocated a descriptor";
+  EXPECT_EQ(t.tasks_inlined_fast, t.tasks_created);
+  EXPECT_EQ(t.tasks_deferred, 0u);
+
+  // A/B: with the knob off, every undeferred construct still allocates.
+  rt::SchedulerConfig off;
+  off.num_threads = 2;
+  off.use_inline_fast_path = false;
+  rt::Scheduler s2(off);
+  std::uint64_t r2 = 0;
+  s2.run_single([&] { r2 = fib_if(20, 0); });
+  EXPECT_EQ(r2, fib_ref(20));
+  const auto t2 = s2.stats().total;
+  EXPECT_EQ(t2.pool_fresh + t2.pool_reuse, t2.tasks_created);
+  EXPECT_EQ(t2.tasks_inlined_fast, 0u);
+}
+
+TEST(Scheduler, InlineFastPathMixedWithDeferredTasksIsCorrect) {
+  // Constructs above the manual depth defer, everything below runs on the
+  // zero-alloc path; children spawned inside inline bodies reattach to the
+  // nearest descriptor-carrying ancestor and the taskwaits stay
+  // conservative, so the result is exact on any team.
+  for (unsigned threads : {1u, 4u, 8u}) {
+    rt::Scheduler s(rt::SchedulerConfig{.num_threads = threads});
+    std::uint64_t r = 0;
+    s.run_single([&] { r = fib_if(22, 6); });
+    EXPECT_EQ(r, fib_ref(22)) << "threads=" << threads;
+    const auto t = s.stats().total;
+    EXPECT_GT(t.tasks_inlined_fast, 0u);
+    EXPECT_GT(t.tasks_deferred, 0u);
+  }
+}
+
+TEST(Scheduler, ExceptionFromZeroAllocInlinedTaskPropagates) {
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  EXPECT_THROW(
+      {
+        s.run_single([] {
+          rt::spawn_if(false, [] { throw std::runtime_error("inline boom"); });
+        });
+      },
+      std::runtime_error);
+  int ok = 0;  // the scheduler survives
+  s.run_single([&ok] { ok = 1; });
+  EXPECT_EQ(ok, 1);
 }
 
 /// Regression stress for the fused finish path: fire-and-forget trees where
@@ -518,6 +611,69 @@ TEST(Cutoff, MaxDepthInlinesBelowDepth) {
   EXPECT_GT(st.total.tasks_cutoff_inlined, 0u);
   // Depth <= 4 spawns are deferred: at most 2^5 - 2 of them... count loosely.
   EXPECT_LT(st.total.tasks_deferred, st.total.tasks_created);
+}
+
+TEST(Cutoff, MaxDepthSeesThroughZeroAllocInlineFrames) {
+  // Descriptor-less inlined tasks still occupy a depth level
+  // (Worker::inline_depth): the max_depth cut-off must defer exactly the
+  // same spawns whether inlined tasks carry a descriptor or not. fib's task
+  // tree is fixed, so the per-depth spawn counts — and with them
+  // tasks_deferred under a depth bound — are schedule-independent.
+  auto deferred_with = [](bool inline_fast) {
+    rt::SchedulerConfig cfg{.num_threads = 2,
+                            .cutoff = rt::CutoffPolicy::max_depth,
+                            .cutoff_value = 5};
+    cfg.use_inline_fast_path = inline_fast;
+    rt::Scheduler s(cfg);
+    std::uint64_t r = 0;
+    s.run_single([&] { r = fib_task(17, rt::Tiedness::tied); });
+    EXPECT_EQ(r, fib_ref(17));
+    return s.stats().total.tasks_deferred;
+  };
+  EXPECT_EQ(deferred_with(true), deferred_with(false));
+}
+
+TEST(Cutoff, InlineDepthDoesNotLeakIntoClaimedTasks) {
+  // Regression: a task claimed at a scheduling point INSIDE an inline body
+  // is a fresh frame whose depth is fully recorded in its descriptor, so
+  // the claimer's inline_depth must not inflate depths computed under it.
+  // Deterministic scenario (1 worker, FIFO, max_depth bound 2): the root
+  // spawns untied T0 and T1 (depth 1, deferred). The region barrier runs T0
+  // first (FIFO); T0 spawns A (depth 2, deferred — keeps its taskwait open)
+  // and inlines untied C via spawn_if(false) (inline_depth = 1). C's
+  // taskwait claims T1 — the oldest pending task, unconstrained because
+  // everything is untied — and T1's spawn of X must see depth 2 (deferred):
+  // a leaked inline_depth makes it 3 and wrongly inlines it. With the
+  // inline path off, C carries a descriptor and waits on no one, and X is
+  // plainly deferred — both runs must defer exactly {T0, T1, A, X}.
+  for (bool inline_fast : {true, false}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 1;
+    cfg.local_order = rt::LocalOrder::fifo;
+    cfg.cutoff = rt::CutoffPolicy::max_depth;
+    cfg.cutoff_value = 2;
+    cfg.use_inline_fast_path = inline_fast;
+    rt::Scheduler s(cfg);
+    std::atomic<int> x_ran{0};
+    s.run_single([&] {
+      rt::spawn(rt::Tiedness::untied, [&] {  // T0
+        rt::spawn(rt::Tiedness::untied, [] {});  // A: keeps the wait open
+        rt::spawn_if(false, rt::Tiedness::untied, [&] {  // C, inlined
+          rt::taskwait();  // claims T1 while inline_depth = 1
+        });
+      });
+      rt::spawn(rt::Tiedness::untied, [&] {  // T1
+        rt::spawn(rt::Tiedness::untied, [&x_ran] {  // X: depth 2, MUST defer
+          x_ran.fetch_add(1);
+        });
+      });
+    });
+    EXPECT_EQ(x_ran.load(), 1) << "inline_fast=" << inline_fast;
+    EXPECT_EQ(s.stats().total.tasks_deferred, 4u)
+        << "inline_fast=" << inline_fast
+        << " (X was wrongly inlined: inline_depth leaked into a claimed "
+           "task)";
+  }
 }
 
 TEST(Cutoff, MaxTasksBoundsLiveTasks) {
@@ -698,9 +854,10 @@ TEST_P(WorksharingThreads, ForDynamicCoversExactlyOnce) {
 
 TEST_P(WorksharingThreads, SingleNowaitRunsOnce) {
   rt::Scheduler s(rt::SchedulerConfig{.num_threads = GetParam()});
+  rt::SingleGate gate(s.num_workers());
   std::atomic<int> runs{0};
   s.run_all([&](unsigned) {
-    rt::single_nowait([&] { runs.fetch_add(1); });
+    rt::single_nowait(gate, [&] { runs.fetch_add(1); });
     rt::barrier();
   });
   EXPECT_EQ(runs.load(), 1);
