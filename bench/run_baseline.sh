@@ -21,6 +21,36 @@ if [[ ! -x "$BUILD/bench_spawn_overhead" || ! -x "$BUILD/bench_fig3_overall" ]];
   exit 1
 fi
 
+# Detected topology (nodes x cores) and the active steal policy, recorded
+# with every baseline entry so the perf trajectory stays interpretable
+# across machines (a hierarchical-policy number from a 2-socket box is not
+# comparable to a flat-topology laptop run). Env values are validated the
+# same way the runtime validates them (steal_policy_from_env /
+# Topology::parse_synthetic), so the recorded metadata always names what
+# the benches actually ran with — an unrecognized value falls back exactly
+# like the runtime's fallback does.
+if [[ "${RT_SYNTHETIC_TOPOLOGY:-}" =~ ^0*[1-9][0-9]*x0*[1-9][0-9]*$ ]]; then
+  topology="${RT_SYNTHETIC_TOPOLOGY} (synthetic)"
+else
+  # Mirror Topology::read_sysfs_nodes: only node directories with a
+  # readable cpulist count, and fewer than two of them means the runtime
+  # ran on the flat single-node fallback — record that, not the raw
+  # directory count.
+  nodes=0
+  for d in /sys/devices/system/node/node[0-9]*; do
+    [[ -r "$d/cpulist" ]] && nodes=$((nodes + 1))
+  done
+  if [[ "$nodes" -ge 2 ]]; then
+    topology="${nodes}x$(( ($(nproc) + nodes - 1) / nodes )) (sysfs)"
+  else
+    topology="1x$(nproc) (flat)"
+  fi
+fi
+case "${RT_STEAL_POLICY:-}" in
+  random|sequential|last_victim|hierarchical) steal_policy="$RT_STEAL_POLICY" ;;
+  *) steal_policy="legacy/last_victim" ;;
+esac
+
 echo "== spawn/steal overhead (fast path A/B) ==" >&2
 spawn_json="$("$BUILD/bench_spawn_overhead")"
 
@@ -36,6 +66,8 @@ fig3_csv="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
   echo "  \"schema\": \"bots-bench-baseline-v1\","
   echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"host_cpus\": $(nproc),"
+  echo "  \"topology\": \"$topology\","
+  echo "  \"steal_policy\": \"$steal_policy\","
   echo "  \"spawn_overhead\": ["
   printf '%s\n' "$spawn_json" | sed 's/^/    /; $!s/$/,/'
   echo "  ],"

@@ -6,6 +6,7 @@
 
 #include "core/kernel_glue.hpp"
 #include "core/rng.hpp"
+#include "runtime/worksharing.hpp"
 
 namespace bots::fft {
 
@@ -122,6 +123,13 @@ struct TaskFft {
   std::size_t leaf;
   std::size_t chunk;
   rt::Tiedness tied;
+  /// SchedulerConfig::use_range_tasks: express each butterfly data-motion
+  /// loop (deinterleave, combine) as ONE splittable range instead of one
+  /// task per chunk — `chunk` becomes the range's grain floor, so an
+  /// uncontended worker runs the loop out of a single descriptor and
+  /// halves only split off when thieves are hungry. Off: the per-chunk
+  /// task generation above stays as the A/B baseline.
+  bool use_range;
 
   void transform(Complex* a, Complex* scratch, std::size_t n,
                  std::size_t stride) const {
@@ -130,14 +138,23 @@ struct TaskFft {
       return;
     }
     const std::size_t half = n / 2;
-    for (std::size_t off = 0; off < half; off += chunk) {
-      const std::size_t end = off + chunk < half ? off + chunk : half;
-      rt::spawn(tied, [a, scratch, off, end, half] {
-        for (std::size_t i = off; i < end; ++i) {
-          scratch[i] = a[2 * i];
-          scratch[i + half] = a[2 * i + 1];
-        }
-      });
+    if (use_range) {
+      rt::spawn_range(tied, 0, static_cast<std::int64_t>(half),
+                      static_cast<std::int64_t>(chunk),
+                      [a, scratch, half](std::int64_t i) {
+                        scratch[i] = a[2 * i];
+                        scratch[i + half] = a[2 * i + 1];
+                      });
+    } else {
+      for (std::size_t off = 0; off < half; off += chunk) {
+        const std::size_t end = off + chunk < half ? off + chunk : half;
+        rt::spawn(tied, [a, scratch, off, end, half] {
+          for (std::size_t i = off; i < end; ++i) {
+            scratch[i] = a[2 * i];
+            scratch[i + half] = a[2 * i + 1];
+          }
+        });
+      }
     }
     rt::taskwait();
     rt::spawn(tied, [this, scratch, a, half, stride] {
@@ -148,15 +165,27 @@ struct TaskFft {
     });
     rt::taskwait();
     const Twiddles& twr = *tw;
-    for (std::size_t off = 0; off < half; off += chunk) {
-      const std::size_t end = off + chunk < half ? off + chunk : half;
-      rt::spawn(tied, [a, scratch, off, end, half, stride, &twr] {
-        for (std::size_t k = off; k < end; ++k) {
-          const Complex t = twr.w[k * stride] * scratch[k + half];
-          a[k] = scratch[k] + t;
-          a[k + half] = scratch[k] - t;
-        }
-      });
+    if (use_range) {
+      rt::spawn_range(tied, 0, static_cast<std::int64_t>(half),
+                      static_cast<std::int64_t>(chunk),
+                      [a, scratch, half, stride, &twr](std::int64_t k) {
+                        const Complex t = twr.w[static_cast<std::size_t>(k) *
+                                                stride] *
+                                          scratch[k + half];
+                        a[k] = scratch[k] + t;
+                        a[k + half] = scratch[k] - t;
+                      });
+    } else {
+      for (std::size_t off = 0; off < half; off += chunk) {
+        const std::size_t end = off + chunk < half ? off + chunk : half;
+        rt::spawn(tied, [a, scratch, off, end, half, stride, &twr] {
+          for (std::size_t k = off; k < end; ++k) {
+            const Complex t = twr.w[k * stride] * scratch[k + half];
+            a[k] = scratch[k] + t;
+            a[k + half] = scratch[k] - t;
+          }
+        });
+      }
     }
     rt::taskwait();
   }
@@ -213,7 +242,8 @@ void run_parallel(const Params& p, std::vector<Complex>& data,
                   rt::Scheduler& sched, const VersionOpts& opts) {
   const Twiddles tw(p.n);
   std::vector<Complex> scratch(p.n);
-  TaskFft tf{&tw, p.leaf, p.loop_chunk, opts.tied};
+  TaskFft tf{&tw, p.leaf, p.loop_chunk, opts.tied,
+             sched.config().use_range_tasks};
   sched.run_single([&] { tf.transform(data.data(), scratch.data(), p.n, 1); });
 }
 

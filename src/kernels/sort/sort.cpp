@@ -6,6 +6,7 @@
 
 #include "core/kernel_glue.hpp"
 #include "core/rng.hpp"
+#include "runtime/worksharing.hpp"
 
 namespace bots::sort {
 
@@ -197,6 +198,67 @@ void sort_serial(Elm* low, Elm* tmp, std::ptrdiff_t size,
 struct TaskSort {
   Thresholds th;
   rt::Tiedness tied;
+  /// SchedulerConfig::use_range_tasks: run each merge phase as ONE
+  /// splittable range over merge-threshold-sized chunks of the
+  /// destination (co-ranking locates each chunk's input subranges), so an
+  /// uncontended merge costs one descriptor and halves split off only
+  /// under thief demand. Off: the binsplit divide-and-conquer recursion
+  /// below generates ~2 tasks per threshold chunk (the A/B baseline).
+  bool use_range;
+
+  /// Co-rank: how many elements of a[0..n1) precede output position k of
+  /// the merged sequence, with a-before-b on ties — the same tie rule as
+  /// seqmerge (*low1 <= *low2 takes from the first array), so chunked
+  /// merges produce byte-identical output.
+  static std::ptrdiff_t corank(std::ptrdiff_t k, const Elm* a,
+                               std::ptrdiff_t n1, const Elm* b,
+                               std::ptrdiff_t n2) {
+    std::ptrdiff_t ilo = k - n2 > 0 ? k - n2 : 0;
+    std::ptrdiff_t ihi = k < n1 ? k : n1;
+    for (;;) {
+      const std::ptrdiff_t i = ilo + (ihi - ilo) / 2;
+      const std::ptrdiff_t j = k - i;
+      if (i > 0 && j < n2 && a[i - 1] > b[j]) {
+        ihi = i - 1;  // took an a element that belongs after b[j]
+      } else if (j > 0 && i < n1 && b[j - 1] >= a[i]) {
+        ilo = i + 1;  // a[i] precedes the last taken b (ties take a first)
+      } else {
+        return i;
+      }
+    }
+  }
+
+  /// Range-task merge: one splittable range over ceil(total/chunk) output
+  /// chunks; each iteration co-ranks its chunk's boundaries and seqmerges
+  /// the two input subranges straight into place.
+  void merge_range(const Elm* a, std::ptrdiff_t n1, const Elm* b,
+                   std::ptrdiff_t n2, Elm* dest) const {
+    const std::ptrdiff_t total = n1 + n2;
+    const std::ptrdiff_t chunk = th.merge > 1 ? th.merge : 1;
+    const std::ptrdiff_t nchunks = (total + chunk - 1) / chunk;
+    rt::spawn_range(
+        tied, 0, nchunks, 1, [a, n1, b, n2, dest, chunk, total](std::int64_t c) {
+          const std::ptrdiff_t k0 = c * chunk;
+          const std::ptrdiff_t k1 = k0 + chunk < total ? k0 + chunk : total;
+          const std::ptrdiff_t i0 = corank(k0, a, n1, b, n2);
+          const std::ptrdiff_t i1 = corank(k1, a, n1, b, n2);
+          const std::ptrdiff_t j0 = k0 - i0;
+          const std::ptrdiff_t j1 = k1 - i1;
+          // An empty subrange is a straight copy; it also keeps seqmerge's
+          // inclusive bounds from forming a pointer before the array.
+          if (i1 == i0) {
+            std::memcpy(dest + k0, b + j0,
+                        static_cast<std::size_t>(j1 - j0) * sizeof(Elm));
+          } else if (j1 == j0) {
+            std::memcpy(dest + k0, a + i0,
+                        static_cast<std::size_t>(i1 - i0) * sizeof(Elm));
+          } else {
+            seqmerge<prof::NoProf>(a + i0, a + i1 - 1, b + j0, b + j1 - 1,
+                                   dest + k0);
+          }
+        });
+    rt::taskwait();
+  }
 
   void merge(Elm* low1, Elm* high1, Elm* low2, Elm* high2,
              Elm* lowdest) const {
@@ -211,6 +273,10 @@ struct TaskSort {
     }
     if ((high2 - low2) + (high1 - low1) + 2 <= th.merge) {
       seqmerge<prof::NoProf>(low1, high1, low2, high2, lowdest);
+      return;
+    }
+    if (use_range) {
+      merge_range(low1, high1 - low1 + 1, low2, high2 - low2 + 1, lowdest);
       return;
     }
     Elm* split1 = low1 + (high1 - low1 + 1) / 2;
@@ -302,7 +368,8 @@ void run_parallel(const Params& p, std::vector<Elm>& data,
   TaskSort ts{{static_cast<std::ptrdiff_t>(p.quick_threshold),
                static_cast<std::ptrdiff_t>(p.merge_threshold),
                static_cast<std::ptrdiff_t>(p.insertion_threshold)},
-              opts.tied};
+              opts.tied,
+              sched.config().use_range_tasks};
   sched.run_single([&] {
     ts.sort(data.data(), tmp.data(), static_cast<std::ptrdiff_t>(data.size()));
   });

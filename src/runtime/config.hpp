@@ -7,6 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <thread>
 
 namespace bots::rt {
@@ -33,8 +36,37 @@ enum class CutoffPolicy : std::uint8_t {
 /// `fifo` is breadth-first (oldest task first).
 enum class LocalOrder : std::uint8_t { lifo, fifo };
 
-/// Victim selection policy when stealing.
+/// Victim selection policy when stealing. Retained from PR 1 as the base
+/// rotation order consumed by the pluggable StealPolicy layer (see
+/// StealPolicyKind below and steal_policy.hpp).
 enum class VictimPolicy : std::uint8_t { random, sequential };
+
+/// Pluggable steal/placement policy (steal_policy.hpp). `legacy` (the
+/// default) derives the policy from the PR-1 knobs `victim` +
+/// `victim_affinity`, so every pre-existing ablation configuration keeps
+/// its meaning; the other values select a policy explicitly.
+enum class StealPolicyKind : std::uint8_t {
+  legacy,       ///< derive from victim + victim_affinity
+  random,       ///< random rotation, no affinity memory
+  sequential,   ///< (id + 1) rotation, no affinity memory
+  last_victim,  ///< last successful victim first, then the base rotation
+  hierarchical  ///< same-node victims before cross-node, scaled batches
+};
+
+/// RT_STEAL_POLICY environment override ("random", "sequential",
+/// "last_victim", "hierarchical"); anything else — including unset — keeps
+/// the legacy derivation. Lets CI and scripts re-run whole test binaries
+/// under a policy without touching code.
+[[nodiscard]] inline StealPolicyKind steal_policy_from_env() noexcept {
+  const char* v = std::getenv("RT_STEAL_POLICY");
+  if (v == nullptr) return StealPolicyKind::legacy;
+  const std::string_view s(v);
+  if (s == "random") return StealPolicyKind::random;
+  if (s == "sequential") return StealPolicyKind::sequential;
+  if (s == "last_victim") return StealPolicyKind::last_victim;
+  if (s == "hierarchical") return StealPolicyKind::hierarchical;
+  return StealPolicyKind::legacy;
+}
 
 /// Cache line size used for padding shared structures (WorkerStats,
 /// WorkerLocal slots, deque tops/bottoms, parked-task inboxes).
@@ -125,6 +157,31 @@ struct SchedulerConfig {
   /// bench_ablation_generators-style A/B comparisons stay possible.
   bool use_range_tasks = true;
 
+  // -- topology-aware scheduling layer (topology.hpp / steal_policy.hpp) ----
+
+  /// Steal/placement policy. The default (`legacy`) derives the policy
+  /// from `victim` + `victim_affinity` exactly as PR 1 behaved; explicit
+  /// values select one of the pluggable policies, `hierarchical` being the
+  /// topology-aware one (same-node victims before crossing the
+  /// interconnect, cross-node steal batches scaled down, range-split
+  /// halves reached by same-node thieves first). Also settable process-wide
+  /// via RT_STEAL_POLICY.
+  StealPolicyKind steal_policy = steal_policy_from_env();
+
+  /// Synthetic locality topology "NxM" (N nodes of M cores): a
+  /// deterministic override of sysfs discovery for tests/CI, where policy
+  /// behaviour must not depend on the host. Empty consults
+  /// RT_SYNTHETIC_TOPOLOGY, then sysfs, then falls back to one flat node.
+  std::string synthetic_topology{};
+
+  /// Adaptive grain for rt::spawn_range (grain.hpp): the runtime retunes a
+  /// scheduler-global grain estimate from observed split density vs
+  /// iterations executed (dense splits grow it, starvation under a coarse
+  /// schedule shrinks it) and spawn_range uses max(caller grain, estimate)
+  /// — so kernels' hardcoded grain=1 becomes a runtime decision. Off: the
+  /// caller's grain is used verbatim (the PR-2 behaviour).
+  bool use_adaptive_grain = true;
+
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {
     if (cutoff_value != 0) return cutoff_value;
@@ -138,6 +195,16 @@ struct SchedulerConfig {
         return 0u;
     }
     return 0u;
+  }
+
+  /// The steal policy actually instantiated: maps `legacy` onto the PR-1
+  /// knobs (victim_affinity selects last_victim over the `victim` base
+  /// rotation), passes explicit selections through.
+  [[nodiscard]] StealPolicyKind resolved_steal_policy() const noexcept {
+    if (steal_policy != StealPolicyKind::legacy) return steal_policy;
+    if (victim_affinity) return StealPolicyKind::last_victim;
+    return victim == VictimPolicy::random ? StealPolicyKind::random
+                                          : StealPolicyKind::sequential;
   }
 };
 
@@ -170,6 +237,17 @@ inline void cpu_relax() noexcept {
 
 [[nodiscard]] constexpr const char* to_string(VictimPolicy v) noexcept {
   return v == VictimPolicy::random ? "random" : "sequential";
+}
+
+[[nodiscard]] constexpr const char* to_string(StealPolicyKind k) noexcept {
+  switch (k) {
+    case StealPolicyKind::legacy: return "legacy";
+    case StealPolicyKind::random: return "random";
+    case StealPolicyKind::sequential: return "sequential";
+    case StealPolicyKind::last_victim: return "last_victim";
+    case StealPolicyKind::hierarchical: return "hierarchical";
+  }
+  return "?";
 }
 
 }  // namespace bots::rt

@@ -1,0 +1,166 @@
+// Adaptive grain control for splittable range tasks (rt::spawn_range).
+//
+// Kernels historically hardcoded grain = 1 ("let the runtime figure it
+// out"), which makes every split check eligible and — under heavy thief
+// demand — fragments a range into descriptors that carry almost no work.
+// The GrainController turns grain into a runtime decision: it watches the
+// same stats the split machinery already produces (iterations executed vs
+// descriptors materialized, i.e. range_splits) plus a cheap starvation
+// signal from the idle path, and retunes a scheduler-global grain estimate:
+//
+//   * dense splits  — descriptors average fewer than `grow_floor`
+//     iterations each: splitting is costing a descriptor + steal transfer
+//     for very little work, so the grain doubles (amortizing the split
+//     checks and fattening every half).
+//   * starvation    — workers keep reporting empty find_work rounds while
+//     the live ranges produced NO split at all (a remainder that never
+//     exceeds the grain cannot split, whatever the per-iteration cost):
+//     the grain halves to re-expose the only parallelism ranges offer.
+//     Keying the shrink on splits-impossible rather than on an absolute
+//     iteration count matters for chunk-granular ranges (Sort's merges:
+//     ~200 heavy iterations per range) — an iteration-count gate would
+//     leave a grown grain unrecoverable there and ratchet the merge
+//     phases serial. The two rules are mutually exclusive per window
+//     (S > 0 grows, S == 0 shrinks), so the estimate at worst oscillates
+//     by one factor of two around the boundary where ranges just barely
+//     split — the right scale.
+//
+// The controller is deliberately scheduler-global (one estimate shared by
+// every spawn_range site) and persistent across regions: loop kernels call
+// the same range shapes region after region, so the estimate converges
+// over the first few regions and stays put. spawn_range treats the
+// caller's grain as a floor — a kernel that *knows* its per-iteration cost
+// (FFT's data-motion chunks) keeps its floor; the hardcoded grain=1 sites
+// are fully runtime-tuned. Gated by SchedulerConfig::use_adaptive_grain.
+//
+// All state is relaxed atomics: signals are statistical, a lost update
+// only delays a retune by one window. TSAN-clean by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bots::rt {
+
+class GrainController {
+ public:
+  /// One retune per this many executed iterations (accumulated across
+  /// ranges and regions, so short regions still learn — just more slowly).
+  static constexpr std::int64_t retune_window = 1024;
+  /// Grow when descriptors average fewer iterations than this (and at
+  /// least one split happened — without splits there is nothing to
+  /// amortize and growing cannot help).
+  static constexpr std::int64_t grow_floor = 64;
+  /// Hungry find_work rounds per team member per window that count as
+  /// starvation. Deliberately low: the idle path's sleep backoff caps the
+  /// note rate at a few hundred per second on a contended box, and the
+  /// real guard is the S == 0 condition — while ranges are splitting at
+  /// all, hunger never shrinks the grain (the splits themselves are the
+  /// feed); only a window whose live ranges could not split once is
+  /// treated as grain-blocked.
+  static constexpr std::uint64_t hungry_floor = 4;
+  static constexpr std::int64_t max_grain = 1 << 16;
+
+  explicit GrainController(unsigned team) noexcept
+      : team_(team == 0 ? 1 : team) {}
+
+  /// Current grain estimate (>= 1). spawn_range uses
+  /// max(caller grain, grain()) when use_adaptive_grain is on.
+  [[nodiscard]] std::int64_t grain() const noexcept {
+    return grain_.load(std::memory_order_relaxed);
+  }
+
+  /// Force the estimate (tests; also usable to warm-start from a previous
+  /// run's converged value).
+  void seed(std::int64_t g) noexcept {
+    grain_.store(clamp(g), std::memory_order_relaxed);
+  }
+
+  /// Retunes applied so far (observability; bench_ablation_steal_policy
+  /// prints it next to the converged grain).
+  [[nodiscard]] std::uint64_t retunes() const noexcept {
+    return retunes_.load(std::memory_order_relaxed);
+  }
+
+  /// Published-but-unfinished range descriptors. Zero whenever the
+  /// scheduler is quiescent — a nonzero value between regions means a
+  /// completion report leaked (asserted by tests around throwing bodies).
+  [[nodiscard]] std::int64_t live_ranges() const noexcept {
+    return live_ranges_.load(std::memory_order_relaxed);
+  }
+
+  /// A range descriptor (an original range or a split-off half) was
+  /// published. Keeps `live_ranges_` matched with on_range_complete so the
+  /// starvation signal below is scoped to windows where range work
+  /// actually exists.
+  void range_published() noexcept {
+    live_ranges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Idle path signal: a find_work round found nothing anywhere. Counted
+  /// only while a range descriptor is live — hunger during range-free
+  /// phases (a fib burst, a region-end barrier tail after the last range
+  /// finished) says nothing about grain, and letting it accumulate
+  /// between retune windows would force a spurious shrink of a healthy
+  /// converged grain the next time a window closes.
+  void note_hungry() noexcept {
+    if (live_ranges_.load(std::memory_order_relaxed) > 0) {
+      hungry_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// A range descriptor (an original range or a split-off half) finished:
+  /// it executed `iters` iterations and split `splits` halves off itself.
+  void on_range_complete(std::int64_t iters, std::int64_t splits) noexcept {
+    live_ranges_.fetch_sub(1, std::memory_order_relaxed);
+    iters_.fetch_add(iters, std::memory_order_relaxed);
+    splits_.fetch_add(splits, std::memory_order_relaxed);
+    descs_.fetch_add(1, std::memory_order_relaxed);
+    if (iters_.load(std::memory_order_relaxed) < retune_window) return;
+    // Claim the whole window; a racing claimant that grabs a short remnant
+    // returns it, so exactly one retune sees the full window.
+    const std::int64_t iters_seen = iters_.exchange(0, std::memory_order_relaxed);
+    if (iters_seen < retune_window) {
+      iters_.fetch_add(iters_seen, std::memory_order_relaxed);
+      return;
+    }
+    const std::int64_t splits_seen =
+        splits_.exchange(0, std::memory_order_relaxed);
+    const std::int64_t descs_seen = descs_.exchange(0, std::memory_order_relaxed);
+    const std::uint64_t hungry_seen =
+        hungry_.exchange(0, std::memory_order_relaxed);
+    const std::int64_t d = descs_seen > 0 ? descs_seen : 1;
+    const std::int64_t g = grain_.load(std::memory_order_relaxed);
+    std::int64_t next = g;
+    if (splits_seen > 0 && iters_seen < grow_floor * d) {
+      next = g * 2;  // dense splits: descriptors too lean, amortize harder
+    } else if (splits_seen == 0 && descs_seen > 0 &&
+               hungry_seen > hungry_floor * team_) {
+      next = g / 2;  // hungry workers + ranges that could not split once:
+                     // the grain is blocking the parallelism, walk it back
+    }
+    next = clamp(next);
+    if (next != g) {
+      grain_.store(next, std::memory_order_relaxed);
+      retunes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::int64_t clamp(std::int64_t g) noexcept {
+    if (g < 1) return 1;
+    if (g > max_grain) return max_grain;
+    return g;
+  }
+
+  std::atomic<std::int64_t> grain_{1};
+  std::atomic<std::int64_t> iters_{0};
+  std::atomic<std::int64_t> splits_{0};
+  std::atomic<std::int64_t> descs_{0};
+  std::atomic<std::int64_t> live_ranges_{0};
+  std::atomic<std::uint64_t> hungry_{0};
+  std::atomic<std::uint64_t> retunes_{0};
+  unsigned team_;
+};
+
+}  // namespace bots::rt

@@ -3,8 +3,11 @@
 
 #include "runtime/config.hpp"      // IWYU pragma: export
 #include "runtime/deque.hpp"       // IWYU pragma: export
+#include "runtime/grain.hpp"       // IWYU pragma: export
 #include "runtime/scheduler.hpp"   // IWYU pragma: export
 #include "runtime/stats.hpp"       // IWYU pragma: export
+#include "runtime/steal_policy.hpp"  // IWYU pragma: export
 #include "runtime/task.hpp"        // IWYU pragma: export
+#include "runtime/topology.hpp"    // IWYU pragma: export
 #include "runtime/worker_local.hpp"  // IWYU pragma: export
 #include "runtime/worksharing.hpp"   // IWYU pragma: export

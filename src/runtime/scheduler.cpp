@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/steal_policy.hpp"
+
 namespace bots::rt {
 
 namespace {
@@ -61,14 +63,21 @@ void Region::store_exception() noexcept {
 }
 
 Scheduler::Scheduler(SchedulerConfig cfg)
-    : cfg_(cfg), cutoff_bound_(cfg.resolved_cutoff_bound()) {
+    : cfg_(cfg),
+      topo_(Topology::detect(cfg.num_threads == 0 ? 1u : cfg.num_threads,
+                             cfg.synthetic_topology)),
+      grain_(cfg.num_threads == 0 ? 1u : cfg.num_threads),
+      cutoff_bound_(cfg.resolved_cutoff_bound()) {
   if (cfg_.num_threads == 0) cfg_.num_threads = 1;
   use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
   acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
+  policy_ = make_steal_policy(cfg_, topo_);
   workers_.reserve(cfg_.num_threads);
   for (unsigned i = 0; i < cfg_.num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(
         this, i, 0x9E3779B97F4A7C15ULL * (i + 1)));
+    workers_.back()->node = topo_.node_of(i);
+    workers_.back()->victim_buf.resize(cfg_.num_threads);
   }
   threads_.reserve(cfg_.num_threads - 1);
   for (unsigned i = 1; i < cfg_.num_threads; ++i) {
@@ -605,32 +614,38 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   const unsigned n = cfg_.num_threads;
   if (n <= 1) return nullptr;
   Task* batch[Worker::stash_capacity];
+  const std::size_t base_cap = std::clamp<std::size_t>(
+      cfg_.steal_batch_max, std::size_t{1}, Worker::stash_capacity);
   // A raid returns the oldest stolen task (or parks it when the TSC refuses
   // it) and keeps any surplus in the private stash, which find_work drains
   // before touching the deque (see Worker::stash). The caller guarantees
   // the stash is empty here. Surplus was already counted in live_tasks when
   // first enqueued, so no accounting happens on this path.
   auto raid = [&](unsigned v) -> std::size_t {
-    if (v == w.id) return 0;
     ++w.stats.steal_attempts;
     WorkStealingDeque& victim = workers_[v]->deque;
     std::size_t got = 0;
     // Batch only when unconstrained: a worker suspended inside a tied task
     // may execute nothing but descendants of it, and a raided batch from an
     // arbitrary victim is mostly non-descendants — it would go straight to
-    // the parked pool, turning one refusal into a batch of them.
+    // the parked pool, turning one refusal into a batch of them. The cap
+    // per victim is the policy's call (hierarchical shrinks it across the
+    // interconnect).
     if (cfg_.steal_half && w.tied_stack.empty()) {
-      const std::size_t cap = std::clamp<std::size_t>(
-          cfg_.steal_batch_max, std::size_t{1}, Worker::stash_capacity);
-      got = victim.steal_batch(batch, cap);
+      got = victim.steal_batch(batch, policy_->batch_cap(w, v, base_cap));
       if (got > 0) ++w.stats.steal_batches;
     } else if (Task* t = victim.steal()) {
       batch[0] = t;
       got = 1;
     }
+    policy_->raided(w, v, got > 0);
     if (got == 0) return 0;
     w.stats.tasks_stolen += got;
-    if (cfg_.victim_affinity) w.last_victim = v;
+    if (workers_[v]->node == w.node) {
+      ++w.stats.steals_local_node;
+    } else {
+      ++w.stats.steals_remote_node;
+    }
     for (std::size_t i = 1; i < got; ++i) w.stash[w.stash_count++] = batch[i];
     return got;
   };
@@ -640,20 +655,11 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
     park_refused(w, first);
     return nullptr;  // the caller re-runs the local phase for the surplus
   };
-  unsigned skip = Worker::no_victim;
-  if (cfg_.victim_affinity && w.last_victim < n) {
-    // Steals come in bursts from the same loaded victim: retry it first.
-    skip = w.last_victim;
-    if (raid(w.last_victim)) return settle(batch[0]);
-    w.last_victim = Worker::no_victim;
-  }
-  const unsigned start = cfg_.victim == VictimPolicy::random
-                             ? static_cast<unsigned>(w.rng_next() % n)
-                             : (w.id + 1) % n;
-  for (unsigned k = 0; k < n; ++k) {
-    const unsigned v = (start + k) % n;
-    if (v == skip) continue;
-    if (raid(v)) return settle(batch[0]);
+  // The probe ORDER is entirely the policy's decision (affinity hints,
+  // same-node-first tiers, rotation); this loop only executes it.
+  const unsigned cnt = policy_->victim_order(w, w.victim_buf.data());
+  for (unsigned k = 0; k < cnt; ++k) {
+    if (raid(w.victim_buf[k])) return settle(batch[0]);
   }
   return nullptr;
 }
@@ -688,8 +694,34 @@ Task* Scheduler::find_work(Worker& w) {
     // progress without returning one: loop back to the local phase.
     bool progress = false;
     if (Task* t = steal_work(w, progress)) return t;
-    if (!progress) return nullptr;
+    if (!progress) {
+      // Nothing local, parked or stealable anywhere: a starvation signal
+      // for the adaptive grain controller (a coarse range schedule that
+      // cannot split is the classic way a team ends up here).
+      if (cfg_.use_adaptive_grain) grain_.note_hungry();
+      return nullptr;
+    }
   }
+}
+
+std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {
+#ifndef NDEBUG
+  {
+    // Between-regions contract: victim_order mutates the worker's plain
+    // rng/affinity state, which races with the worker's own steal rounds
+    // while a region is live.
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    assert(region_ == nullptr &&
+           "plan_steal_order is only valid between regions");
+  }
+#endif
+  std::vector<unsigned> order;
+  if (worker >= workers_.size() || cfg_.num_threads <= 1) return order;
+  Worker& w = *workers_[worker];
+  order.resize(cfg_.num_threads);
+  const unsigned cnt = policy_->victim_order(w, order.data());
+  order.resize(cnt);
+  return order;
 }
 
 bool Scheduler::tsc_allows(const Worker& w, const Task& t) const noexcept {

@@ -55,6 +55,14 @@
 //   batch of non-descendants would land straight in the parked pool). A
 //   worker also remembers the last victim a steal succeeded from and tries
 //   it first (steals come in bursts from loaded workers).
+// * Policy layer: victim selection ORDER, steal-batch sizing and the
+//   range-split demand check are not decided here — steal_work probes the
+//   victims its StealPolicy (steal_policy.hpp) lists, with the batch cap the
+//   policy returns per victim, and RangeRunner asks the policy whether to
+//   split. The hierarchical policy consults the Topology (topology.hpp) to
+//   prefer same-node victims and to shrink cross-node batches; spawn_range
+//   grain is retuned at runtime by the GrainController (grain.hpp) when
+//   use_adaptive_grain is on. The scheduler core only executes decisions.
 // * Zero-alloc undeferred execution: when spawn_if's condition is false or
 //   the cut-off refuses deferral, the closure runs directly on the parent's
 //   frame with no descriptor at all (detail::run_inline_fast): depth is
@@ -103,8 +111,11 @@
 
 #include "runtime/config.hpp"
 #include "runtime/deque.hpp"
+#include "runtime/grain.hpp"
 #include "runtime/stats.hpp"
+#include "runtime/steal_policy.hpp"
 #include "runtime/task.hpp"
+#include "runtime/topology.hpp"
 
 namespace bots::rt {
 
@@ -186,6 +197,12 @@ class Worker {
   std::uint32_t inline_depth = 0;
   bool throttled = false;         ///< adaptive cut-off hysteresis state
   std::uint64_t rng_state;
+  /// Locality domain this worker lives on (Topology::node_of(id), cached
+  /// by the Scheduler constructor). Classifies steals as local/remote.
+  unsigned node = 0;
+  /// Scratch for StealPolicy::victim_order (sized to the team by the
+  /// Scheduler constructor) — one allocation per worker, none per steal.
+  std::vector<unsigned> victim_buf;
 
   static constexpr std::size_t stash_capacity = 64;
 
@@ -225,6 +242,15 @@ namespace detail {
 inline thread_local Worker* tls_worker = nullptr;
 }
 
+// Declared in steal_policy.hpp (Worker was incomplete there); defined here
+// so the range hot loop's once-per-grain-chunk call inlines to three loads.
+inline bool StealPolicy::should_split_range(const Worker& w) const noexcept {
+  // Local queue dry == a steal (or this worker's own drain) just emptied
+  // it: somebody is hungry. A thief's first check after stealing a range
+  // always passes — its queue was empty, that is why it stole.
+  return w.slot == nullptr && w.stash_count == 0 && w.deque.empty_estimate();
+}
+
 class Scheduler {
  public:
   explicit Scheduler(SchedulerConfig cfg = {});
@@ -245,6 +271,24 @@ class Scheduler {
     return cfg_.num_threads;
   }
   [[nodiscard]] const SchedulerConfig& config() const noexcept { return cfg_; }
+
+  /// The locality map this scheduler was built with (synthetic override,
+  /// sysfs discovery, or the flat fallback).
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// The active steal/placement policy (one instance for the whole team).
+  [[nodiscard]] StealPolicy& policy() noexcept { return *policy_; }
+
+  /// Adaptive grain state for spawn_range (see grain.hpp). Meaningful with
+  /// cfg.use_adaptive_grain; always constructed so tests can seed it.
+  [[nodiscard]] GrainController& grain_controller() noexcept { return grain_; }
+
+  /// The victim order the policy would plan for `worker` right now
+  /// (introspection for tests and bench_ablation_steal_policy; advances
+  /// the worker's rng exactly like a real steal round). Only valid BETWEEN
+  /// regions: it touches the worker's plain rng/affinity state, which the
+  /// worker itself mutates while a region runs (asserted in debug builds).
+  [[nodiscard]] std::vector<unsigned> plan_steal_order(unsigned worker);
 
   /// Aggregate per-worker statistics. Call between regions.
   [[nodiscard]] StatsSnapshot stats() const;
@@ -276,6 +320,9 @@ class Scheduler {
   void release_chain(Worker& w, Task* t) noexcept;
 
   SchedulerConfig cfg_;
+  Topology topo_;
+  std::unique_ptr<StealPolicy> policy_;
+  GrainController grain_;
   std::uint32_t cutoff_bound_;
   bool use_slot_ = false;  ///< cfg_.lifo_slot effective under LocalOrder::lifo
   std::uint32_t acct_batch_ = 1;  ///< cached cfg_.accounting_batch (>= 1)
@@ -341,6 +388,11 @@ namespace detail {
 template <class F>
 void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
   ++w.stats.tasks_inlined_fast;
+  // No descriptor is materialized, but the construct still *captured* this
+  // many bytes on the parent's frame — count them so Table-II-style env
+  // statistics do not undercount under heavy inlining (sizeof the closure
+  // is exactly what init_env would have recorded for a deferred twin).
+  w.stats.env_bytes += static_cast<std::uint64_t>(sizeof(std::decay_t<F>));
   const bool push_tied =
       tied == Tiedness::tied &&
       (w.tied_stack.empty() || w.tied_stack.back() != w.current);

@@ -24,6 +24,8 @@ struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t tasks_stolen = 0;         ///< deferred tasks taken from another worker
   std::uint64_t steal_attempts = 0;       ///< deque.steal()/steal_batch() calls on victims
   std::uint64_t steal_batches = 0;        ///< successful steal_batch() raids
+  std::uint64_t steals_local_node = 0;    ///< successful raids on a same-node victim
+  std::uint64_t steals_remote_node = 0;   ///< successful raids across the interconnect
   std::uint64_t taskwaits = 0;
   std::uint64_t tsc_parked = 0;           ///< claims parked by the Task Scheduling Constraint
   std::uint64_t parked_claimed = 0;       ///< parked tasks this worker claimed back
@@ -44,6 +46,8 @@ struct alignas(cache_line_bytes) WorkerStats {
     tasks_stolen += o.tasks_stolen;
     steal_attempts += o.steal_attempts;
     steal_batches += o.steal_batches;
+    steals_local_node += o.steals_local_node;
+    steals_remote_node += o.steals_remote_node;
     taskwaits += o.taskwaits;
     tsc_parked += o.tsc_parked;
     parked_claimed += o.parked_claimed;

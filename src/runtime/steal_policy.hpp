@@ -1,0 +1,96 @@
+// Pluggable steal/placement policies: every scheduling *decision* the
+// work-stealing core used to hardcode now flows through one of these
+// objects — victim selection order, steal-batch sizing, and the
+// range-split demand check (which decides where split halves appear:
+// published on the splitter's own deque, they reach whichever thief the
+// victim order sends there first).
+//
+// One policy instance serves the whole team. Methods take the acting
+// Worker and mutate only that worker's state (last_victim, rng), so the
+// object itself needs no synchronization.
+//
+// Policies (SchedulerConfig::steal_policy, RT_STEAL_POLICY):
+//   random       pure random rotation — the seed behaviour with
+//                victim_affinity off.
+//   sequential   rotation from (id + 1) — the seed's VictimPolicy::
+//                sequential with affinity off.
+//   last_victim  the remembered last successful victim first, then the
+//                base rotation (steals come in bursts from the same
+//                loaded worker) — the PR-1 default behaviour.
+//   hierarchical topology-aware: local LIFO first (find_work's local
+//                phase), then same-node victims (last-victim hint kept
+//                only while it stays on-node), then cross-node victims —
+//                with the steal-half batch scaled down across the
+//                interconnect, so a cross-node raid moves less remote
+//                memory per trip. On a single-node topology it degenerates
+//                to last_victim exactly.
+//   legacy       (default) derive the policy from the PR-1 knobs
+//                `victim` + `victim_affinity`, keeping every existing
+//                ablation configuration meaningful.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/config.hpp"
+#include "runtime/topology.hpp"
+
+namespace bots::rt {
+
+class Worker;
+
+class StealPolicy {
+ public:
+  explicit StealPolicy(const Topology& topo) noexcept : topo_(topo) {}
+  virtual ~StealPolicy() = default;
+
+  StealPolicy(const StealPolicy&) = delete;
+  StealPolicy& operator=(const StealPolicy&) = delete;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Fill `order` with the victim ids to probe this round, most preferred
+  /// first, self excluded; returns how many were written. `order` must
+  /// hold at least team-size entries. Every other worker appears exactly
+  /// once (a full round probes everyone — liveness of the steal loop).
+  virtual unsigned victim_order(Worker& w, unsigned* order) = 0;
+
+  /// Steal-half batch cap for a raid by `w` on victim `v`; `base` is the
+  /// configured steal_batch_max (already clamped to the stash capacity).
+  [[nodiscard]] virtual std::size_t batch_cap(const Worker& w, unsigned v,
+                                              std::size_t base) const noexcept {
+    (void)w;
+    (void)v;
+    return base;
+  }
+
+  /// Outcome notification for a raid on `v` (true = at least one task).
+  virtual void raided(Worker& w, unsigned v, bool success) noexcept {
+    (void)w;
+    (void)v;
+    (void)success;
+  }
+
+  /// Range-split demand check: should the worker executing a range task
+  /// split its upper half off now? The rule — "my local queue is dry", the
+  /// state a steal leaves behind, so splits chase thief demand — is shared
+  /// by every policy (what differs per policy is WHO reaches the half
+  /// first, which the victim order already decides), so this is a
+  /// non-virtual policy-layer check: it runs once per grain chunk in the
+  /// range hot loop and must inline. Defined in scheduler.hpp, after
+  /// Worker. A future policy needing a different demand rule should
+  /// promote it to a virtual hook and eat the per-chunk dispatch then.
+  [[nodiscard]] bool should_split_range(const Worker& w) const noexcept;
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+ protected:
+  const Topology& topo_;
+};
+
+/// Build the policy selected by cfg.resolved_steal_policy(). `topo` must
+/// outlive the returned policy (the Scheduler owns both).
+[[nodiscard]] std::unique_ptr<StealPolicy> make_steal_policy(
+    const SchedulerConfig& cfg, const Topology& topo);
+
+}  // namespace bots::rt

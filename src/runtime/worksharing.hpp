@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/steal_policy.hpp"
 
 namespace bots::rt {
 
@@ -151,21 +152,43 @@ struct RangeRunner {
 
   void operator()() {
     Worker* w = tls_worker;  // range tasks only ever run deferred, in-region
+    Scheduler& s = *w->sched;
+    const StealPolicy& pol = s.policy();
     std::int64_t lo = desc.lo;
     std::int64_t hi = desc.hi;
     const std::int64_t grain = desc.grain;
     const bool splittable = w->region->team_size > 1;
-    while (lo < hi) {
-      if (splittable && hi - lo > grain && w->slot == nullptr &&
-          w->stash_count == 0 && w->deque.empty_estimate()) {
-        const std::int64_t mid = lo + (hi - lo) / 2;
-        split_off(*w, mid, hi);
-        hi = mid;
-        continue;
+    std::int64_t splits = 0;
+    std::int64_t executed = 0;
+    try {
+      while (lo < hi) {
+        // Whether to split is the steal policy's decision (the demand check
+        // lives next to victim selection: the policy knows who the half will
+        // feed — under the hierarchical policy, same-node thieves probe this
+        // deque first, so halves stay on-node while the node is hungry).
+        if (splittable && hi - lo > grain && pol.should_split_range(*w)) {
+          const std::int64_t mid = lo + (hi - lo) / 2;
+          split_off(*w, mid, hi);
+          ++splits;
+          hi = mid;
+          continue;
+        }
+        const std::int64_t stop = lo + grain < hi ? lo + grain : hi;
+        for (std::int64_t i = lo; i < stop; ++i) body(i);
+        executed += stop - lo;
+        lo = stop;
       }
-      const std::int64_t stop = lo + grain < hi ? lo + grain : hi;
-      for (std::int64_t i = lo; i < stop; ++i) body(i);
-      lo = stop;
+    } catch (...) {
+      // The descriptor still completes (the scheduler captures the
+      // exception into the region): report it, or live_ranges_ leaks and
+      // wedges the starvation signal open for the scheduler's lifetime.
+      if (s.config().use_adaptive_grain) {
+        s.grain_controller().on_range_complete(executed, splits);
+      }
+      throw;
+    }
+    if (s.config().use_adaptive_grain) {
+      s.grain_controller().on_range_complete(executed, splits);
     }
   }
 
@@ -177,6 +200,7 @@ struct RangeRunner {
     Task* self = w.current;
     ++w.stats.range_splits;
     ++w.stats.tasks_deferred;
+    if (s.config().use_adaptive_grain) s.grain_controller().range_published();
     TaskStorage storage{};
     Task* t = s.alloc_task(w, storage);
     t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body});
@@ -195,9 +219,13 @@ struct RangeRunner {
 /// `body(i)` runs exactly once per i. `grain` is the iteration budget
 /// between split checks and the threshold below which a remainder is never
 /// split (a split halves the remainder, so descriptors can cover as few as
-/// (grain + 1) / 2 iterations). Joins like any task: a taskwait in the
-/// spawner (or any barrier) covers the range and every half split off it.
-/// Outside a region the range runs serially in place.
+/// (grain + 1) / 2 iterations). With SchedulerConfig::use_adaptive_grain
+/// (the default) the caller's grain is only a FLOOR: the effective grain is
+/// max(grain, GrainController::grain()), so the hardcoded `grain = 1` the
+/// loop kernels pass becomes a runtime decision retuned from observed
+/// split density and starvation (grain.hpp). Joins like any task: a
+/// taskwait in the spawner (or any barrier) covers the range and every
+/// half split off it. Outside a region the range runs serially in place.
 template <class Body>
 void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
                  std::int64_t grain, Body body) {
@@ -209,6 +237,11 @@ void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
     return;
   }
   Scheduler& s = *w->sched;
+  if (s.config().use_adaptive_grain) {
+    const std::int64_t tuned = s.grain_controller().grain();
+    if (tuned > grain) grain = tuned;
+    s.grain_controller().range_published();
+  }
   ++w->stats.tasks_created;
   ++w->stats.range_tasks;
   ++w->stats.tasks_deferred;

@@ -139,6 +139,37 @@ INSTANTIATE_TEST_SUITE_P(Threads, FftThreads, ::testing::Values(1u, 2u, 8u),
                            return "t" + std::to_string(info.param);
                          });
 
+TEST(Fft, RangeTasksCutLoopDescriptorsAtIdenticalOutput) {
+  // The butterfly data-motion loops (deinterleave + combine) as splittable
+  // ranges instead of per-chunk tasks: on a loop-dominated shape (big leaf,
+  // small chunk) the descriptor count must drop by >= 3x — and because the
+  // per-iteration arithmetic is unchanged, the spectra must be
+  // bit-identical, not merely within tolerance.
+  fft::Params p;
+  p.n = 1u << 18;
+  p.leaf = 1u << 14;
+  p.loop_chunk = 1024;
+  auto legacy = fft::make_input(p);
+  auto ranged = legacy;
+  const auto input = legacy;
+  auto deferred_with = [&](bool ranges, std::vector<fft::Complex>& data) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.cutoff = rt::CutoffPolicy::none;  // every construct materializes
+    cfg.use_range_tasks = ranges;
+    rt::Scheduler sched(cfg);
+    fft::run_parallel(p, data, sched, {rt::Tiedness::untied});
+    return sched.stats().total.tasks_deferred;
+  };
+  const std::uint64_t legacy_descs = deferred_with(false, legacy);
+  const std::uint64_t range_descs = deferred_with(true, ranged);
+  EXPECT_TRUE(fft::verify(p, input, legacy));
+  EXPECT_EQ(legacy, ranged);  // identical arithmetic, identical spectrum
+  EXPECT_GE(legacy_descs, 3 * range_descs)
+      << "range tasks did not reduce descriptor traffic (legacy "
+      << legacy_descs << ", ranges " << range_descs << ")";
+}
+
 TEST(Fft, LeafOnlyTransformWorks) {
   // n == leaf size: the recursion immediately uses the iterative kernel.
   fft::Params p = sized(64);

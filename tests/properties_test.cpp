@@ -144,6 +144,52 @@ TEST(Properties, StatsAccountingBalancesOnEveryApp) {
   }
 }
 
+TEST(Properties, InlinePathCountsCapturedEnvironmentBytes) {
+  // Regression pin (ROADMAP: env_bytes on the zero-alloc inline path): a
+  // construct that runs without a descriptor still captured its closure on
+  // the parent's frame, so Table-II-style env statistics must be identical
+  // whether the inline fast path is on or off. The max_depth cut-off makes
+  // the inlined-vs-deferred partition deterministic, and both runs spawn
+  // the identical closure types, so the byte totals must match exactly.
+  auto env_bytes_with = [](bool inline_fast) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.cutoff = rt::CutoffPolicy::max_depth;
+    cfg.cutoff_value = 3;
+    cfg.use_inline_fast_path = inline_fast;
+    rt::Scheduler sched(cfg);
+    std::atomic<std::uint64_t> leaves{0};
+    std::function<void(int)> grow = [&](int d) {
+      if (d == 0) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (int i = 0; i < 3; ++i) {
+        rt::spawn([&grow, d] { grow(d - 1); });
+      }
+      rt::spawn_if(false, [&leaves] {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+      });
+      rt::taskwait();
+    };
+    sched.run_single([&] { grow(6); });
+    const auto t = sched.stats().total;
+    EXPECT_EQ(leaves.load(),
+              729u + 364u);  // 3^6 leaves + one spawn_if per interior call
+    if (inline_fast) {
+      EXPECT_GT(t.tasks_inlined_fast, 0u);
+    } else {
+      EXPECT_EQ(t.tasks_inlined_fast, 0u);
+    }
+    return t.env_bytes;
+  };
+  const std::uint64_t with_inline = env_bytes_with(true);
+  const std::uint64_t without_inline = env_bytes_with(false);
+  EXPECT_GT(with_inline, 0u);
+  EXPECT_EQ(with_inline, without_inline)
+      << "zero-alloc inlined constructs skipped the env_bytes counter";
+}
+
 // ---------------------------------------------------------------------------
 // Determinism properties across thread counts (the paper's Section III-A
 // indeterminism-handling contract, checked suite-wide).

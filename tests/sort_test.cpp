@@ -124,6 +124,60 @@ TEST(Sort, DuplicateHeavyInputSortsCorrectly) {
   EXPECT_EQ(before, after);
 }
 
+TEST(Sort, RangeTasksCutMergeDescriptorsAtIdenticalOutput) {
+  // Merge phases as ONE splittable range over merge-threshold chunks of the
+  // destination (co-ranking) instead of the binsplit divide-and-conquer
+  // task recursion: with thresholds small enough that merges dominate, the
+  // descriptor count must drop by >= 2x at identical verified output.
+  srt::Params p = sized(200'000);
+  p.quick_threshold = 1024;
+  p.merge_threshold = 1024;
+  auto run_with = [&](bool ranges, std::uint64_t& deferred) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.cutoff = rt::CutoffPolicy::none;  // every construct materializes
+    cfg.use_range_tasks = ranges;
+    rt::Scheduler sched(cfg);
+    auto v = srt::make_input(p);
+    srt::run_parallel(p, v, sched, {rt::Tiedness::untied});
+    deferred = sched.stats().total.tasks_deferred;
+    return v;
+  };
+  std::uint64_t legacy_descs = 0;
+  std::uint64_t range_descs = 0;
+  const auto legacy = run_with(false, legacy_descs);
+  const auto ranged = run_with(true, range_descs);
+  EXPECT_TRUE(srt::verify(p, legacy));
+  EXPECT_EQ(legacy, ranged);  // same permutation input, identical output
+  EXPECT_GE(legacy_descs, 2 * range_descs)
+      << "range merges did not reduce descriptor traffic (legacy "
+      << legacy_descs << ", ranges " << range_descs << ")";
+}
+
+TEST(Sort, RangeMergeHandlesDuplicateHeavyInput) {
+  // Co-ranking must terminate and cover every output slot when the inputs
+  // are saturated with equal keys (the binary search's tie-breaking is the
+  // delicate part).
+  srt::Params p = sized(65'536);
+  p.quick_threshold = 512;
+  p.merge_threshold = 512;
+  std::vector<srt::Elm> v(p.n);
+  std::vector<std::size_t> before(5, 0);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    v[i] = static_cast<srt::Elm>(i % 5);
+    ++before[i % 5];
+  }
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.use_range_tasks = true;
+  rt::Scheduler sched(cfg);
+  srt::run_parallel(p, v, sched, {rt::Tiedness::tied});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  std::vector<std::size_t> after(5, 0);
+  for (auto e : v) ++after[static_cast<std::size_t>(e)];
+  EXPECT_EQ(after, before);
+}
+
 TEST(Sort, ProfileRowTaskSitesMatchStructure) {
   const auto row = srt::profile_row(core::InputClass::test);
   EXPECT_GT(row.potential_tasks, 0u);

@@ -1,0 +1,310 @@
+// Topology/steal-policy layer tests: synthetic-topology determinism, the
+// hierarchical policy's same-node-before-cross-node victim order, its
+// single-node degeneration to last_victim, steal locality counters, and
+// correctness of every policy under the usual workloads.
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/rt.hpp"
+
+namespace rt = bots::rt;
+
+namespace {
+
+std::uint64_t fib_ref(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t fib_task(int n, rt::Tiedness tied) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn(tied, [&a, n, tied] { a = fib_task(n - 1, tied); });
+  rt::spawn(tied, [&b, n, tied] { b = fib_task(n - 2, tied); });
+  rt::taskwait();
+  return a + b;
+}
+
+// ---------------------------------------------------------------------------
+// Topology: synthetic specs are deterministic; bad specs fall through.
+// ---------------------------------------------------------------------------
+
+TEST(Topology, SyntheticSpecMapsWorkersBlockwise) {
+  const rt::Topology t = rt::Topology::detect(8, "2x4");
+  EXPECT_EQ(t.source(), "synthetic");
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.num_workers(), 8u);
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(t.node_of(w), 0u) << w;
+  for (unsigned w = 4; w < 8; ++w) EXPECT_EQ(t.node_of(w), 1u) << w;
+  EXPECT_TRUE(t.same_node(1, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+  EXPECT_EQ(t.workers_on(0), (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(t.workers_on(1), (std::vector<unsigned>{4, 5, 6, 7}));
+}
+
+TEST(Topology, OversubscribedTeamWrapsAroundNodes) {
+  // More workers than nodes*cores: worker (w / cores) % nodes — worker 8 of
+  // a 2x4 box lands back on node 0.
+  const rt::Topology t = rt::Topology::detect(10, "2x4");
+  EXPECT_EQ(t.node_of(8), 0u);
+  EXPECT_EQ(t.node_of(9), 0u);
+}
+
+TEST(Topology, InvalidSpecsFallBackToDiscovery) {
+  for (const char* bad : {"", "x", "2x", "x4", "0x4", "2x0", "2y4", "ax4",
+                          "2x4x8", "-1x4"}) {
+    unsigned n = 77, c = 77;
+    EXPECT_FALSE(rt::Topology::parse_synthetic(bad, n, c)) << bad;
+    EXPECT_EQ(n, 77u) << bad;  // outputs untouched on failure
+  }
+  unsigned n = 0, c = 0;
+  EXPECT_TRUE(rt::Topology::parse_synthetic("2x4", n, c));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(c, 4u);
+  const rt::Topology t = rt::Topology::detect(4, "not-a-spec");
+  EXPECT_GE(t.num_nodes(), 1u);  // discovery or flat, never zero nodes
+  EXPECT_EQ(t.num_workers(), 4u);
+}
+
+TEST(Topology, FlatFallbackPutsEveryoneOnOneNode) {
+  // A spec the parser rejects on a (likely) single-node host: every worker
+  // must land somewhere, and every node list must partition the team.
+  const rt::Topology t = rt::Topology::detect(6, "");
+  std::size_t listed = 0;
+  for (unsigned node = 0; node < t.num_nodes(); ++node) {
+    listed += t.workers_on(node).size();
+  }
+  EXPECT_EQ(listed, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Victim order: the planning decision itself, fully deterministic.
+// ---------------------------------------------------------------------------
+
+rt::SchedulerConfig policy_cfg(unsigned threads, rt::StealPolicyKind kind,
+                               const char* topo) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  cfg.steal_policy = kind;
+  cfg.synthetic_topology = topo;
+  return cfg;
+}
+
+TEST(StealPolicy, HierarchicalProbesWholeHomeNodeBeforeCrossing) {
+  rt::Scheduler s(policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4"));
+  // Every planning round, for every worker, whatever the rng rotation:
+  // the first three victims are exactly the home-node siblings, the last
+  // four exactly the remote node.
+  for (unsigned w = 0; w < 8; ++w) {
+    const unsigned home = s.topology().node_of(w);
+    for (int round = 0; round < 32; ++round) {
+      const std::vector<unsigned> order = s.plan_steal_order(w);
+      ASSERT_EQ(order.size(), 7u) << "worker " << w;
+      std::set<unsigned> seen(order.begin(), order.end());
+      ASSERT_EQ(seen.size(), 7u) << "duplicate victim for worker " << w;
+      for (std::size_t k = 0; k < 3; ++k) {
+        EXPECT_EQ(s.topology().node_of(order[k]), home)
+            << "worker " << w << " probe " << k << " crossed early";
+      }
+      for (std::size_t k = 3; k < 7; ++k) {
+        EXPECT_NE(s.topology().node_of(order[k]), home)
+            << "worker " << w << " probe " << k << " re-visited home late";
+      }
+    }
+  }
+}
+
+TEST(StealPolicy, EveryPolicyPlansAFullValidRound) {
+  for (const rt::StealPolicyKind kind :
+       {rt::StealPolicyKind::random, rt::StealPolicyKind::sequential,
+        rt::StealPolicyKind::last_victim, rt::StealPolicyKind::hierarchical}) {
+    rt::Scheduler s(policy_cfg(6, kind, "3x2"));
+    for (int round = 0; round < 16; ++round) {
+      const std::vector<unsigned> order = s.plan_steal_order(2);
+      ASSERT_EQ(order.size(), 5u) << to_string(kind);
+      std::set<unsigned> seen(order.begin(), order.end());
+      EXPECT_EQ(seen.size(), 5u) << to_string(kind);
+      EXPECT_EQ(seen.count(2), 0u) << to_string(kind) << " listed self";
+    }
+  }
+}
+
+TEST(StealPolicy, HierarchicalOnOneNodeDegeneratesToLastVictim) {
+  // Same seed, same team, single node: the hierarchical plan must be the
+  // last_victim plan, round for round (the documented degeneration).
+  rt::Scheduler hier(policy_cfg(4, rt::StealPolicyKind::hierarchical, "1x4"));
+  rt::Scheduler last(policy_cfg(4, rt::StealPolicyKind::last_victim, "1x4"));
+  for (int round = 0; round < 32; ++round) {
+    EXPECT_EQ(hier.plan_steal_order(1), last.plan_steal_order(1))
+        << "round " << round;
+  }
+}
+
+TEST(StealPolicy, SequentialOrderIsTheNeighborRotation) {
+  rt::Scheduler s(policy_cfg(4, rt::StealPolicyKind::sequential, "1x4"));
+  EXPECT_EQ(s.plan_steal_order(1), (std::vector<unsigned>{2, 3, 0}));
+  EXPECT_EQ(s.plan_steal_order(3), (std::vector<unsigned>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Steal locality counters (the per-raid Topology classification).
+// ---------------------------------------------------------------------------
+
+/// Force at least one steal: worker 0 publishes a flag-setting task (plus a
+/// second spawn so the first is evicted from the private LIFO slot into the
+/// stealable deque) and then busy-waits on the flag WITHOUT reaching a task
+/// scheduling point — it cannot run the task itself, so a thief must.
+rt::StatsSnapshot run_forced_steal(rt::SchedulerConfig cfg) {
+  cfg.cutoff = rt::CutoffPolicy::none;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> stolen{false};
+  s.run_single([&stolen] {
+    rt::spawn(rt::Tiedness::untied,
+              [&stolen] { stolen.store(true, std::memory_order_release); });
+    rt::spawn(rt::Tiedness::untied, [] {});
+    while (!stolen.load(std::memory_order_acquire)) std::this_thread::yield();
+    rt::taskwait();
+  });
+  return s.stats();
+}
+
+TEST(StealPolicy, SingleNodeTopologyNeverCountsRemoteSteals) {
+  const auto t =
+      run_forced_steal(policy_cfg(4, rt::StealPolicyKind::hierarchical, "1x4"))
+          .total;
+  EXPECT_EQ(t.steals_remote_node, 0u);
+  EXPECT_GT(t.steals_local_node, 0u);  // the forced steal, at least
+}
+
+TEST(StealPolicy, EveryWorkerItsOwnNodeCountsOnlyRemoteSteals) {
+  // 4 nodes of 1 core: every victim is across the interconnect, so every
+  // successful raid must land in steals_remote_node — the counter the
+  // hierarchical policy exists to minimize.
+  const auto t =
+      run_forced_steal(policy_cfg(4, rt::StealPolicyKind::hierarchical, "4x1"))
+          .total;
+  EXPECT_EQ(t.steals_local_node, 0u);
+  EXPECT_GT(t.steals_remote_node, 0u);
+}
+
+TEST(StealPolicy, HomeNodeFeedsItsOwnBeforeTheInterconnect) {
+  // 2x2, generator on worker 0, with workers 2/3 (node 1) held OUT of the
+  // steal race until the region's work is done: worker 1 shares node 0
+  // with the generator, so every steal it lands is same-node. Its remote
+  // counter must stay zero — under the hierarchical order it never probes
+  // node 1 before its home node, and node 1 never has work anyway.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> done{false};
+  std::atomic<int> executed{0};
+  s.run_all([&](unsigned id) {
+    if (id >= 2) {
+      while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+      return;
+    }
+    if (id == 0) {
+      for (int i = 0; i < 2000; ++i) {
+        rt::spawn(rt::Tiedness::untied,
+                  [&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+      }
+      rt::taskwait();
+      done.store(true, std::memory_order_release);
+    }
+  });
+  EXPECT_EQ(executed.load(), 2000);
+  const auto per = s.stats().per_worker;
+  EXPECT_EQ(per[1].steals_remote_node, 0u)
+      << "worker 1 crossed the interconnect despite a loaded home node";
+}
+
+// ---------------------------------------------------------------------------
+// Correctness sweeps: every policy, multi-node synthetic boxes, tied and
+// untied, range tasks included.
+// ---------------------------------------------------------------------------
+
+struct PolicyTopoCase {
+  rt::StealPolicyKind kind;
+  const char* topo;
+  rt::Tiedness tied;
+};
+
+class PolicyTopoMatrix : public ::testing::TestWithParam<PolicyTopoCase> {};
+
+TEST_P(PolicyTopoMatrix, FibCorrect) {
+  const PolicyTopoCase pc = GetParam();
+  rt::Scheduler s(policy_cfg(8, pc.kind, pc.topo));
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(20, pc.tied); });
+  EXPECT_EQ(r, fib_ref(20));
+}
+
+TEST_P(PolicyTopoMatrix, RangeTasksCoverExactlyOnce) {
+  const PolicyTopoCase pc = GetParam();
+  rt::Scheduler s(policy_cfg(8, pc.kind, pc.topo));
+  constexpr std::int64_t n = 10000;
+  std::vector<std::atomic<std::uint32_t>> hits(n);
+  rt::SingleGate gate(s.num_workers());
+  s.run_all([&](unsigned) {
+    rt::single_nowait(gate, [&] {
+      rt::spawn_range(pc.tied, 0, n, 1, [&hits](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+      });
+    });
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1u) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PolicyTopoMatrix,
+    ::testing::Values(
+        PolicyTopoCase{rt::StealPolicyKind::random, "2x4",
+                       rt::Tiedness::untied},
+        PolicyTopoCase{rt::StealPolicyKind::sequential, "4x2",
+                       rt::Tiedness::tied},
+        PolicyTopoCase{rt::StealPolicyKind::last_victim, "2x4",
+                       rt::Tiedness::tied},
+        PolicyTopoCase{rt::StealPolicyKind::hierarchical, "2x4",
+                       rt::Tiedness::untied},
+        PolicyTopoCase{rt::StealPolicyKind::hierarchical, "2x4",
+                       rt::Tiedness::tied},
+        PolicyTopoCase{rt::StealPolicyKind::hierarchical, "8x1",
+                       rt::Tiedness::tied},
+        PolicyTopoCase{rt::StealPolicyKind::hierarchical, "3x3",
+                       rt::Tiedness::untied}),
+    [](const auto& info) {
+      std::string topo = info.param.topo;
+      std::replace(topo.begin(), topo.end(), 'x', '_');
+      return std::string(to_string(info.param.kind)) + "_" + topo + "_" +
+             to_string(info.param.tied);
+    });
+
+TEST(StealPolicy, LegacyKnobsStillSelectTheOldPolicies) {
+  rt::SchedulerConfig cfg;
+  cfg.steal_policy = rt::StealPolicyKind::legacy;
+  cfg.victim_affinity = true;
+  EXPECT_EQ(cfg.resolved_steal_policy(), rt::StealPolicyKind::last_victim);
+  cfg.victim_affinity = false;
+  cfg.victim = rt::VictimPolicy::sequential;
+  EXPECT_EQ(cfg.resolved_steal_policy(), rt::StealPolicyKind::sequential);
+  cfg.victim = rt::VictimPolicy::random;
+  EXPECT_EQ(cfg.resolved_steal_policy(), rt::StealPolicyKind::random);
+  cfg.steal_policy = rt::StealPolicyKind::hierarchical;
+  EXPECT_EQ(cfg.resolved_steal_policy(), rt::StealPolicyKind::hierarchical);
+}
+
+}  // namespace

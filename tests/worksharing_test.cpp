@@ -2,6 +2,7 @@
 // concurrent steals, and the first-arrival single_nowait gate.
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -150,6 +151,161 @@ TEST(RangeSpawn, BodiesMaySpawnOrdinaryTasks) {
     });
   });
   EXPECT_EQ(inner.load(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive grain (GrainController): convergence in both directions.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveGrain, GrowsUnderDenseSplits) {
+  // grain = 1 on a trivial-body range fragments it into descriptors that
+  // average far fewer than GrainController::grow_floor iterations (the
+  // owner's own split chain alone guarantees splits every region): within a
+  // few retune windows the controller must raise the grain.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  ASSERT_EQ(s.grain_controller().grain(), 1);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 200 && s.grain_controller().grain() == 1;
+       ++round) {
+    sum.store(0, std::memory_order_relaxed);
+    s.run_single([&sum] {
+      rt::spawn_range(0, 512, 1, [&sum](std::int64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      });
+    });
+    ASSERT_EQ(sum.load(), 511L * 512 / 2) << "round " << round;
+  }
+  EXPECT_GT(s.grain_controller().grain(), 1);
+  EXPECT_GT(s.grain_controller().retunes(), 0u);
+}
+
+TEST(AdaptiveGrain, ShrinksUnderStarvation) {
+  // A grain coarser than the whole range cannot split (hi - lo never
+  // exceeds it): the team starves behind one serial executor while the
+  // descriptors stay far above starve_ceiling iterations — the controller
+  // must walk the grain back down.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  const std::int64_t coarse = std::int64_t{1} << 15;
+  s.grain_controller().seed(coarse);
+  for (int round = 0; round < 40 && s.grain_controller().grain() >= coarse;
+       ++round) {
+    s.run_single([] {
+      rt::spawn_range(0, 8192, 1, [](std::int64_t) {
+        // Starvation is only counted while the range is live, so the
+        // serial execution must last long enough (tens of ms) for the
+        // three starving workers to report their empty find_work rounds
+        // even on a single-cpu box.
+        for (volatile int spin = 0; spin < 5000; ++spin) {
+        }
+      });
+    });
+  }
+  EXPECT_LT(s.grain_controller().grain(), coarse);
+}
+
+TEST(AdaptiveGrain, CallerGrainStaysAFloorAndKnobOffIsVerbatim) {
+  {
+    // Adaptive ON: the controller can only coarsen beyond the caller's
+    // grain, never refine below it — a range no larger than the caller's
+    // grain must stay a single descriptor even with the estimate at 1.
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 4;
+    cfg.use_adaptive_grain = true;
+    rt::Scheduler s(cfg);
+    ASSERT_EQ(s.grain_controller().grain(), 1);
+    std::int64_t sum = 0;
+    rt::SingleGate gate(s.num_workers());
+    s.run_all([&](unsigned) {
+      rt::single_nowait(gate, [&] {
+        rt::spawn_range(0, 3000, 4000, [&sum](std::int64_t i) { sum += i; });
+      });
+    });
+    EXPECT_EQ(sum, 2999L * 3000 / 2);
+    EXPECT_EQ(s.stats().total.range_splits, 0u);
+    EXPECT_EQ(s.stats().total.tasks_deferred, 1u);
+  }
+  {
+    // Adaptive OFF: the runtime must not touch the caller's grain and the
+    // controller must never learn (no retunes, estimate pinned at 1).
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 2;
+    cfg.use_adaptive_grain = false;
+    rt::Scheduler s(cfg);
+    std::atomic<std::int64_t> hits{0};
+    for (int round = 0; round < 10; ++round) {
+      s.run_single([&hits] {
+        rt::spawn_range(0, 2000, 1, [&hits](std::int64_t) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+    EXPECT_EQ(hits.load(), 10 * 2000);
+    EXPECT_EQ(s.grain_controller().grain(), 1);
+    EXPECT_EQ(s.grain_controller().retunes(), 0u);
+  }
+}
+
+TEST(AdaptiveGrain, RecoversWhenGrainOutgrowsChunkGranularRanges) {
+  // Ratchet regression: ranges with FEW, HEAVY iterations (Sort's merge
+  // phases: ~200 chunk-merges per range) average far under grow_floor
+  // iterations per descriptor, so growth can push the global grain past
+  // the whole range size — after which no merge range can ever split. The
+  // shrink rule must be reachable in exactly that state (hungry workers,
+  // zero splits), whatever the iteration count; an absolute-iteration
+  // shrink gate would leave the grain stuck and the phases serial forever.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  const std::int64_t stuck = 1024;  // far above the 200-iteration ranges
+  s.grain_controller().seed(stuck);
+  for (int round = 0; round < 60 && s.grain_controller().grain() >= stuck;
+       ++round) {
+    s.run_single([] {
+      rt::spawn_range(0, 200, 1, [](std::int64_t) {
+        for (volatile int spin = 0; spin < 40000; ++spin) {
+        }
+      });
+    });
+  }
+  EXPECT_LT(s.grain_controller().grain(), stuck)
+      << "grain ratcheted above chunk-granular ranges with no way back";
+}
+
+TEST(AdaptiveGrain, ThrowingRangeBodyStillReportsCompletion) {
+  // A range body that throws must not leak the controller's live-range
+  // count: a wedged count keeps the starvation signal armed forever and
+  // re-opens the spurious-shrink hole the live gating exists to close.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  EXPECT_THROW(
+      {
+        s.run_single([] {
+          rt::spawn_range(0, 100, 1, [](std::int64_t i) {
+            if (i == 3) throw std::runtime_error("range boom");
+          });
+        });
+      },
+      std::runtime_error);
+  EXPECT_EQ(s.grain_controller().live_ranges(), 0)
+      << "a throwing range body leaked its completion report";
+  // And the scheduler (controller included) keeps working afterwards.
+  std::atomic<std::int64_t> hits{0};
+  s.run_single([&hits] {
+    rt::spawn_range(0, 500, 1, [&hits](std::int64_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(hits.load(), 500);
+  EXPECT_EQ(s.grain_controller().live_ranges(), 0);
 }
 
 // ---------------------------------------------------------------------------
