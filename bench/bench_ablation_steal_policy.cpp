@@ -3,12 +3,18 @@
 // sequential, last_victim, hierarchical) over benchmarks with different
 // task shapes, at the sweep's top thread count, and reports speed-up vs
 // serial plus the steal-locality split (steals_local_node vs
-// steals_remote_node) and the adaptive grain each run converged to.
+// steals_remote_node), the remote probes the has-work hints saved, how many
+// workers were verifiably pinned, and the per-site adaptive grain each run
+// converged to. The hierarchical policy additionally runs a pinned × hint
+// on/off axis (PR 4), so the cost/benefit of worker pinning and cross-node
+// probe throttling is measurable in isolation.
 //
 // On a single-node host the hierarchical policy degenerates to
 // last_victim, so for an interconnect-sensitive A/B set a synthetic
 // topology first, e.g.:
 //   RT_SYNTHETIC_TOPOLOGY=2x4 ./build/bench_ablation_steal_policy
+// (Pinning against a synthetic topology only sticks where the node cpusets
+// name CPUs this machine has; the `pinned` column reports reality.)
 //
 // Honours the usual BOTS_INPUT_CLASS / BOTS_MAX_THREADS / BOTS_BENCH_REPS.
 #include <benchmark/benchmark.h>
@@ -26,7 +32,7 @@ namespace {
 
 struct Key {
   std::string app;
-  std::string policy;
+  std::string config;
   auto operator<=>(const Key&) const = default;
 };
 
@@ -34,25 +40,38 @@ struct Outcome {
   bench::Measurement m;
   std::uint64_t steals_local = 0;
   std::uint64_t steals_remote = 0;
-  std::int64_t grain = 1;
+  std::uint64_t probes_skipped = 0;
+  std::uint64_t pinned = 0;  ///< verifiably pinned workers, last rep
+  std::string grain;         ///< per-site converged grain, last rep
 };
 
 std::map<Key, Outcome> g_results;
 
+/// One policy configuration of the ablation axis: the four policies plus
+/// the hierarchical pinned/hint crosses.
+struct ConfigCase {
+  std::string label;
+  rt::StealPolicyKind kind;
+  bool pin = false;
+  bool hints = true;
+};
+
 void bm_config(benchmark::State& state, const core::AppInfo* app,
-               std::string version, std::string policy,
+               std::string version, std::string config,
                rt::SchedulerConfig cfg, core::InputClass input) {
   for (auto _ : state) {
     rt::Scheduler sched(cfg);
     sched.run_single([] {});
     const auto rep = app->run(input, version, sched, /*verify=*/false);
     state.SetIterationTime(rep.seconds);
-    Outcome& out = g_results[{app->name, policy}];
+    Outcome& out = g_results[{app->name, config}];
     out.m.offer(rep);
     const auto t = sched.stats().total;
     out.steals_local += t.steals_local_node;
     out.steals_remote += t.steals_remote_node;
-    out.grain = sched.grain_controller().grain();
+    out.probes_skipped += t.remote_probes_skipped;
+    out.pinned = t.pinned;
+    out.grain = sched.grain_table().describe();
   }
 }
 
@@ -68,11 +87,16 @@ int main(int argc, char** argv) {
       {"alignment", "tied"},
       {"sparselu", "for-tied"},
   };
-  const std::vector<rt::StealPolicyKind> policies = {
-      rt::StealPolicyKind::random,
-      rt::StealPolicyKind::sequential,
-      rt::StealPolicyKind::last_victim,
-      rt::StealPolicyKind::hierarchical,
+  const std::vector<ConfigCase> configs = {
+      {"random", rt::StealPolicyKind::random},
+      {"sequential", rt::StealPolicyKind::sequential},
+      {"last_victim", rt::StealPolicyKind::last_victim},
+      {"hierarchical", rt::StealPolicyKind::hierarchical},
+      // The PR-4 axis: what do pinning and probe throttling buy, alone and
+      // together, on top of the hierarchical victim order?
+      {"hier/nohint", rt::StealPolicyKind::hierarchical, false, false},
+      {"hier/pin", rt::StealPolicyKind::hierarchical, true, true},
+      {"hier/pin+nohint", rt::StealPolicyKind::hierarchical, true, false},
   };
 
   {
@@ -83,7 +107,8 @@ int main(int argc, char** argv) {
               << to_string(sweep.input) << " inputs ==\n"
               << "topology: " << s.topology().describe() << " ("
               << s.topology().num_nodes() << " node(s); set "
-              << "RT_SYNTHETIC_TOPOLOGY=NxM to override)\n";
+              << "RT_SYNTHETIC_TOPOLOGY=NxM to override; RT_PIN_WORKERS=1 "
+              << "pins every configuration)\n";
   }
 
   std::map<std::string, core::RunReport> serial;
@@ -94,13 +119,14 @@ int main(int argc, char** argv) {
 
   for (const auto& [name, version] : apps) {
     const auto* app = core::find_app(name);
-    for (const rt::StealPolicyKind kind : policies) {
+    for (const ConfigCase& cc : configs) {
       rt::SchedulerConfig cfg;
       cfg.num_threads = threads;
-      cfg.steal_policy = kind;
-      benchmark::RegisterBenchmark(
-          (name + "/" + to_string(kind)).c_str(), bm_config, app, version,
-          std::string(to_string(kind)), cfg, sweep.input)
+      cfg.steal_policy = cc.kind;
+      cfg.pin_workers = cfg.pin_workers || cc.pin;
+      cfg.use_node_work_hints = cc.hints;
+      benchmark::RegisterBenchmark((name + "/" + cc.label).c_str(), bm_config,
+                                   app, version, cc.label, cfg, sweep.input)
           ->UseManualTime()
           ->Iterations(1)
           ->Repetitions(sweep.reps)
@@ -111,34 +137,38 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  std::cout << "\nSpeed-up vs serial per steal policy:\n";
-  std::vector<std::string> headers{"policy"};
+  std::cout << "\nSpeed-up vs serial per steal policy configuration:\n";
+  std::vector<std::string> headers{"config"};
   for (const auto& [name, version] : apps) headers.push_back(name);
   core::TableWriter t(headers);
-  for (const rt::StealPolicyKind kind : policies) {
-    std::vector<std::string> row{to_string(kind)};
+  for (const ConfigCase& cc : configs) {
+    std::vector<std::string> row{cc.label};
     for (const auto& [name, version] : apps) {
       row.push_back(core::format_fixed(
-          g_results[{name, to_string(kind)}].m.best.speedup_vs(serial[name]),
-          2));
+          g_results[{name, cc.label}].m.best.speedup_vs(serial[name]), 2));
     }
     t.add_row(row);
   }
   t.render(std::cout);
 
-  std::cout << "\nSteal locality (local/remote successful raids, summed over "
-               "reps) and converged adaptive grain:\n";
-  core::TableWriter loc({"app", "policy", "steals local", "steals remote",
-                         "grain"});
+  std::cout << "\nSteal locality (successful raids, summed over reps), "
+               "skipped remote probes, pinned workers and converged "
+               "per-site grain:\n";
+  core::TableWriter loc({"app", "config", "steals local", "steals remote",
+                         "probes skipped", "pinned", "grain"});
   for (const auto& [key, out] : g_results) {
-    loc.add_row({key.app, key.policy, std::to_string(out.steals_local),
+    loc.add_row({key.app, key.config, std::to_string(out.steals_local),
                  std::to_string(out.steals_remote),
-                 std::to_string(out.grain)});
+                 std::to_string(out.probes_skipped),
+                 std::to_string(out.pinned) + "/" + std::to_string(threads),
+                 out.grain});
   }
   loc.render(std::cout);
   std::cout << "\nExpected shape: on a multi-node topology, hierarchical\n"
                "shifts the raid mix toward steals-local and should match or\n"
-               "beat last_victim; on one node the two are identical by\n"
-               "construction.\n";
+               "beat last_victim (identical on one node by construction);\n"
+               "hints should show probes-skipped > 0 whenever a node idles\n"
+               "with no speed-up loss, and pinning only reports workers the\n"
+               "machine could actually place on their node's cpuset.\n";
   return 0;
 }

@@ -50,16 +50,29 @@ case "${RT_STEAL_POLICY:-}" in
   random|sequential|last_victim|hierarchical) steal_policy="$RT_STEAL_POLICY" ;;
   *) steal_policy="legacy/last_victim" ;;
 esac
+# Pinning state, validated the way the runtime validates RT_PIN_WORKERS
+# (env_flag in config.hpp): the recorded value names what the benches
+# actually ran with. Whether pins actually STICK is per-worker and
+# per-entry — the fig3 SITEGRAIN lines below carry the verified counts.
+case "${RT_PIN_WORKERS:-}" in
+  1|true|on) pin_workers="on" ;;
+  *) pin_workers="off" ;;
+esac
 
 echo "== spawn/steal overhead (fast path A/B) ==" >&2
 spawn_json="$("$BUILD/bench_spawn_overhead")"
 
 echo "== Figure 3 smoke (2 threads, test input) ==" >&2
-fig3_csv="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
+fig3_out="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
             BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
             BOTS_BENCH_REPS="${BOTS_BENCH_REPS:-1}" \
-            "$BUILD/bench_fig3_overall" --benchmark_min_time=0.01 2>/dev/null |
+            "$BUILD/bench_fig3_overall" --benchmark_min_time=0.01 2>/dev/null)"
+fig3_csv="$(printf '%s\n' "$fig3_out" |
             awk '/^CSV:$/{f=1;next} f&&/^[[:space:]]*$/{f=0} f')"
+# Per-entry pinning + per-site grain lines (app,pinned=N/T,global=... ...),
+# emitted by bench_fig3_overall behind the SITEGRAIN: sentinel.
+fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
+            awk '/^SITEGRAIN:$/{f=1;next} f&&/^[[:space:]]*$/{f=0} f')"
 
 {
   echo "{"
@@ -68,11 +81,16 @@ fig3_csv="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
   echo "  \"host_cpus\": $(nproc),"
   echo "  \"topology\": \"$topology\","
   echo "  \"steal_policy\": \"$steal_policy\","
+  echo "  \"pin_workers\": \"$pin_workers\","
   echo "  \"spawn_overhead\": ["
   printf '%s\n' "$spawn_json" | sed 's/^/    /; $!s/$/,/'
   echo "  ],"
   echo "  \"fig3_csv\": ["
   printf '%s\n' "$fig3_csv" |
+    sed 's/"/\\"/g; s/^[[:space:]]*//; s/^/    "/; s/$/"/' | sed '$!s/$/,/'
+  echo "  ],"
+  echo "  \"fig3_site_grain\": ["
+  printf '%s\n' "$fig3_sitegrain" |
     sed 's/"/\\"/g; s/^[[:space:]]*//; s/^/    "/; s/$/"/' | sed '$!s/$/,/'
   echo "  ]"
   echo "}"

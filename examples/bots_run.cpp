@@ -60,6 +60,14 @@ void print_report(const core::RunReport& rep, bool with_stats) {
         static_cast<unsigned long long>(s.tasks_stolen),
         static_cast<unsigned long long>(s.taskwaits),
         static_cast<unsigned long long>(s.env_bytes));
+    std::printf(
+        "           locality: steals-local=%llu steals-remote=%llu "
+        "remote-probes-skipped=%llu pinned=%llu/%u grain: %s\n",
+        static_cast<unsigned long long>(s.steals_local_node),
+        static_cast<unsigned long long>(s.steals_remote_node),
+        static_cast<unsigned long long>(s.remote_probes_skipped),
+        static_cast<unsigned long long>(s.pinned), rep.threads,
+        rep.grain_sites.empty() ? "n/a" : rep.grain_sites.c_str());
   }
 }
 

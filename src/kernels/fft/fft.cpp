@@ -139,7 +139,10 @@ struct TaskFft {
     }
     const std::size_t half = n / 2;
     if (use_range) {
-      rt::spawn_range(tied, 0, static_cast<std::int64_t>(half),
+      // Data-motion iterations; the caller chunk stays the floor and the
+      // site converges its own estimate above it (grain.hpp).
+      constexpr rt::RangeSite kScatterSite{"fft/scatter"};
+      rt::spawn_range(kScatterSite, tied, 0, static_cast<std::int64_t>(half),
                       static_cast<std::int64_t>(chunk),
                       [a, scratch, half](std::int64_t i) {
                         scratch[i] = a[2 * i];
@@ -166,7 +169,9 @@ struct TaskFft {
     rt::taskwait();
     const Twiddles& twr = *tw;
     if (use_range) {
-      rt::spawn_range(tied, 0, static_cast<std::int64_t>(half),
+      constexpr rt::RangeSite kButterflySite{"fft/butterfly"};
+      rt::spawn_range(kButterflySite, tied, 0,
+                      static_cast<std::int64_t>(half),
                       static_cast<std::int64_t>(chunk),
                       [a, scratch, half, stride, &twr](std::int64_t k) {
                         const Complex t = twr.w[static_cast<std::size_t>(k) *

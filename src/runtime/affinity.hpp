@@ -1,0 +1,126 @@
+// Thread-affinity primitives for worker pinning (SchedulerConfig::pin_workers).
+//
+// The Topology layer maps workers onto locality nodes, but a map alone is
+// aspirational: unpinned threads migrate wherever the OS likes, so the
+// hierarchical steal policy's "same-node first" reasoning need not match
+// reality. These helpers close that gap — each worker pins itself to its
+// node's cpuset at region entry (Scheduler::apply_pinning) and the observed
+// placement is recorded so benchmarks can prove the map matched the machine.
+//
+// Everything degrades gracefully: on non-Linux hosts, when the cpuset names
+// no CPU this machine has (a synthetic "2x4" topology on a 4-core box), or
+// when sched_setaffinity is refused (cpuset cgroups, seccomp), the functions
+// return false and the worker simply stays unpinned — pinning is a
+// performance knob, never a correctness requirement.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bots::rt {
+
+/// Kernel thread id of the calling thread, -1 where unavailable. Unlike a
+/// std::thread::id this can address the thread in a later
+/// sched_setaffinity from ANYWHERE — how ~Scheduler (or a caller-thread
+/// hand-off) restores a mask it saved on a different thread.
+[[nodiscard]] inline long current_tid() noexcept {
+#if defined(__linux__)
+  return static_cast<long>(::syscall(SYS_gettid));
+#else
+  return -1;
+#endif
+}
+
+/// Pin thread `tid` (0 = the calling thread) to `cpus`. CPU ids outside
+/// the kernel's fixed cpu_set_t range are dropped from the mask (they
+/// cannot exist here); returns false — leaving the thread's affinity
+/// untouched — when the surviving mask is empty, the syscall fails (the
+/// thread may be gone), or the platform has no affinity API. Note Linux
+/// itself intersects the mask with the online CPUs, so a partially-valid
+/// cpuset pins to its valid subset.
+[[nodiscard]] inline bool pin_thread(long tid,
+                                     const std::vector<unsigned>& cpus) noexcept {
+#if defined(__linux__)
+  if (cpus.empty() || tid < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (const unsigned cpu : cpus) {
+    if (cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(static_cast<pid_t>(tid), sizeof(set), &set) == 0;
+#else
+  (void)tid;
+  (void)cpus;
+  return false;
+#endif
+}
+
+/// Pin the calling thread to `cpus` (see pin_thread).
+[[nodiscard]] inline bool pin_current_thread(
+    const std::vector<unsigned>& cpus) noexcept {
+  return pin_thread(0, cpus);
+}
+
+/// True while `tid` names a live thread of THIS process. Gate for
+/// cross-thread mask restores: kernel tids are recycled after a thread
+/// exits, and sched_setaffinity would happily retarget whoever inherited
+/// the id — scoping to /proc/self/task rules out foreign processes and
+/// exited threads (a same-process tid wraparound collision remains
+/// theoretically possible, and harmlessly re-masks our own thread).
+[[nodiscard]] inline bool same_process_thread(long tid) noexcept {
+#if defined(__linux__)
+  if (tid < 0) return false;
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/self/task/%ld", tid);
+  return ::access(path, F_OK) == 0;
+#else
+  (void)tid;
+  return false;
+#endif
+}
+
+/// The CPU the calling thread is executing on right now, -1 when unknown.
+/// Immediately after a successful pin this proves the placement: the value
+/// must be a member of the requested cpuset.
+[[nodiscard]] inline int current_cpu() noexcept {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+/// Read the calling thread's current affinity mask into `out` (ascending
+/// CPU ids). Used to save the caller thread's mask before worker 0 pins
+/// itself, so ~Scheduler can restore it. Returns false (out untouched)
+/// when unavailable.
+[[nodiscard]] inline bool save_current_affinity(
+    std::vector<unsigned>& out) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return false;
+  std::vector<unsigned> cpus;
+  for (unsigned cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+  }
+  out = std::move(cpus);
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+}  // namespace bots::rt

@@ -68,6 +68,19 @@ enum class StealPolicyKind : std::uint8_t {
   return StealPolicyKind::legacy;
 }
 
+/// Boolean environment knob: "1"/"true"/"on" and "0"/"false"/"off" are
+/// recognized, anything else — including unset — keeps the fallback. Used
+/// by RT_PIN_WORKERS and RT_NODE_HINTS so CI legs can flip whole test
+/// binaries without touching code, mirroring RT_STEAL_POLICY.
+[[nodiscard]] inline bool env_flag(const char* name, bool fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string_view s(v);
+  if (s == "1" || s == "true" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "off") return false;
+  return fallback;
+}
+
 /// Cache line size used for padding shared structures (WorkerStats,
 /// WorkerLocal slots, deque tops/bottoms, parked-task inboxes).
 inline constexpr std::size_t cache_line_bytes = 64;
@@ -174,13 +187,48 @@ struct SchedulerConfig {
   /// RT_SYNTHETIC_TOPOLOGY, then sysfs, then falls back to one flat node.
   std::string synthetic_topology{};
 
+  /// Pin every worker thread to its topology node's cpuset at region entry
+  /// (sched_setaffinity; see affinity.hpp and Scheduler::apply_pinning), so
+  /// the hierarchical policy's locality reasoning matches what the OS
+  /// actually schedules. Graceful no-op per worker when the node's cpuset
+  /// names no CPU this machine has (synthetic topologies) or the syscall is
+  /// refused; the post-pin placement is verified and recorded in
+  /// WorkerStats::pinned so benchmarks can prove the map matched reality.
+  /// Worker 0 is the caller thread — its pre-pin mask is restored when the
+  /// Scheduler is destroyed. Also settable via RT_PIN_WORKERS=1.
+  bool pin_workers = env_flag("RT_PIN_WORKERS", false);
+
+  /// Per-node "has work" hints consulted by the hierarchical steal policy:
+  /// one cache-line-padded word per node, published on enqueue and steal
+  /// surplus, cleared when a fruitless steal round observes the whole home
+  /// node dry. A planning round skips remote nodes whose word is clear
+  /// (cutting interconnect probe traffic when a remote node is idle,
+  /// counted in WorkerStats::remote_probes_skipped); a backoff forces an
+  /// unconditional full probe round every few gated rounds so a stale hint
+  /// delays a steal by a bounded number of rounds and can never starve the
+  /// team. The words are only instantiated when something would read them
+  /// — the hierarchical policy on a multi-node topology — so every other
+  /// configuration pays nothing for the default-on knob. Off: every round
+  /// probes every remote deque (the PR-3 behaviour). Also settable via
+  /// RT_NODE_HINTS=0/1.
+  bool use_node_work_hints = env_flag("RT_NODE_HINTS", true);
+
   /// Adaptive grain for rt::spawn_range (grain.hpp): the runtime retunes a
-  /// scheduler-global grain estimate from observed split density vs
-  /// iterations executed (dense splits grow it, starvation under a coarse
-  /// schedule shrinks it) and spawn_range uses max(caller grain, estimate)
-  /// — so kernels' hardcoded grain=1 becomes a runtime decision. Off: the
-  /// caller's grain is used verbatim (the PR-2 behaviour).
+  /// grain estimate from observed split density vs iterations executed
+  /// (dense splits grow it, starvation under a coarse schedule shrinks it)
+  /// and spawn_range uses max(caller grain, estimate) — so kernels'
+  /// hardcoded grain=1 becomes a runtime decision. Off: the caller's grain
+  /// is used verbatim (the PR-2 behaviour).
   bool use_adaptive_grain = true;
+
+  /// Key grain estimates by spawn site (rt::RangeSite tags threaded through
+  /// spawn_range): each tagged call site converges its own GrainController
+  /// in a small fixed-size table, so a workload mixing cheap-iteration and
+  /// expensive-iteration ranges (SparseLU phases vs Alignment rows) does
+  /// not force one compromise estimate. Untagged sites — and every site
+  /// when this is off — share the scheduler-global controller (the PR-3
+  /// behaviour). Only meaningful with use_adaptive_grain.
+  bool use_site_grain = true;
 
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {

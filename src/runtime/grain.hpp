@@ -6,7 +6,7 @@
 // The GrainController turns grain into a runtime decision: it watches the
 // same stats the split machinery already produces (iterations executed vs
 // descriptors materialized, i.e. range_splits) plus a cheap starvation
-// signal from the idle path, and retunes a scheduler-global grain estimate:
+// signal from the idle path, and retunes a grain estimate:
 //
 //   * dense splits  — descriptors average fewer than `grow_floor`
 //     iterations each: splitting is costing a descriptor + steal transfer
@@ -25,22 +25,70 @@
 //     by one factor of two around the boundary where ranges just barely
 //     split — the right scale.
 //
-// The controller is deliberately scheduler-global (one estimate shared by
-// every spawn_range site) and persistent across regions: loop kernels call
-// the same range shapes region after region, so the estimate converges
-// over the first few regions and stays put. spawn_range treats the
-// caller's grain as a floor — a kernel that *knows* its per-iteration cost
-// (FFT's data-motion chunks) keeps its floor; the hardcoded grain=1 sites
-// are fully runtime-tuned. Gated by SchedulerConfig::use_adaptive_grain.
+// Scope of an estimate — two axes, both closing PR-3 gaps:
 //
-// All state is relaxed atomics: signals are statistical, a lost update
-// only delays a retune by one window. TSAN-clean by construction.
+//   * Per spawn site. One scheduler-global estimate mis-serves workloads
+//     that mix cheap and expensive iterations (SparseLU's phases vs
+//     Alignment's rows): whichever shape closes more windows drags the
+//     shared estimate its way. Call sites therefore tag their ranges with
+//     a RangeSite and the GrainTable gives every tagged site its own
+//     controller (a small fixed-size hash table; colliding sites share a
+//     slot, which only costs precision, never correctness). Untagged
+//     sites — and everything when SchedulerConfig::use_site_grain is off
+//     — fall back to the global controller, the PR-3 behaviour.
+//   * Per region, with a region-start reset. Retuned state does NOT
+//     persist across run_region calls: at region start every controller's
+//     estimate drops back to its seeded base (1 unless seed() raised it),
+//     so a region that converged coarse on huge cheap iterations cannot
+//     poison the next region's first splits (cross-region bleed). The
+//     window accumulators DO persist, so short repeated regions still
+//     learn — just within each region's own estimate. spawn_range treats
+//     the caller's grain as a floor either way: a kernel that *knows* its
+//     per-iteration cost (FFT's data-motion chunks) keeps its floor.
+//
+// Gated by SchedulerConfig::use_adaptive_grain (+ use_site_grain).
+//
+// All counter state is relaxed atomics: signals are statistical, a lost
+// update only delays a retune by one window. TSAN-clean by construction.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <sstream>
+#include <string>
 
 namespace bots::rt {
+
+/// Compile-time tag for a spawn_range call site. Construct one constexpr
+/// instance per lexical call site from a string literal (kept for
+/// observability — GrainTable::describe names converged sites with it):
+///
+///   constexpr rt::RangeSite kMergeSite{"sort/merge"};
+///   rt::spawn_range(kMergeSite, tied, 0, n, 1, body);
+///
+/// A default-constructed RangeSite (id 0) is "untagged" and maps to the
+/// scheduler-global controller.
+struct RangeSite {
+  const char* name = nullptr;
+  std::uint32_t id = 0;
+
+  constexpr RangeSite() = default;
+  explicit constexpr RangeSite(const char* n)
+      : name(n), id(fnv1a(n) == 0 ? 1u : fnv1a(n)) {}
+
+  /// FNV-1a over the site name (0 is reserved for "untagged", so a hash of
+  /// exactly 0 is nudged to 1 above — full 32-bit spread is kept otherwise;
+  /// forcing bits here would bias the GrainTable's slot index).
+  [[nodiscard]] static constexpr std::uint32_t fnv1a(const char* s) noexcept {
+    std::uint32_t h = 2166136261u;
+    for (; *s != '\0'; ++s) {
+      h ^= static_cast<std::uint32_t>(static_cast<unsigned char>(*s));
+      h *= 16777619u;
+    }
+    return h;
+  }
+};
 
 class GrainController {
  public:
@@ -61,8 +109,13 @@ class GrainController {
   static constexpr std::uint64_t hungry_floor = 4;
   static constexpr std::int64_t max_grain = 1 << 16;
 
+  GrainController() noexcept = default;
   explicit GrainController(unsigned team) noexcept
       : team_(team == 0 ? 1 : team) {}
+
+  /// Table construction seam: GrainTable default-constructs its slots and
+  /// then sets the team size (std::array cannot forward ctor arguments).
+  void set_team(unsigned team) noexcept { team_ = team == 0 ? 1 : team; }
 
   /// Current grain estimate (>= 1). spawn_range uses
   /// max(caller grain, grain()) when use_adaptive_grain is on.
@@ -70,10 +123,22 @@ class GrainController {
     return grain_.load(std::memory_order_relaxed);
   }
 
-  /// Force the estimate (tests; also usable to warm-start from a previous
-  /// run's converged value).
+  /// Set the estimate AND the base the estimate resets to at every region
+  /// start — a warm start survives regions, a retune does not (retuned
+  /// state is what cross-region bleed is made of). Tests use this to put
+  /// the controller into a known state.
   void seed(std::int64_t g) noexcept {
-    grain_.store(clamp(g), std::memory_order_relaxed);
+    base_ = clamp(g);
+    grain_.store(base_, std::memory_order_relaxed);
+  }
+
+  /// Region-start reset: drop the estimate back to the seeded base so a
+  /// coarse estimate learned on one region's workload cannot poison the
+  /// next region's first splits. Window accumulators are kept — partial
+  /// windows keep accumulating across short regions. Called by run_region
+  /// (between regions; no worker is concurrently retuning).
+  void on_region_start() noexcept {
+    grain_.store(base_, std::memory_order_relaxed);
   }
 
   /// Retunes applied so far (observability; bench_ablation_steal_policy
@@ -160,7 +225,83 @@ class GrainController {
   std::atomic<std::int64_t> live_ranges_{0};
   std::atomic<std::uint64_t> hungry_{0};
   std::atomic<std::uint64_t> retunes_{0};
-  unsigned team_;
+  /// Region-start reset target. Written only between regions (seed /
+  /// construction); read by on_region_start, also between regions.
+  std::int64_t base_ = 1;
+  unsigned team_ = 1;
+};
+
+/// The scheduler's grain estimates: one global controller (untagged sites,
+/// and everything when per-site keying is disabled) plus a small fixed-size
+/// table of per-site controllers keyed by RangeSite id. Sites hashing to
+/// the same slot share a controller — precision degrades, nothing breaks —
+/// and the first name to claim a slot labels it in describe().
+class GrainTable {
+ public:
+  /// Prime, and comfortably larger than the number of tagged sites the
+  /// kernels ship (8), so the folded hash spreads collision-free in
+  /// practice — verified for every in-tree site name. ~5 KB of slots.
+  static constexpr std::size_t site_slots = 61;
+
+  explicit GrainTable(unsigned team, bool per_site = true) noexcept
+      : per_site_(per_site), global_(team) {
+    for (Slot& s : sites_) s.ctrl.set_team(team);
+  }
+
+  [[nodiscard]] GrainController& global() noexcept { return global_; }
+
+  /// The controller serving `site`: the global one for untagged sites (and
+  /// for every site when per-site keying is off), the site's hash slot
+  /// otherwise.
+  [[nodiscard]] GrainController& for_site(RangeSite site) noexcept {
+    if (site.id == 0 || !per_site_) return global_;
+    // Fold the high half in before the modulo: FNV-1a's low bits alone
+    // cluster for short strings, and a biased index quietly merges sites
+    // (colliding sites share one estimate AND one describe() label).
+    const std::uint32_t mixed = site.id ^ (site.id >> 16);
+    Slot& s = sites_[mixed % site_slots];
+    if (s.name.load(std::memory_order_relaxed) == nullptr) {
+      s.name.store(site.name, std::memory_order_relaxed);
+    }
+    return s.ctrl;
+  }
+
+  /// Idle-path fan-out: each controller's live-range gate decides whether
+  /// the hunger concerns it, so forwarding to all of them is both correct
+  /// and cheap (one relaxed load per idle round per slot).
+  void note_hungry() noexcept {
+    global_.note_hungry();
+    for (Slot& s : sites_) s.ctrl.note_hungry();
+  }
+
+  void on_region_start() noexcept {
+    global_.on_region_start();
+    for (Slot& s : sites_) s.ctrl.on_region_start();
+  }
+
+  /// "global=G site=G ..." for every site that has bound a slot — recorded
+  /// by bench_ablation_steal_policy and run_baseline.sh so per-site
+  /// convergence stays visible in the perf trajectory.
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "global=" << global_.grain();
+    for (const Slot& s : sites_) {
+      if (const char* n = s.name.load(std::memory_order_relaxed)) {
+        os << ' ' << n << '=' << s.ctrl.grain();
+      }
+    }
+    return os.str();
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};  ///< first site literal bound here
+    GrainController ctrl;
+  };
+
+  bool per_site_;
+  GrainController global_;
+  std::array<Slot, site_slots> sites_;
 };
 
 }  // namespace bots::rt

@@ -1,6 +1,7 @@
 // Umbrella header for the bots::rt task-parallel runtime.
 #pragma once
 
+#include "runtime/affinity.hpp"    // IWYU pragma: export
 #include "runtime/config.hpp"      // IWYU pragma: export
 #include "runtime/deque.hpp"       // IWYU pragma: export
 #include "runtime/grain.hpp"       // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/affinity.hpp"
 #include "runtime/steal_policy.hpp"
 
 namespace bots::rt {
@@ -66,12 +67,15 @@ Scheduler::Scheduler(SchedulerConfig cfg)
     : cfg_(cfg),
       topo_(Topology::detect(cfg.num_threads == 0 ? 1u : cfg.num_threads,
                              cfg.synthetic_topology)),
-      grain_(cfg.num_threads == 0 ? 1u : cfg.num_threads),
+      grain_table_(cfg.num_threads == 0 ? 1u : cfg.num_threads,
+                   cfg.use_site_grain),
       cutoff_bound_(cfg.resolved_cutoff_bound()) {
   if (cfg_.num_threads == 0) cfg_.num_threads = 1;
   use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
   acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
-  policy_ = make_steal_policy(cfg_, topo_);
+  rebuild_node_hints();
+  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  if (cfg_.pin_workers) pin_generation_ = 1;
   workers_.reserve(cfg_.num_threads);
   for (unsigned i = 0; i < cfg_.num_threads; ++i) {
     workers_.push_back(std::make_unique<Worker>(
@@ -91,6 +95,10 @@ Scheduler::~Scheduler() {
     stopping_ = true;
   }
   region_cv_.notify_all();
+  // Hand the pinned caller thread back its pre-pin mask (directly when
+  // destruction runs on that thread, by liveness-checked tid otherwise —
+  // see restore_caller_mask for why the guard matters).
+  restore_caller_mask();
   // std::jthread joins on destruction.
 }
 
@@ -148,6 +156,11 @@ void Scheduler::run_region(Region& r) {
     return;
   }
 
+  // Region-start grain reset (grain.hpp): retuned estimates drop back to
+  // their seeded base so a coarse grain learned on the previous region's
+  // workload cannot block this region's first splits.
+  if (cfg_.use_adaptive_grain) grain_table_.on_region_start();
+
   {
     std::lock_guard<std::mutex> lock(region_mutex_);
     region_ = &r;
@@ -176,6 +189,17 @@ void Scheduler::run_region(Region& r) {
 }
 
 void Scheduler::participate(Worker& w, Region& r) {
+  // Pinning happens here — on the worker's own thread, before any work —
+  // the first time, whenever reconfigure() bumped the generation, and for
+  // worker 0 whenever a DIFFERENT caller thread enters the region (worker
+  // 0 is whichever thread called run_*; a pin applied to a previous caller
+  // says nothing about this one).
+  if (pin_generation_ != 0 &&
+      (w.pin_seen != pin_generation_ ||
+       (w.id == 0 && caller_thread_ != std::this_thread::get_id()))) {
+    apply_pinning(w);
+  }
+  w.stats.pinned = w.pin_applied ? 1u : 0u;
   w.region = &r;
   w.throttled = false;
   w.live_delta = 0;
@@ -185,6 +209,7 @@ void Scheduler::participate(Worker& w, Region& r) {
   w.inline_depth = 0;
   assert(w.tied_stack.empty() && "a suspended tied task outlived its region");
   w.last_victim = Worker::no_victim;
+  w.gated_rounds = 0;
   w.slot = nullptr;
   w.stash_count = 0;
   w.parked_recheck = true;
@@ -271,6 +296,10 @@ void Scheduler::flush_accounting(Worker& w) noexcept {
 }
 
 void Scheduler::enqueue(Worker& w, Task& t) {
+  // Advertise this node as fed (NodeHints): remote hierarchical planners
+  // consult the word before spending interconnect probes here. The steady
+  // state (word already set) costs one relaxed load.
+  if (hints_) hints_->publish(w.node);
   if (cfg_.batch_accounting) {
     ++w.live_delta;
     // Once this worker has arrived at a barrier, increments flush eagerly:
@@ -326,14 +355,16 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
   try {
     t.invoke();
   } catch (...) {
-    if (w.region != nullptr) {
-      w.region->store_exception();
-    } else {
-      t.destroy_env();
-      w.current = prev;
-      w.inline_depth = prev_inline;
-      throw;
-    }
+    // An undeferred task is sequenced in its parent, so the exception
+    // propagates synchronously from the spawn call (OpenMP semantics) —
+    // after the descriptor is retired like any completed task: the
+    // parent's child count must drop and the storage must recycle, or the
+    // descriptor (and through it the parent chain) leaks.
+    t.destroy_env();
+    w.current = prev;
+    w.inline_depth = prev_inline;
+    finish_task(w, t, /*deferred=*/false);
+    throw;
   }
   t.destroy_env();
   w.current = prev;
@@ -647,6 +678,11 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
       ++w.stats.steals_remote_node;
     }
     for (std::size_t i = 1; i < got; ++i) w.stash[w.stash_count++] = batch[i];
+    // Surplus transition: this node now holds stealable-soon work (the
+    // stash drains through the thief, whose splits/spawns re-enqueue
+    // here). Publishing is the conservative direction — a set word only
+    // costs probes.
+    if (got > 1 && hints_) hints_->publish(w.node);
     return got;
   };
   auto settle = [&](Task* first) -> Task* {
@@ -660,6 +696,22 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   const unsigned cnt = policy_->victim_order(w, w.victim_buf.data());
   for (unsigned k = 0; k < cnt; ++k) {
     if (raid(w.victim_buf[k])) return settle(batch[0]);
+  }
+  // Node-wide dryness check, only on a fully fruitless round: this
+  // worker's local state is already empty (find_work precondition), so if
+  // every home deque also looks empty the node's has-work word goes down
+  // and remote planners stop paying probes for us. A publish racing this
+  // clear is benign: home workers never consult the word for their own
+  // node, and the hierarchical backoff bounds the remote delay.
+  if (hints_) {
+    bool dry = true;
+    for (const unsigned m : topo_.workers_on(w.node)) {
+      if (!workers_[m]->deque.empty_estimate()) {
+        dry = false;
+        break;
+      }
+    }
+    if (dry) hints_->clear(w.node);
   }
   return nullptr;
 }
@@ -696,25 +748,123 @@ Task* Scheduler::find_work(Worker& w) {
     if (Task* t = steal_work(w, progress)) return t;
     if (!progress) {
       // Nothing local, parked or stealable anywhere: a starvation signal
-      // for the adaptive grain controller (a coarse range schedule that
-      // cannot split is the classic way a team ends up here).
-      if (cfg_.use_adaptive_grain) grain_.note_hungry();
+      // for the adaptive grain controllers (a coarse range schedule that
+      // cannot split is the classic way a team ends up here). Each
+      // controller's live-range gate scopes the note to the sites it
+      // concerns.
+      if (cfg_.use_adaptive_grain) grain_table_.note_hungry();
       return nullptr;
     }
   }
 }
 
-std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {
+void Scheduler::assert_between_regions() noexcept {
 #ifndef NDEBUG
-  {
-    // Between-regions contract: victim_order mutates the worker's plain
-    // rng/affinity state, which races with the worker's own steal rounds
-    // while a region is live.
-    std::lock_guard<std::mutex> lock(region_mutex_);
-    assert(region_ == nullptr &&
-           "plan_steal_order is only valid between regions");
-  }
+  // Between-regions contract shared by plan_steal_order and reconfigure:
+  // both mutate plain per-worker state (rng, affinity hints, node ids)
+  // that the workers themselves mutate while a region is live.
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  assert(region_ == nullptr && "only valid between regions");
 #endif
+}
+
+void Scheduler::rebuild_node_hints() {
+  // Hints cost a publish load on every enqueue and a dryness scan on every
+  // fruitless steal round, and ONLY the hierarchical policy on a
+  // multi-node topology ever reads them — every other configuration gets
+  // a null pointer and pays nothing.
+  hints_.reset();
+  if (cfg_.use_node_work_hints &&
+      cfg_.resolved_steal_policy() == StealPolicyKind::hierarchical &&
+      topo_.num_nodes() > 1) {
+    hints_ = std::make_unique<NodeHints>(topo_.num_nodes());
+  }
+}
+
+void Scheduler::restore_caller_mask() noexcept {
+  if (!caller_pinned_ || caller_affinity_.empty()) return;
+  if (current_tid() == caller_tid_) {
+    (void)pin_current_thread(caller_affinity_);
+    return;
+  }
+  // Cross-thread restore, addressed by kernel tid — but only while the tid
+  // still names a live thread of this process: tids are recycled after a
+  // thread exits, and an unguarded sched_setaffinity would clobber
+  // whatever unrelated thread inherited the id.
+  if (same_process_thread(caller_tid_)) {
+    (void)pin_thread(caller_tid_, caller_affinity_);
+  }
+}
+
+void Scheduler::apply_pinning(Worker& w) noexcept {
+  w.pin_seen = pin_generation_;
+  const std::vector<unsigned>* prepin = nullptr;
+  if (w.id == 0) {
+    // Worker 0 is whatever thread entered this region: save THAT thread's
+    // mask (not the constructing thread's) so the destructor can hand it
+    // back, and remember the thread so a different caller re-pins. A
+    // caller displaced by a new one gets its mask back right here — it is
+    // not the thread executing this, so the restore goes by tid.
+    restore_caller_mask();
+    caller_thread_ = std::this_thread::get_id();
+    caller_tid_ = current_tid();
+    caller_affinity_.clear();
+    (void)save_current_affinity(caller_affinity_);
+    caller_pinned_ = true;
+    prepin = &caller_affinity_;
+  } else {
+    if (!w.prepin_saved) {
+      w.prepin_saved = save_current_affinity(w.prepin_affinity);
+    }
+    if (w.prepin_saved) prepin = &w.prepin_affinity;
+  }
+  const std::vector<unsigned>& cpus = topo_.cpus_on(w.node);
+  bool ok = !cpus.empty() && pin_current_thread(cpus);
+  if (ok) {
+    // Record reality, not intent: the pin only counts when the thread is
+    // observed running inside the requested cpuset afterwards.
+    const int cpu = current_cpu();
+    ok = cpu >= 0 && std::find(cpus.begin(), cpus.end(),
+                               static_cast<unsigned>(cpu)) != cpus.end();
+  }
+  if (!ok && prepin != nullptr && !prepin->empty()) {
+    // A failed (re-)pin must leave the thread genuinely unpinned, not
+    // hard-bound to some PREVIOUS topology's cpuset while stats call it
+    // unpinned — fall back to the thread's pre-pin mask.
+    (void)pin_current_thread(*prepin);
+  }
+  w.pin_applied = ok;
+}
+
+void Scheduler::reconfigure(StealPolicyKind kind,
+                            const std::string& synthetic_topology) {
+  assert_between_regions();
+  cfg_.steal_policy = kind;
+  cfg_.synthetic_topology = synthetic_topology;
+  topo_ = Topology::detect(cfg_.num_threads, synthetic_topology);
+  rebuild_node_hints();
+  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  for (auto& w : workers_) {
+    // Refresh the cached node id (steal-locality counters and the hint
+    // word addressed on enqueue would otherwise use — possibly
+    // out-of-range — stale nodes) and drop every per-worker victim hint:
+    // a last_victim learned under the old topology can point off-node
+    // under the new one, and the backoff counter belongs to the old hint
+    // array.
+    w->node = topo_.node_of(w->id);
+    w->last_victim = Worker::no_victim;
+    w->gated_rounds = 0;
+  }
+  if (pin_generation_ != 0) ++pin_generation_;  // re-pin at next region entry
+}
+
+void Scheduler::set_victim_hint(unsigned worker, unsigned victim) noexcept {
+  assert_between_regions();
+  if (worker < workers_.size()) workers_[worker]->last_victim = victim;
+}
+
+std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {
+  assert_between_regions();
   std::vector<unsigned> order;
   if (worker >= workers_.size() || cfg_.num_threads <= 1) return order;
   Worker& w = *workers_[worker];

@@ -60,9 +60,15 @@
 //   victims its StealPolicy (steal_policy.hpp) lists, with the batch cap the
 //   policy returns per victim, and RangeRunner asks the policy whether to
 //   split. The hierarchical policy consults the Topology (topology.hpp) to
-//   prefer same-node victims and to shrink cross-node batches; spawn_range
-//   grain is retuned at runtime by the GrainController (grain.hpp) when
-//   use_adaptive_grain is on. The scheduler core only executes decisions.
+//   prefer same-node victims and to shrink cross-node batches, and skips
+//   remote nodes whose NodeHints has-work word is clear (published by
+//   enqueue/steal-surplus, cleared on observed node-wide dryness, with a
+//   backoff round bounding staleness). With cfg.pin_workers each worker
+//   pins itself to its node's cpuset at region entry (affinity.hpp), so
+//   the topology map matches what the OS schedules; spawn_range grain is
+//   retuned at runtime per spawn site by the GrainTable (grain.hpp) when
+//   use_adaptive_grain is on, resetting to the seeded base at region start.
+//   The scheduler core only executes decisions.
 // * Zero-alloc undeferred execution: when spawn_if's condition is false or
 //   the cut-off refuses deferral, the closure runs directly on the parent's
 //   frame with no descriptor at all (detail::run_inline_fast): depth is
@@ -93,9 +99,17 @@
 //   when claimed), where the waited-on subtree is therefore always claimable
 //   by the waiter itself, exactly as with the seed's global parking list.
 //
-// Exceptions thrown by tasks are captured; the first one is rethrown to the
-// caller of run_single/run_all after the region completes (there is no
-// cancellation: remaining tasks still execute).
+// Exceptions: a DEFERRED task's exception is captured into the region and
+// the first one is rethrown to the caller of run_single/run_all after the
+// region completes (there is no cancellation: remaining tasks still
+// execute; OpenMP has no cross-thread propagation to mimic). An UNDEFERRED
+// task — spawn_if(false), a cut-off-refused spawn, with or without the
+// zero-alloc inline path — runs synchronously on the encountering thread,
+// so its exception propagates from the spawn call itself like any function
+// call (the OpenMP-faithful semantics: the construct is sequenced in the
+// parent), after the worker's bookkeeping is unwound and any descriptor
+// retired. Uncaught, it unwinds into the enclosing task body and from
+// there follows the deferred rules.
 #pragma once
 
 #include <atomic>
@@ -198,8 +212,28 @@ class Worker {
   bool throttled = false;         ///< adaptive cut-off hysteresis state
   std::uint64_t rng_state;
   /// Locality domain this worker lives on (Topology::node_of(id), cached
-  /// by the Scheduler constructor). Classifies steals as local/remote.
+  /// by the Scheduler constructor and refreshed by reconfigure()).
+  /// Classifies steals as local/remote and addresses the NodeHints word
+  /// published on enqueue.
   unsigned node = 0;
+  /// Consecutive hint-gated steal-planning rounds (hierarchical policy
+  /// only): reaching HierarchicalPolicy::hint_backoff_rounds forces the
+  /// next round to probe every remote node unconditionally, bounding how
+  /// long a stale clear hint can hide remote work from this worker.
+  std::uint32_t gated_rounds = 0;
+  /// Pin generation this worker last applied (see Scheduler::apply_pinning;
+  /// 0 = never pinned). Lets reconfigure() trigger a re-pin lazily at the
+  /// next region entry, on the worker's own thread.
+  std::uint32_t pin_seen = 0;
+  /// Whether the last pin attempt stuck AND the observed placement landed
+  /// inside the requested cpuset. Mirrored into stats.pinned every region.
+  bool pin_applied = false;
+  /// This worker thread's mask before its FIRST pin (worker threads never
+  /// change OS thread). A later FAILED re-pin — e.g. reconfigure() onto a
+  /// topology whose cpuset this machine lacks — falls back to it, so an
+  /// "unpinned" report never hides a stale hard pin to an old cpuset.
+  bool prepin_saved = false;
+  std::vector<unsigned> prepin_affinity;
   /// Scratch for StealPolicy::victim_order (sized to the team by the
   /// Scheduler constructor) — one allocation per worker, none per steal.
   std::vector<unsigned> victim_buf;
@@ -279,9 +313,33 @@ class Scheduler {
   /// The active steal/placement policy (one instance for the whole team).
   [[nodiscard]] StealPolicy& policy() noexcept { return *policy_; }
 
+  /// Per-node has-work hints; null when the knob is off OR nothing would
+  /// ever consult them (non-hierarchical policy, single-node topology) —
+  /// publishing costs nothing when nobody reads.
+  [[nodiscard]] NodeHints* node_hints() noexcept { return hints_.get(); }
+
   /// Adaptive grain state for spawn_range (see grain.hpp). Meaningful with
   /// cfg.use_adaptive_grain; always constructed so tests can seed it.
-  [[nodiscard]] GrainController& grain_controller() noexcept { return grain_; }
+  [[nodiscard]] GrainTable& grain_table() noexcept { return grain_table_; }
+  /// The global (untagged-site) controller — the PR-3 accessor.
+  [[nodiscard]] GrainController& grain_controller() noexcept {
+    return grain_table_.global();
+  }
+  /// The controller serving a tagged spawn site (the one spawn_range uses
+  /// for ranges tagged with `site`).
+  [[nodiscard]] GrainController& grain_controller_for(RangeSite site) noexcept {
+    return grain_table_.for_site(site);
+  }
+
+  /// Swap the steal policy and/or locality topology between regions (same
+  /// rules as plan_steal_order: never while a region runs). Rebuilds the
+  /// Topology, the policy and the node hints, refreshes every worker's
+  /// cached node id and clears the per-worker victim/backoff hints — a
+  /// last_victim or node id learned under the old configuration is
+  /// meaningless (or out of range) under the new one. With pin_workers the
+  /// workers re-pin themselves to the new cpusets at the next region
+  /// entry.
+  void reconfigure(StealPolicyKind kind, const std::string& synthetic_topology);
 
   /// The victim order the policy would plan for `worker` right now
   /// (introspection for tests and bench_ablation_steal_policy; advances
@@ -289,6 +347,13 @@ class Scheduler {
   /// regions: it touches the worker's plain rng/affinity state, which the
   /// worker itself mutates while a region runs (asserted in debug builds).
   [[nodiscard]] std::vector<unsigned> plan_steal_order(unsigned worker);
+
+  /// Introspection seam paired with plan_steal_order: plant a last-victim
+  /// affinity hint as if `worker` had just stolen from `victim`, so tests
+  /// can pin hint-dependent planning deterministically (a hint earned by a
+  /// real steal rarely survives the region-end barrier — the failing raids
+  /// of the idle drain clear it). Between regions only.
+  void set_victim_hint(unsigned worker, unsigned victim) noexcept;
 
   /// Aggregate per-worker statistics. Call between regions.
   [[nodiscard]] StatsSnapshot stats() const;
@@ -309,6 +374,10 @@ class Scheduler {
   void run_region(Region& r);
   void participate(Worker& w, Region& r);
   void worker_main(unsigned id);
+  void rebuild_node_hints();
+  void apply_pinning(Worker& w) noexcept;
+  void restore_caller_mask() noexcept;
+  void assert_between_regions() noexcept;
   Task* find_work(Worker& w);
   Task* steal_work(Worker& w, bool& progress);
   void flush_accounting(Worker& w) noexcept;
@@ -321,9 +390,26 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   Topology topo_;
+  std::unique_ptr<NodeHints> hints_;  ///< null when use_node_work_hints off
   std::unique_ptr<StealPolicy> policy_;
-  GrainController grain_;
+  GrainTable grain_table_;
   std::uint32_t cutoff_bound_;
+  /// Pinning epoch: 0 = pinning disabled, otherwise bumped by reconfigure
+  /// so workers re-pin at their next region entry (Worker::pin_seen).
+  /// Written only between regions; workers read it inside participate,
+  /// after the region-publication synchronization.
+  std::uint32_t pin_generation_ = 0;
+  /// Worker 0 is whichever thread enters the region: the pre-pin mask and
+  /// the thread it belongs to are captured at pin time (not construction),
+  /// so a different caller thread next region is re-pinned with its OWN
+  /// mask saved — after the PREVIOUS caller thread got its mask back (by
+  /// kernel tid, which unlike a std::thread::id can be addressed from any
+  /// thread; see affinity.hpp). ~Scheduler restores the last pinned
+  /// caller the same way, whatever thread destruction runs on.
+  std::vector<unsigned> caller_affinity_;
+  std::thread::id caller_thread_{};  ///< fast same-thread check in participate
+  long caller_tid_ = -1;             ///< restore address for the saved mask
+  bool caller_pinned_ = false;
   bool use_slot_ = false;  ///< cfg_.lifo_slot effective under LocalOrder::lifo
   std::uint32_t acct_batch_ = 1;  ///< cached cfg_.accounting_batch (>= 1)
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -383,8 +469,10 @@ namespace detail {
 /// The body's children reattach to `current`, so a taskwait inside the body
 /// waits on a superset of the inlined task's children (never fewer): join
 /// semantics are conservative, data dependences are preserved. Exceptions
-/// behave exactly like run_undeferred: captured into the region, rethrown
-/// after it completes.
+/// behave exactly like run_undeferred: an undeferred task is sequenced in
+/// its parent, so a throw unwinds the worker's bookkeeping (inline depth,
+/// tied-stack entry) and propagates synchronously from the spawn call —
+/// there is no descriptor to leak on this path.
 template <class F>
 void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
   ++w.stats.tasks_inlined_fast;
@@ -406,19 +494,23 @@ void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
     w.parked_recheck = true;
   }
   ++w.inline_depth;
+  const auto unwind = [&w, push_tied]() noexcept {
+    --w.inline_depth;
+    if (push_tied) {
+      w.tied_stack.pop_back();
+      if (w.tied_chain > w.tied_stack.size()) {
+        w.tied_chain = w.tied_stack.size();
+      }
+      w.parked_recheck = true;  // the constraint relaxed: parked may be eligible
+    }
+  };
   try {
     std::forward<F>(f)();
   } catch (...) {
-    w.region->store_exception();
+    unwind();
+    throw;  // synchronous propagation: the task is sequenced in its parent
   }
-  --w.inline_depth;
-  if (push_tied) {
-    w.tied_stack.pop_back();
-    if (w.tied_chain > w.tied_stack.size()) {
-      w.tied_chain = w.tied_stack.size();
-    }
-    w.parked_recheck = true;  // the constraint relaxed: parked may be eligible
-  }
+  unwind();
 }
 
 }  // namespace detail

@@ -26,6 +26,8 @@ struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t steal_batches = 0;        ///< successful steal_batch() raids
   std::uint64_t steals_local_node = 0;    ///< successful raids on a same-node victim
   std::uint64_t steals_remote_node = 0;   ///< successful raids across the interconnect
+  std::uint64_t remote_probes_skipped = 0; ///< remote victims not probed: node's has-work hint was clear
+  std::uint64_t pinned = 0;               ///< 1 when this worker is pinned to its node's cpuset (verified placement)
   std::uint64_t taskwaits = 0;
   std::uint64_t tsc_parked = 0;           ///< claims parked by the Task Scheduling Constraint
   std::uint64_t parked_claimed = 0;       ///< parked tasks this worker claimed back
@@ -48,6 +50,8 @@ struct alignas(cache_line_bytes) WorkerStats {
     steal_batches += o.steal_batches;
     steals_local_node += o.steals_local_node;
     steals_remote_node += o.steals_remote_node;
+    remote_probes_skipped += o.remote_probes_skipped;
+    pinned += o.pinned;
     taskwaits += o.taskwaits;
     tsc_parked += o.tsc_parked;
     parked_claimed += o.parked_claimed;

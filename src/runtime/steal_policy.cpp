@@ -78,7 +78,9 @@ class LastVictimPolicy : public StealPolicy {
 };
 
 /// hierarchical: same-node victims (affinity hint kept while on-node)
-/// before any cross-node probe; cross-node raids carry smaller batches.
+/// before any cross-node probe; cross-node raids carry smaller batches and
+/// remote nodes whose has-work hint is clear are skipped entirely (with a
+/// periodic unconditional round so a stale hint cannot starve anyone).
 class HierarchicalPolicy final : public LastVictimPolicy {
  public:
   /// Cross-node steal-half raids take base / this (>= 1) tasks: a raid
@@ -86,8 +88,17 @@ class HierarchicalPolicy final : public LastVictimPolicy {
   /// it, so a miss there should cost less speculation than a local one.
   static constexpr std::size_t cross_node_batch_scale = 4;
 
-  HierarchicalPolicy(const Topology& topo, VictimPolicy base) noexcept
-      : LastVictimPolicy(topo, base) {}
+  /// After this many consecutive hint-gated planning rounds the next round
+  /// is unconditional (every remote node probed, hints ignored). This is
+  /// the liveness bound for a stale clear hint: work sitting on a node the
+  /// hints call idle is reached by remote thieves within at most this many
+  /// rounds — and the node's own workers never consult hints for their
+  /// home node at all.
+  static constexpr std::uint32_t hint_backoff_rounds = 16;
+
+  HierarchicalPolicy(const Topology& topo, VictimPolicy base,
+                     NodeHints* hints) noexcept
+      : LastVictimPolicy(topo, base), hints_(hints) {}
 
   [[nodiscard]] const char* name() const noexcept override {
     return "hierarchical";
@@ -112,11 +123,29 @@ class HierarchicalPolicy final : public LastVictimPolicy {
     // Tier 2: the rest of the home node, rotated so contention spreads.
     append_node(w, home, hint_local ? hint : Worker::no_victim, order, cnt);
     // Tier 3: remote nodes, nearest-numbered first, workers rotated
-    // within each. Only reached when the whole home node came up empty.
+    // within each. Only reached when the whole home node came up empty —
+    // and, with hints, only for nodes that advertise work, except on the
+    // periodic unconditional round that bounds the cost of a stale hint.
+    const bool gate =
+        hints_ != nullptr && w.gated_rounds < hint_backoff_rounds;
+    if (!gate) w.gated_rounds = 0;
+    bool skipped = false;
     for (unsigned dn = 1; dn < nodes; ++dn) {
-      append_node(w, (home + dn) % nodes, Worker::no_victim, order, cnt);
+      const unsigned node = (home + dn) % nodes;
+      if (gate && !hints_->has_work(node)) {
+        w.stats.remote_probes_skipped += topo_.workers_on(node).size();
+        skipped = true;
+        continue;
+      }
+      append_node(w, node, Worker::no_victim, order, cnt);
     }
+    if (skipped) ++w.gated_rounds;
     return cnt;
+  }
+
+  void raided(Worker& w, unsigned v, bool success) noexcept override {
+    if (success) w.gated_rounds = 0;  // fed again: restart the hint gate
+    LastVictimPolicy::raided(w, v, success);
   }
 
   [[nodiscard]] std::size_t batch_cap(
@@ -137,12 +166,15 @@ class HierarchicalPolicy final : public LastVictimPolicy {
       if (v != w.id && v != skip) order[cnt++] = v;
     }
   }
+
+  NodeHints* hints_;  ///< null when cfg.use_node_work_hints is off
 };
 
 }  // namespace
 
 std::unique_ptr<StealPolicy> make_steal_policy(const SchedulerConfig& cfg,
-                                               const Topology& topo) {
+                                               const Topology& topo,
+                                               NodeHints* hints) {
   switch (cfg.resolved_steal_policy()) {
     case StealPolicyKind::random:
       return std::make_unique<RotationPolicy>(topo, VictimPolicy::random);
@@ -152,7 +184,7 @@ std::unique_ptr<StealPolicy> make_steal_policy(const SchedulerConfig& cfg,
     case StealPolicyKind::legacy:  // resolved_steal_policy never returns this
       return std::make_unique<LastVictimPolicy>(topo, cfg.victim);
     case StealPolicyKind::hierarchical:
-      return std::make_unique<HierarchicalPolicy>(topo, cfg.victim);
+      return std::make_unique<HierarchicalPolicy>(topo, cfg.victim, hints);
   }
   return std::make_unique<LastVictimPolicy>(topo, cfg.victim);
 }

@@ -22,13 +22,19 @@
 //                only while it stays on-node), then cross-node victims —
 //                with the steal-half batch scaled down across the
 //                interconnect, so a cross-node raid moves less remote
-//                memory per trip. On a single-node topology it degenerates
-//                to last_victim exactly.
+//                memory per trip. With NodeHints (cfg.use_node_work_hints)
+//                a planning round skips remote nodes whose has-work word
+//                is clear, and a backoff plans an unconditional full round
+//                every hint_backoff_rounds gated rounds so a stale hint
+//                can only delay a steal, never starve the team. On a
+//                single-node topology it degenerates to last_victim
+//                exactly.
 //   legacy       (default) derive the policy from the PR-1 knobs
 //                `victim` + `victim_affinity`, keeping every existing
 //                ablation configuration meaningful.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -38,6 +44,59 @@
 namespace bots::rt {
 
 class Worker;
+
+/// Per-node "has work" hints: one cache-line-padded word per locality node.
+/// The scheduler publishes a node's word on every enqueue into that node
+/// (and when a steal stashes surplus there) and clears it when a fruitless
+/// steal round observes the whole node dry; the hierarchical policy reads
+/// the words to skip planning probes into idle remote nodes — the
+/// interconnect traffic an all-idle node otherwise costs every round.
+///
+/// The protocol is advisory by design. A stale SET word only costs the
+/// probes the hint was meant to save; a stale CLEAR word (a publish racing
+/// a clear) can hide work from REMOTE planners only — the node's own
+/// workers always probe their home node, and parked-task inboxes are
+/// scanned globally, so nothing is ever stranded. Remote delay is bounded
+/// by the hierarchical policy's backoff (an unconditional full probe round
+/// every hint_backoff_rounds gated rounds). Words are written with a
+/// load-then-store so the steady state (already published / already clear)
+/// costs one shared read and zero writes.
+class NodeHints {
+ public:
+  explicit NodeHints(unsigned nodes)
+      : n_(nodes == 0 ? 1 : nodes), words_(new Word[n_]) {}
+
+  NodeHints(const NodeHints&) = delete;
+  NodeHints& operator=(const NodeHints&) = delete;
+
+  void publish(unsigned node) noexcept {
+    Word& w = words_[node % n_];
+    if (w.v.load(std::memory_order_relaxed) == 0) {
+      w.v.store(1, std::memory_order_release);
+    }
+  }
+
+  void clear(unsigned node) noexcept {
+    Word& w = words_[node % n_];
+    if (w.v.load(std::memory_order_relaxed) != 0) {
+      w.v.store(0, std::memory_order_release);
+    }
+  }
+
+  [[nodiscard]] bool has_work(unsigned node) const noexcept {
+    return words_[node % n_].v.load(std::memory_order_acquire) != 0;
+  }
+
+  [[nodiscard]] unsigned num_nodes() const noexcept { return n_; }
+
+ private:
+  struct alignas(cache_line_bytes) Word {
+    std::atomic<std::uint32_t> v{0};
+  };
+
+  unsigned n_;
+  std::unique_ptr<Word[]> words_;
+};
 
 class StealPolicy {
  public:
@@ -88,9 +147,11 @@ class StealPolicy {
   const Topology& topo_;
 };
 
-/// Build the policy selected by cfg.resolved_steal_policy(). `topo` must
-/// outlive the returned policy (the Scheduler owns both).
+/// Build the policy selected by cfg.resolved_steal_policy(). `topo` (and
+/// `hints`, when non-null) must outlive the returned policy — the
+/// Scheduler owns all three. `hints` may be null (knob off); only the
+/// hierarchical policy consults it.
 [[nodiscard]] std::unique_ptr<StealPolicy> make_steal_policy(
-    const SchedulerConfig& cfg, const Topology& topo);
+    const SchedulerConfig& cfg, const Topology& topo, NodeHints* hints);
 
 }  // namespace bots::rt

@@ -14,13 +14,19 @@
 //      (w / M) % N. This is what tests and CI use — policy behaviour must
 //      not depend on the machine the suite happens to run on.
 //   2. sysfs discovery (/sys/devices/system/node/node*/cpulist). Workers
-//      are mapped to CPUs round-robin by id (worker w -> cpu w % ncpus);
-//      threads are NOT pinned, so this is an affinity *hint* that matches
-//      the common case of one worker per core, not a guarantee (pinning is
-//      a ROADMAP item).
+//      are mapped to CPUs round-robin by id (worker w -> cpu w % ncpus).
 //   3. Flat fallback: one node holding every worker (single-socket boxes,
 //      containers without sysfs). The hierarchical policy then degenerates
 //      to last-victim stealing — there is no interconnect to respect.
+//
+// Each node also carries the cpuset backing it (cpus_on): the sysfs cpulist
+// for discovered topologies, the deterministic block [n*M, (n+1)*M) for a
+// synthetic "NxM" spec, and empty for the flat fallback (nothing to pin
+// against). With SchedulerConfig::pin_workers the scheduler pins every
+// worker to its node's cpuset at region entry (affinity.hpp), turning the
+// map from an affinity *hint* into enforced placement; without pinning —
+// or when the cpuset does not match the real machine — the map stays a
+// hint and the worker runs unpinned.
 #pragma once
 
 #include <cstdint>
@@ -52,16 +58,32 @@ class Topology {
       for (unsigned w = 0; w < t.node_of_.size(); ++w) {
         t.node_of_[w] = (w / cores) % nodes;
       }
+      t.build_node_lists();
+      // Node n of an "NxM" spec stands for the CPU block [n*M, (n+1)*M).
+      // Whether those CPUs exist on this machine is the pinning layer's
+      // problem (affinity.hpp falls back cleanly when they do not).
+      t.node_cpus_.assign(t.nodes_.size(), {});
+      for (unsigned n = 0; n < t.node_cpus_.size(); ++n) {
+        for (unsigned c = 0; c < cores; ++c) t.node_cpus_[n].push_back(n * cores + c);
+      }
     } else if (std::vector<unsigned> cpu_node = read_sysfs_nodes();
                !cpu_node.empty()) {
       t.source_ = "sysfs";
       for (unsigned w = 0; w < t.node_of_.size(); ++w) {
         t.node_of_[w] = cpu_node[w % cpu_node.size()];
       }
+      t.build_node_lists();
+      t.node_cpus_.assign(t.nodes_.size(), {});
+      for (unsigned cpu = 0; cpu < cpu_node.size(); ++cpu) {
+        if (cpu_node[cpu] < t.node_cpus_.size()) {
+          t.node_cpus_[cpu_node[cpu]].push_back(cpu);
+        }
+      }
     } else {
       t.source_ = "flat";
+      t.build_node_lists();
+      t.node_cpus_.assign(t.nodes_.size(), {});  // flat: nothing to pin against
     }
-    t.build_node_lists();
     return t;
   }
 
@@ -105,6 +127,14 @@ class Topology {
       unsigned node) const noexcept {
     static const std::vector<unsigned> empty;
     return node < nodes_.size() ? nodes_[node] : empty;
+  }
+  /// CPU ids backing `node` — the cpuset pin_workers pins that node's
+  /// workers to. Empty for the flat fallback and out-of-range nodes (no
+  /// locality information means nothing worth pinning to).
+  [[nodiscard]] const std::vector<unsigned>& cpus_on(
+      unsigned node) const noexcept {
+    static const std::vector<unsigned> empty;
+    return node < node_cpus_.size() ? node_cpus_[node] : empty;
   }
   /// "synthetic", "sysfs" or "flat".
   [[nodiscard]] const std::string& source() const noexcept { return source_; }
@@ -185,6 +215,7 @@ class Topology {
 
   std::vector<unsigned> node_of_;            ///< worker id -> node id
   std::vector<std::vector<unsigned>> nodes_; ///< node id -> worker ids
+  std::vector<std::vector<unsigned>> node_cpus_;  ///< node id -> cpu ids
   std::string source_ = "flat";
 };
 

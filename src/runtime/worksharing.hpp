@@ -149,6 +149,12 @@ template <class Body>
 struct RangeRunner {
   RangeDesc desc;
   Body body;
+  /// The spawn site's grain controller (grain.hpp; the global one for
+  /// untagged sites), null when use_adaptive_grain is off. Carried in the
+  /// closure so every half split off this range reports to the SAME
+  /// controller its site converges on — the per-site estimate would be
+  /// meaningless if splits leaked their stats to the global one.
+  GrainController* grain_ctrl = nullptr;
 
   void operator()() {
     Worker* w = tls_worker;  // range tasks only ever run deferred, in-region
@@ -182,13 +188,13 @@ struct RangeRunner {
       // The descriptor still completes (the scheduler captures the
       // exception into the region): report it, or live_ranges_ leaks and
       // wedges the starvation signal open for the scheduler's lifetime.
-      if (s.config().use_adaptive_grain) {
-        s.grain_controller().on_range_complete(executed, splits);
+      if (grain_ctrl != nullptr) {
+        grain_ctrl->on_range_complete(executed, splits);
       }
       throw;
     }
-    if (s.config().use_adaptive_grain) {
-      s.grain_controller().on_range_complete(executed, splits);
+    if (grain_ctrl != nullptr) {
+      grain_ctrl->on_range_complete(executed, splits);
     }
   }
 
@@ -200,10 +206,10 @@ struct RangeRunner {
     Task* self = w.current;
     ++w.stats.range_splits;
     ++w.stats.tasks_deferred;
-    if (s.config().use_adaptive_grain) s.grain_controller().range_published();
+    if (grain_ctrl != nullptr) grain_ctrl->range_published();
     TaskStorage storage{};
     Task* t = s.alloc_task(w, storage);
-    t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body});
+    t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body, grain_ctrl});
     w.stats.env_bytes += t->env_bytes();
     Task* parent = self->parent();
     if (parent != nullptr) parent->add_child_ref();
@@ -221,14 +227,19 @@ struct RangeRunner {
 /// split (a split halves the remainder, so descriptors can cover as few as
 /// (grain + 1) / 2 iterations). With SchedulerConfig::use_adaptive_grain
 /// (the default) the caller's grain is only a FLOOR: the effective grain is
-/// max(grain, GrainController::grain()), so the hardcoded `grain = 1` the
-/// loop kernels pass becomes a runtime decision retuned from observed
-/// split density and starvation (grain.hpp). Joins like any task: a
-/// taskwait in the spawner (or any barrier) covers the range and every
-/// half split off it. Outside a region the range runs serially in place.
+/// max(grain, controller estimate), so the hardcoded `grain = 1` the loop
+/// kernels pass becomes a runtime decision retuned from observed split
+/// density and starvation (grain.hpp). `site` selects WHICH estimate: a
+/// tagged call site converges its own controller in the scheduler's
+/// GrainTable — mixing cheap- and expensive-iteration range shapes no
+/// longer fights over one estimate — while the default-constructed site
+/// (and SchedulerConfig::use_site_grain off) uses the global controller.
+/// Joins like any task: a taskwait in the spawner (or any barrier) covers
+/// the range and every half split off it. Outside a region the range runs
+/// serially in place.
 template <class Body>
-void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
-                 std::int64_t grain, Body body) {
+void spawn_range(RangeSite site, Tiedness tied, std::int64_t lo,
+                 std::int64_t hi, std::int64_t grain, Body body) {
   if (hi - lo <= 0) return;
   if (grain < 1) grain = 1;
   Worker* w = detail::tls_worker;
@@ -237,17 +248,20 @@ void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
     return;
   }
   Scheduler& s = *w->sched;
+  GrainController* ctrl = nullptr;
   if (s.config().use_adaptive_grain) {
-    const std::int64_t tuned = s.grain_controller().grain();
+    ctrl = &s.grain_controller_for(site);
+    const std::int64_t tuned = ctrl->grain();
     if (tuned > grain) grain = tuned;
-    s.grain_controller().range_published();
+    ctrl->range_published();
   }
   ++w->stats.tasks_created;
   ++w->stats.range_tasks;
   ++w->stats.tasks_deferred;
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
-  t->init_env(detail::RangeRunner<Body>{{lo, hi, grain}, std::move(body)});
+  t->init_env(
+      detail::RangeRunner<Body>{{lo, hi, grain}, std::move(body), ctrl});
   w->stats.env_bytes += t->env_bytes();
   Task* parent = w->current;
   parent->add_child_ref();
@@ -258,9 +272,15 @@ void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
 }
 
 template <class Body>
+void spawn_range(Tiedness tied, std::int64_t lo, std::int64_t hi,
+                 std::int64_t grain, Body body) {
+  spawn_range(RangeSite{}, tied, lo, hi, grain, std::move(body));
+}
+
+template <class Body>
 void spawn_range(std::int64_t lo, std::int64_t hi, std::int64_t grain,
                  Body body) {
-  spawn_range(Tiedness::tied, lo, hi, grain, std::move(body));
+  spawn_range(RangeSite{}, Tiedness::tied, lo, hi, grain, std::move(body));
 }
 
 }  // namespace bots::rt

@@ -452,6 +452,88 @@ TEST(Scheduler, ExceptionFromZeroAllocInlinedTaskPropagates) {
   EXPECT_EQ(ok, 1);
 }
 
+TEST(Scheduler, InlineTaskExceptionPropagatesAtTheSpawnSite) {
+  // OpenMP fidelity regression: an undeferred task runs synchronously on
+  // the encountering thread, so its exception must be catchable AT THE
+  // SPAWN CALL — not captured into the region and rethrown only after
+  // run_single returns (the old behaviour, under which the try below never
+  // catches and the region itself throws).
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  ASSERT_TRUE(s.config().use_inline_fast_path);
+  bool caught_at_site = false;
+  bool stack_intact = false;
+  s.run_single([&] {
+    try {
+      rt::spawn_if(false, [] { throw std::runtime_error("inline boom"); });
+    } catch (const std::runtime_error& e) {
+      caught_at_site = std::string(e.what()) == "inline boom";
+    }
+    // Stack intact after the unwind: the same task context keeps spawning
+    // and joining as if nothing happened.
+    int x = 0;
+    rt::spawn([&x] { x = 1; });
+    rt::taskwait();
+    stack_intact = x == 1;
+  });  // must NOT throw: the exception was consumed at its site
+  EXPECT_TRUE(caught_at_site);
+  EXPECT_TRUE(stack_intact);
+  const auto t = s.stats().total;
+  // No descriptor leaked: the throwing construct ran on the zero-alloc
+  // path (no descriptor at all); only the follow-up spawn allocated.
+  EXPECT_EQ(t.pool_fresh + t.pool_reuse, 1u);
+  EXPECT_EQ(t.tasks_inlined_fast, 1u);
+}
+
+TEST(Scheduler, InlineTaskExceptionUnwindsTiedBookkeeping) {
+  // A tied inlined task throwing from inside another tied inlined task:
+  // both frames must unwind their inline-depth and tied-stack entries on
+  // the way out, or later tied scheduling (the TSC check) would consult a
+  // stack describing frames that no longer exist.
+  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 4});
+  std::uint64_t r = 0;
+  s.run_single([&] {
+    try {
+      rt::spawn_if(false, rt::Tiedness::tied, [] {
+        rt::spawn_if(false, rt::Tiedness::tied,
+                     [] { throw std::runtime_error("deep inline boom"); });
+      });
+    } catch (const std::runtime_error&) {
+    }
+    r = fib_task(16, rt::Tiedness::tied);
+  });
+  EXPECT_EQ(r, fib_ref(16));
+}
+
+TEST(Scheduler, UndeferredDescriptorExceptionPropagatesAtTheSpawnSite) {
+  // Same OpenMP semantics on the descriptor-carrying undeferred path
+  // (inline fast path off): synchronous propagation AND the descriptor
+  // retired — parent's child count dropped, storage recycled, not leaked.
+  rt::SchedulerConfig cfg{.num_threads = 2};
+  cfg.use_inline_fast_path = false;
+  rt::Scheduler s(cfg);
+  bool caught_at_site = false;
+  s.run_single([&] {
+    try {
+      rt::spawn_if(false, [] { throw std::logic_error("undeferred boom"); });
+    } catch (const std::logic_error& e) {
+      caught_at_site = std::string(e.what()) == "undeferred boom";
+    }
+    rt::taskwait();  // the dead child must already be accounted: no hang
+  });
+  EXPECT_TRUE(caught_at_site);
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.pool_fresh + t.pool_reuse, t.tasks_created);
+  // The recycled descriptor is reusable: a follow-up undeferred construct
+  // must be served from the pool freelist, proving the throw path released
+  // it rather than leaking it.
+  s.reset_stats();
+  int ran = 0;
+  s.run_single([&ran] { rt::spawn_if(false, [&ran] { ran = 1; }); });
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.stats().total.pool_reuse, 1u);
+  EXPECT_EQ(s.stats().total.pool_fresh, 0u);
+}
+
 /// Regression stress for the fused finish path: fire-and-forget trees where
 /// every interior task finishes (and releases its descriptor reference)
 /// while its children may still be running. The dying task must announce

@@ -35,6 +35,15 @@ std::uint64_t fib_task(int n, rt::Tiedness tied) {
   return a + b;
 }
 
+rt::SchedulerConfig policy_cfg(unsigned threads, rt::StealPolicyKind kind,
+                               const char* topo) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  cfg.steal_policy = kind;
+  cfg.synthetic_topology = topo;
+  return cfg;
+}
+
 // ---------------------------------------------------------------------------
 // Topology: synthetic specs are deterministic; bad specs fall through.
 // ---------------------------------------------------------------------------
@@ -87,21 +96,141 @@ TEST(Topology, FlatFallbackPutsEveryoneOnOneNode) {
   EXPECT_EQ(listed, 6u);
 }
 
+TEST(Topology, SyntheticCpusetsAreTheNodeBlocks) {
+  // Node n of an "NxM" spec owns the CPU block [n*M, (n+1)*M) — the cpuset
+  // pin_workers pins that node's workers to. Every worker's computed
+  // cpuset is its node's block.
+  const rt::Topology t = rt::Topology::detect(8, "2x4");
+  EXPECT_EQ(t.cpus_on(0), (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_EQ(t.cpus_on(1), (std::vector<unsigned>{4, 5, 6, 7}));
+  for (unsigned w = 0; w < 8; ++w) {
+    const auto& cpus = t.cpus_on(t.node_of(w));
+    ASSERT_EQ(cpus.size(), 4u) << "worker " << w;
+    EXPECT_EQ(cpus.front(), t.node_of(w) * 4) << "worker " << w;
+  }
+  // Out-of-range nodes: empty, never a crash.
+  EXPECT_TRUE(t.cpus_on(99).empty());
+}
+
+TEST(Topology, FlatTopologyHasNoCpusetToPinTo) {
+  // The flat fallback carries no locality information: its cpuset is empty
+  // and pinning against it is defined to be a clean no-op.
+  const rt::Topology t = rt::Topology::detect(4, "not-a-spec");
+  if (t.source() == "flat") {
+    EXPECT_TRUE(t.cpus_on(0).empty());
+  } else {
+    // sysfs discovery on a genuinely multi-node host: every node a worker
+    // lives on must expose a non-empty cpuset.
+    for (unsigned w = 0; w < t.num_workers(); ++w) {
+      EXPECT_FALSE(t.cpus_on(t.node_of(w)).empty()) << "worker " << w;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pinning (cfg.pin_workers / RT_PIN_WORKERS).
+// ---------------------------------------------------------------------------
+
+TEST(Pinning, AffinityHelperRejectsImpossibleCpusets) {
+  // The unavailable-affinity path must fail CLEANLY: empty cpusets and
+  // cpusets entirely outside the kernel's mask range return false and
+  // leave the thread's affinity untouched.
+  EXPECT_FALSE(rt::pin_current_thread({}));
+  EXPECT_FALSE(rt::pin_current_thread({1u << 20}));
+  std::vector<unsigned> before;
+  if (rt::save_current_affinity(before)) {
+    ASSERT_FALSE(before.empty());
+    EXPECT_FALSE(rt::pin_current_thread({1u << 20}));
+    std::vector<unsigned> after;
+    ASSERT_TRUE(rt::save_current_affinity(after));
+    EXPECT_EQ(before, after) << "a failed pin modified the thread's mask";
+    // And a valid pin round-trips: pin to the saved mask itself.
+    EXPECT_TRUE(rt::pin_current_thread(before));
+  }
+}
+
+TEST(Pinning, PinnedTeamRunsCorrectlyAndReportsPlacement) {
+  // A single-node synthetic topology covering the machine's real CPUs: the
+  // pin must stick for every worker and be verified by observed placement
+  // (stats.pinned records reality, not intent).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  rt::SchedulerConfig cfg =
+      policy_cfg(std::min(4u, hw), rt::StealPolicyKind::hierarchical, "");
+  cfg.synthetic_topology = "1x" + std::to_string(hw);
+  cfg.pin_workers = true;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(18, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(18));
+  const auto snap = s.stats();
+  EXPECT_EQ(snap.total.pinned, static_cast<std::uint64_t>(s.num_workers()))
+      << "a worker failed to pin to a cpuset its own machine exposes";
+  for (const auto& per : snap.per_worker) EXPECT_EQ(per.pinned, 1u);
+}
+
+TEST(Pinning, MismatchedSyntheticTopologyFallsBackCleanly) {
+  // A synthetic "2x4" box on whatever machine this runs on: node 1's CPUs
+  // 4..7 may not exist. Pinning must never break execution — workers whose
+  // cpuset the machine lacks simply stay unpinned and say so.
+  rt::SchedulerConfig cfg = policy_cfg(8, rt::StealPolicyKind::hierarchical,
+                                       "2x4");
+  cfg.pin_workers = true;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(20, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(20));
+  const auto snap = s.stats();
+  EXPECT_LE(snap.total.pinned, 8u);
+  for (const auto& per : snap.per_worker) EXPECT_LE(per.pinned, 1u);
+}
+
+TEST(Pinning, ReconfigureRepinsWithHonestReporting) {
+  // reconfigure() bumps the pin generation: every worker re-pins to the
+  // NEW topology's cpusets at the next region entry. Workers whose new
+  // cpuset the machine lacks must come out genuinely unpinned (stats 0,
+  // pre-pin mask restored) — never silently left on the old cpuset.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "");
+  cfg.synthetic_topology = "1x" + std::to_string(hw);
+  cfg.pin_workers = true;
+  rt::Scheduler s(cfg);
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(16, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(16));
+  EXPECT_EQ(s.stats().total.pinned, 4u);
+  // 64x1 puts worker w alone on node w (cpuset {w}): worker 0 always
+  // re-pins (cpu 0 exists everywhere), workers beyond this machine's
+  // CPUs exercise the failed-re-pin fallback.
+  s.reconfigure(rt::StealPolicyKind::hierarchical, "64x1");
+  s.reset_stats();
+  s.run_single([&] { r = fib_task(16, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(16));
+  const auto snap = s.stats();
+  EXPECT_EQ(snap.per_worker[0].pinned, 1u);
+  for (const auto& per : snap.per_worker) EXPECT_LE(per.pinned, 1u);
+}
+
+TEST(Pinning, KnobOffReportsNobodyPinned) {
+  rt::SchedulerConfig cfg = policy_cfg(4, rt::StealPolicyKind::hierarchical,
+                                       "2x2");
+  cfg.pin_workers = false;  // explicit: the suite may run under RT_PIN_WORKERS=1
+  rt::Scheduler s(cfg);
+  s.run_single([] {});
+  EXPECT_EQ(s.stats().total.pinned, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Victim order: the planning decision itself, fully deterministic.
 // ---------------------------------------------------------------------------
 
-rt::SchedulerConfig policy_cfg(unsigned threads, rt::StealPolicyKind kind,
-                               const char* topo) {
-  rt::SchedulerConfig cfg;
-  cfg.num_threads = threads;
-  cfg.steal_policy = kind;
-  cfg.synthetic_topology = topo;
-  return cfg;
-}
-
 TEST(StealPolicy, HierarchicalProbesWholeHomeNodeBeforeCrossing) {
-  rt::Scheduler s(policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4"));
+  // Hints off: this test pins the raw tier contract — every round plans the
+  // full team, home node strictly first. (With hints on, idle remote nodes
+  // are skipped; that behaviour has its own tests below.)
+  rt::SchedulerConfig cfg = policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4");
+  cfg.use_node_work_hints = false;
+  rt::Scheduler s(cfg);
   // Every planning round, for every worker, whatever the rng rotation:
   // the first three victims are exactly the home-node siblings, the last
   // four exactly the remote node.
@@ -128,7 +257,9 @@ TEST(StealPolicy, EveryPolicyPlansAFullValidRound) {
   for (const rt::StealPolicyKind kind :
        {rt::StealPolicyKind::random, rt::StealPolicyKind::sequential,
         rt::StealPolicyKind::last_victim, rt::StealPolicyKind::hierarchical}) {
-    rt::Scheduler s(policy_cfg(6, kind, "3x2"));
+    rt::SchedulerConfig cfg = policy_cfg(6, kind, "3x2");
+    cfg.use_node_work_hints = false;  // plan the full team unconditionally
+    rt::Scheduler s(cfg);
     for (int round = 0; round < 16; ++round) {
       const std::vector<unsigned> order = s.plan_steal_order(2);
       ASSERT_EQ(order.size(), 5u) << to_string(kind);
@@ -227,6 +358,180 @@ TEST(StealPolicy, HomeNodeFeedsItsOwnBeforeTheInterconnect) {
   const auto per = s.stats().per_worker;
   EXPECT_EQ(per[1].steals_remote_node, 0u)
       << "worker 1 crossed the interconnect despite a loaded home node";
+}
+
+// ---------------------------------------------------------------------------
+// Per-node has-work hints (cfg.use_node_work_hints): cross-node steal
+// throttling with a liveness backoff.
+// ---------------------------------------------------------------------------
+
+TEST(StealHints, IdleRemoteNodeIsSkippedUntilTheBackoffRound) {
+  // Fresh scheduler, hints on (the default): no node ever published work,
+  // so planning rounds skip the whole remote node — except the periodic
+  // unconditional round that bounds how long a stale hint can hide work.
+  rt::Scheduler s(policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4"));
+  ASSERT_TRUE(s.config().use_node_work_hints);
+  int full_rounds = 0;
+  int gated_rounds = 0;
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<unsigned> order = s.plan_steal_order(0);
+    if (order.size() == 7u) {
+      ++full_rounds;  // the unconditional backoff round probes everyone
+    } else {
+      ASSERT_EQ(order.size(), 3u) << "round " << round;
+      for (const unsigned v : order) {
+        EXPECT_EQ(s.topology().node_of(v), s.topology().node_of(0u));
+      }
+      ++gated_rounds;
+    }
+  }
+  EXPECT_GT(full_rounds, 0) << "no unconditional round: stale hints starve";
+  EXPECT_GT(gated_rounds, 4 * full_rounds)
+      << "gating saved too few probe rounds to be worth the hint word";
+  EXPECT_GT(s.stats().total.remote_probes_skipped, 0u);
+}
+
+TEST(StealHints, OneNodeIdleSkipsRemoteProbesWithUnchangedResults) {
+  // The acceptance scenario: 2x2 hierarchical, all work on node 0, node 1
+  // held idle inside the region body. Node-0 workers must keep planning
+  // without paying node-1 probes (remote_probes_skipped > 0) while the
+  // computation is exactly as correct as without hints.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  ASSERT_TRUE(cfg.use_node_work_hints);
+  rt::Scheduler s(cfg);
+  std::atomic<bool> done{false};
+  std::atomic<int> executed{0};
+  s.run_all([&](unsigned id) {
+    if (id >= 2) {  // node 1: idle until the work is gone
+      while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+      return;
+    }
+    if (id == 0) {
+      for (int i = 0; i < 2000; ++i) {
+        rt::spawn(rt::Tiedness::untied, [&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      rt::taskwait();
+      done.store(true, std::memory_order_release);
+    }
+  });
+  EXPECT_EQ(executed.load(), 2000);
+  EXPECT_GT(s.stats().total.remote_probes_skipped, 0u)
+      << "an all-idle remote node was still probed every round";
+}
+
+TEST(StealHints, ForcedRemoteStealStillSucceedsWithHintsOn) {
+  // Liveness: every-worker-its-own-node means the only way work moves is
+  // across the interconnect. The generator's enqueue publishes its node's
+  // hint, so remote thieves must still find it — the run completing at all
+  // proves no hint-induced starvation.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "4x1");
+  ASSERT_TRUE(cfg.use_node_work_hints);
+  const auto t = run_forced_steal(cfg).total;
+  EXPECT_EQ(t.steals_local_node, 0u);
+  EXPECT_GT(t.steals_remote_node, 0u);
+}
+
+TEST(StealHints, KnobOffNeverSkips) {
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  cfg.use_node_work_hints = false;
+  rt::Scheduler s(cfg);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_EQ(s.plan_steal_order(0).size(), 3u);
+  }
+  EXPECT_EQ(s.stats().total.remote_probes_skipped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// reconfigure(): policy/topology swap between regions must not leak stale
+// per-worker victim state (the PR-4 bugfix).
+// ---------------------------------------------------------------------------
+
+TEST(StealPolicy, ReconfigureClearsStaleVictimHints) {
+  // Sequential base rotation makes plans fully deterministic modulo the
+  // affinity hint. Plant a hint (set_victim_hint, the introspection seam —
+  // a hint earned by a real steal rarely survives the region-end idle
+  // drain), verify it leads the plan, then reconfigure: the hint MUST be
+  // dropped — a victim learned under the old configuration is meaningless
+  // (or off-node, or out of range) under the new one.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::last_victim, "1x4");
+  cfg.victim = rt::VictimPolicy::sequential;
+  rt::Scheduler s(cfg);
+  const auto rotation = [](unsigned w) {
+    std::vector<unsigned> order;
+    for (unsigned k = 0; k < 4; ++k) {
+      const unsigned v = (w + 1 + k) % 4;
+      if (v != w) order.push_back(v);
+    }
+    return order;
+  };
+  s.set_victim_hint(1, 3);
+  ASSERT_EQ(s.plan_steal_order(1),
+            (std::vector<unsigned>{3, 2, 0}))  // the hint leads the plan
+      << "precondition: the planted hint should reorder the rotation";
+  s.reconfigure(rt::StealPolicyKind::last_victim, "1x4");
+  for (unsigned w = 0; w < 4; ++w) {
+    EXPECT_EQ(s.plan_steal_order(w), rotation(w))
+        << "worker " << w << " kept a stale victim across reconfigure";
+  }
+}
+
+TEST(StealPolicy, ReconfigureResetsTheHintBackoffCounter) {
+  // The hierarchical hint gate counts consecutive gated rounds per worker.
+  // Reconfiguring swaps the hint array out from under that counter, so it
+  // must restart: the first post-reconfigure rounds are all gated again
+  // (16 of them before the next unconditional round).
+  rt::Scheduler s(policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4"));
+  ASSERT_TRUE(s.config().use_node_work_hints);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_EQ(s.plan_steal_order(0).size(), 3u);  // gated: counter at 10
+  }
+  s.reconfigure(rt::StealPolicyKind::hierarchical, "2x4");
+  for (int round = 0; round < 16; ++round) {
+    EXPECT_EQ(s.plan_steal_order(0).size(), 3u)
+        << "round " << round
+        << ": stale backoff state survived reconfigure";
+  }
+  EXPECT_EQ(s.plan_steal_order(0).size(), 7u);  // the 17th round is full
+}
+
+TEST(StealPolicy, ReconfigureRemapsWorkerNodesForLocalityCounters) {
+  // 1x4 -> 4x1 between regions: every steal after the swap is cross-node.
+  // Stale cached Worker::node ids would misclassify them (and address the
+  // wrong has-work hint word).
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "1x4");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> warm{false};
+  s.run_single([&warm] {
+    rt::spawn(rt::Tiedness::untied,
+              [&warm] { warm.store(true, std::memory_order_release); });
+    rt::spawn(rt::Tiedness::untied, [] {});
+    while (!warm.load(std::memory_order_acquire)) std::this_thread::yield();
+    rt::taskwait();
+  });
+  s.reconfigure(rt::StealPolicyKind::hierarchical, "4x1");
+  EXPECT_EQ(s.topology().num_nodes(), 4u);
+  s.reset_stats();
+  std::atomic<bool> stolen{false};
+  s.run_single([&stolen] {
+    rt::spawn(rt::Tiedness::untied,
+              [&stolen] { stolen.store(true, std::memory_order_release); });
+    rt::spawn(rt::Tiedness::untied, [] {});
+    while (!stolen.load(std::memory_order_acquire)) std::this_thread::yield();
+    rt::taskwait();
+  });
+  const auto t = s.stats().total;
+  EXPECT_EQ(t.steals_local_node, 0u)
+      << "a steal was classified with a stale pre-reconfigure node id";
+  EXPECT_GT(t.steals_remote_node, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -278,6 +278,125 @@ TEST(AdaptiveGrain, RecoversWhenGrainOutgrowsChunkGranularRanges) {
       << "grain ratcheted above chunk-granular ranges with no way back";
 }
 
+TEST(AdaptiveGrain, RetunedGrainResetsAtRegionStart) {
+  // Cross-region bleed regression (two-phase A/B): phase A retunes the
+  // global estimate up on cheap dense ranges; phase B runs a SMALL range in
+  // a fresh region. Without the region-start reset the phase-A estimate
+  // exceeds phase B's whole range, no split is ever eligible, and phase B
+  // serializes behind one worker — the poisoned-first-splits bug.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  std::atomic<std::int64_t> sink{0};
+  // Phase A: many small back-to-back ranges (each popped onto an otherwise
+  // dry deque, so the owner's own split chain keeps the windows dense);
+  // the estimate reliably retunes to 4 within the first region.
+  for (int round = 0; round < 400 && s.grain_controller().grain() <= 2;
+       ++round) {
+    s.run_single([&sink] {
+      for (int k = 0; k < 64; ++k) {
+        rt::spawn_range(0, 512, 1, [&sink](std::int64_t i) {
+          sink.fetch_add(i, std::memory_order_relaxed);
+        });
+        rt::taskwait();
+      }
+    });
+  }
+  ASSERT_GT(s.grain_controller().grain(), 2)
+      << "phase A never retuned the estimate above the phase-B range";
+  // Phase B: a 3-iteration range. With the reset the effective grain is
+  // back at the caller floor (1), so the executor's very first split check
+  // fires (3 > 1, its queue is empty). Poisoned, 3 <= grain means the
+  // split condition hi - lo > grain can never hold and phase B serializes.
+  s.reset_stats();
+  s.run_single([] {
+    rt::spawn_range(0, 3, 1, [](std::int64_t) {
+      for (volatile int spin = 0; spin < 20000; ++spin) {
+      }
+    });
+  });
+  EXPECT_GT(s.stats().total.range_splits, 0u)
+      << "phase A's converged grain bled into phase B's first splits";
+  EXPECT_LE(s.grain_controller().grain(), 2)
+      << "the estimate should have restarted from its base this region";
+}
+
+TEST(AdaptiveGrain, SeededBaseSurvivesTheRegionStartReset) {
+  // seed() sets the BASE the estimate resets to — a warm start is meant to
+  // survive regions, only retuned state is discarded.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.use_adaptive_grain = true;
+  rt::Scheduler s(cfg);
+  s.grain_controller().seed(64);
+  std::int64_t sum = 0;
+  s.run_single([&sum] {
+    rt::spawn_range(0, 100, 1, [&sum](std::int64_t i) { sum += i; });
+  });
+  EXPECT_EQ(sum, 99L * 100 / 2);
+  EXPECT_EQ(s.grain_controller().grain(), 64);
+}
+
+TEST(AdaptiveGrain, PerSiteGrainConvergesIndependently) {
+  // Two sites mixed in the SAME regions: a cheap dense-splitting range
+  // (the shape that grows an estimate) and a chunk-granular range whose
+  // caller grain equals its size (it can never split, so its estimate must
+  // stay at the floor). One shared estimate cannot serve both; the
+  // per-site table must converge them to different values.
+  constexpr rt::RangeSite kCheapSite{"test/cheap"};
+  constexpr rt::RangeSite kChunkySite{"test/chunky"};
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 2;
+  cfg.use_adaptive_grain = true;
+  ASSERT_TRUE(cfg.use_site_grain);
+  rt::Scheduler s(cfg);
+  std::atomic<std::int64_t> sink{0};
+  // Spawn order matters for split density: the chunky range is newest, so
+  // the owner pops it first (it cannot split) and then runs the cheap
+  // range on a dry deque, where every split check is eligible — both
+  // ranges are in flight between the same spawn and taskwait.
+  for (int round = 0;
+       round < 400 && s.grain_controller_for(kCheapSite).grain() == 1;
+       ++round) {
+    s.run_single([&sink] {
+      for (int k = 0; k < 8; ++k) {
+        rt::spawn_range(kCheapSite, rt::Tiedness::tied, 0, 512, 1,
+                        [&sink](std::int64_t i) {
+                          sink.fetch_add(i, std::memory_order_relaxed);
+                        });
+        rt::spawn_range(kChunkySite, rt::Tiedness::tied, 0, 32, 32,
+                        [&sink](std::int64_t i) {
+                          sink.fetch_add(i, std::memory_order_relaxed);
+                        });
+        rt::taskwait();
+      }
+    });
+  }
+  EXPECT_GT(s.grain_controller_for(kCheapSite).grain(), 1)
+      << "the dense-splitting site never grew its own estimate";
+  EXPECT_EQ(s.grain_controller_for(kChunkySite).grain(), 1)
+      << "the chunk-granular site's estimate was dragged by the cheap site";
+  EXPECT_EQ(s.grain_controller().grain(), 1)
+      << "tagged sites must not leak stats into the global controller";
+  // Observability: both sites (and the global estimate) show up in the
+  // table description benches record.
+  const std::string desc = s.grain_table().describe();
+  EXPECT_NE(desc.find("global="), std::string::npos);
+  EXPECT_NE(desc.find("test/cheap="), std::string::npos);
+  EXPECT_NE(desc.find("test/chunky="), std::string::npos);
+}
+
+TEST(AdaptiveGrain, SiteGrainKnobOffSharesTheGlobalController) {
+  constexpr rt::RangeSite kSite{"test/shared"};
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 1;
+  cfg.use_adaptive_grain = true;
+  cfg.use_site_grain = false;
+  rt::Scheduler s(cfg);
+  EXPECT_EQ(&s.grain_controller_for(kSite), &s.grain_controller());
+}
+
 TEST(AdaptiveGrain, ThrowingRangeBodyStillReportsCompletion) {
   // A range body that throws must not leak the controller's live-range
   // count: a wedged count keeps the starvation signal armed forever and
