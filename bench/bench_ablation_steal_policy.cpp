@@ -41,6 +41,8 @@ struct Outcome {
   std::uint64_t steals_local = 0;
   std::uint64_t steals_remote = 0;
   std::uint64_t probes_skipped = 0;
+  std::uint64_t halves_redirected = 0;  ///< range halves mailed to idle nodes
+  std::uint64_t remote_frees = 0;       ///< descriptor frees off the birth node
   std::uint64_t pinned = 0;  ///< verifiably pinned workers, last rep
   std::string grain;         ///< per-site converged grain, last rep
 };
@@ -70,6 +72,8 @@ void bm_config(benchmark::State& state, const core::AppInfo* app,
     out.steals_local += t.steals_local_node;
     out.steals_remote += t.steals_remote_node;
     out.probes_skipped += t.remote_probes_skipped;
+    out.halves_redirected += t.range_halves_redirected;
+    out.remote_frees += t.pool_remote_frees;
     out.pinned = t.pinned;
     out.grain = sched.grain_table().describe();
   }
@@ -152,14 +156,18 @@ int main(int argc, char** argv) {
   t.render(std::cout);
 
   std::cout << "\nSteal locality (successful raids, summed over reps), "
-               "skipped remote probes, pinned workers and converged "
-               "per-site grain:\n";
+               "skipped remote probes, mailed range halves, off-birth-node "
+               "descriptor frees, pinned workers and converged per-site "
+               "grain:\n";
   core::TableWriter loc({"app", "config", "steals local", "steals remote",
-                         "probes skipped", "pinned", "grain"});
+                         "probes skipped", "halves mailed", "remote frees",
+                         "pinned", "grain"});
   for (const auto& [key, out] : g_results) {
     loc.add_row({key.app, key.config, std::to_string(out.steals_local),
                  std::to_string(out.steals_remote),
                  std::to_string(out.probes_skipped),
+                 std::to_string(out.halves_redirected),
+                 std::to_string(out.remote_frees),
                  std::to_string(out.pinned) + "/" + std::to_string(threads),
                  out.grain});
   }
@@ -169,6 +177,10 @@ int main(int argc, char** argv) {
                "beat last_victim (identical on one node by construction);\n"
                "hints should show probes-skipped > 0 whenever a node idles\n"
                "with no speed-up loss, and pinning only reports workers the\n"
-               "machine could actually place on their node's cpuset.\n";
+               "machine could actually place on their node's cpuset.\n"
+               "Hint placement mails halves only under the hierarchical\n"
+               "configs with hints on (halves-mailed column), and remote\n"
+               "frees stay 0 everywhere node pools are active (the default;\n"
+               "RT_NODE_POOLS=0 exposes the historical descriptor drift).\n";
   return 0;
 }

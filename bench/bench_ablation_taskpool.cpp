@@ -5,7 +5,13 @@
 // any data related to firstprivate and thus reducing the creation
 // overheads". This bench measures exactly that: per-task cost with the
 // per-worker descriptor pool vs plain heap allocation, on the two
-// task-flood benchmarks (fib and uts, no application cut-off).
+// task-flood benchmarks (fib and uts, no application cut-off) — plus the
+// NUMA axis on top of pooling: node-local arenas (descriptors retire to
+// their birth node, RT_NODE_POOLS semantics) vs plain per-worker pools
+// (stolen descriptors drift to the thief's node, counted in the
+// remote_frees column). Set RT_SYNTHETIC_TOPOLOGY=NxM for a deterministic
+// multi-node shape; on one node the two pooled variants are identical by
+// construction.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -20,47 +26,45 @@ namespace bench = bots::bench;
 
 namespace {
 
-void bm_fib(benchmark::State& state, bool use_pool, unsigned threads) {
+void record_pool_counters(benchmark::State& state, const rt::WorkerStats& t) {
+  state.counters["tasks"] = static_cast<double>(t.tasks_created);
+  state.counters["ns_per_task"] = benchmark::Counter(
+      static_cast<double>(t.tasks_created),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.counters["remote_frees"] = static_cast<double>(t.pool_remote_frees);
+  state.counters["stash_high_water"] = static_cast<double>(t.pool_migrations);
+}
+
+void bm_fib(benchmark::State& state, rt::SchedulerConfig cfg) {
   bots::fib::Params p{27, 0};  // ~0.6M tasks, no application cut-off
-  std::uint64_t tasks = 0;
+  rt::WorkerStats total;
   for (auto _ : state) {
-    rt::SchedulerConfig cfg;
-    cfg.num_threads = threads;
     cfg.cutoff = rt::CutoffPolicy::none;
-    cfg.use_task_pool = use_pool;
     rt::Scheduler sched(cfg);
     sched.run_single([] {});
     core::Timer t;
     benchmark::DoNotOptimize(bots::fib::run_parallel(
         p, sched, {rt::Tiedness::untied, core::AppCutoff::none}));
     state.SetIterationTime(t.seconds());
-    tasks = sched.stats().total.tasks_created;
+    total = sched.stats().total;
   }
-  state.counters["tasks"] = static_cast<double>(tasks);
-  state.counters["ns_per_task"] = benchmark::Counter(
-      static_cast<double>(tasks), benchmark::Counter::kIsIterationInvariantRate |
-                                      benchmark::Counter::kInvert);
+  record_pool_counters(state, total);
 }
 
-void bm_uts(benchmark::State& state, bool use_pool, unsigned threads) {
+void bm_uts(benchmark::State& state, rt::SchedulerConfig cfg) {
   bots::uts::Params p = bots::uts::params_for(core::InputClass::small);
-  std::uint64_t tasks = 0;
+  rt::WorkerStats total;
   for (auto _ : state) {
-    rt::SchedulerConfig cfg;
-    cfg.num_threads = threads;
-    cfg.use_task_pool = use_pool;
     rt::Scheduler sched(cfg);
     sched.run_single([] {});
     core::Timer t;
     benchmark::DoNotOptimize(
         bots::uts::run_parallel(p, sched, {rt::Tiedness::untied}));
     state.SetIterationTime(t.seconds());
-    tasks = sched.stats().total.tasks_created;
+    total = sched.stats().total;
   }
-  state.counters["tasks"] = static_cast<double>(tasks);
-  state.counters["ns_per_task"] = benchmark::Counter(
-      static_cast<double>(tasks), benchmark::Counter::kIsIterationInvariantRate |
-                                      benchmark::Counter::kInvert);
+  record_pool_counters(state, total);
 }
 
 }  // namespace
@@ -70,18 +74,35 @@ int main(int argc, char** argv) {
   std::cout << "== Section III-B: task-descriptor pooling ablation ==\n"
                "pooled (per-worker freelist) vs heap (new/delete per task),\n"
                "task-flood benchmarks without application cut-off.\n";
+  struct Variant {
+    const char* label;
+    bool pool;
+    bool node_pools;
+  };
+  // heap vs worker-pooled at every thread point (the PR-1 axis), and on
+  // top of pooling the NUMA retirement discipline A/B at the top thread
+  // count: "pooled" here runs node pools OFF (descriptors drift to the
+  // thief, remote_frees counts them), "node-pooled" ON (birth-node
+  // retirement; remote_frees pinned at zero, stash_high_water shows the
+  // batched flights home). Identical on a single-node topology.
   for (unsigned threads : {1u, sweep.threads.back()}) {
-    for (bool pool : {true, false}) {
+    std::vector<Variant> variants = {{"pooled", true, false},
+                                     {"heap", false, false}};
+    if (threads > 1) variants.push_back({"node-pooled", true, true});
+    for (const Variant& v : variants) {
+      rt::SchedulerConfig cfg;
+      cfg.num_threads = threads;
+      cfg.use_task_pool = v.pool;
+      cfg.use_node_pools = v.node_pools;
       const std::string suffix =
-          std::string(pool ? "pooled" : "heap") + "/t" + std::to_string(threads);
+          std::string(v.label) + "/t" + std::to_string(threads);
       benchmark::RegisterBenchmark(("fib_nocutoff/" + suffix).c_str(), bm_fib,
-                                   pool, threads)
+                                   cfg)
           ->UseManualTime()
           ->Iterations(1)
           ->Repetitions(sweep.reps + 1)
           ->Unit(benchmark::kMillisecond);
-      benchmark::RegisterBenchmark(("uts/" + suffix).c_str(), bm_uts, pool,
-                                   threads)
+      benchmark::RegisterBenchmark(("uts/" + suffix).c_str(), bm_uts, cfg)
           ->UseManualTime()
           ->Iterations(1)
           ->Repetitions(sweep.reps + 1)
@@ -94,6 +115,8 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: pooled descriptors cost measurably fewer\n"
                "ns/task than heap allocation, the gap widening with thread\n"
                "count (allocator contention) — the paper's pre-allocation\n"
-               "recommendation.\n";
+               "recommendation. On a multi-node topology, node-pooled should\n"
+               "match pooled within noise while holding remote_frees at 0\n"
+               "(pooled's remote_frees is the descriptor drift it removes).\n";
   return 0;
 }

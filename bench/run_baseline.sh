@@ -58,6 +58,18 @@ case "${RT_PIN_WORKERS:-}" in
   1|true|on) pin_workers="on" ;;
   *) pin_workers="off" ;;
 esac
+# NUMA descriptor pools and hint-aware range placement, validated the same
+# way env_flag does (default ON — only an explicit off flips them). Both
+# are inert on a single-node topology, but the recorded knob state keeps a
+# multi-socket baseline comparable with a later rerun.
+case "${RT_NODE_POOLS:-}" in
+  0|false|off) node_pools="off" ;;
+  *) node_pools="on" ;;
+esac
+case "${RT_HINT_PLACEMENT:-}" in
+  0|false|off) hint_placement="off" ;;
+  *) hint_placement="on" ;;
+esac
 
 echo "== spawn/steal overhead (fast path A/B) ==" >&2
 spawn_json="$("$BUILD/bench_spawn_overhead")"
@@ -82,6 +94,8 @@ fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
   echo "  \"topology\": \"$topology\","
   echo "  \"steal_policy\": \"$steal_policy\","
   echo "  \"pin_workers\": \"$pin_workers\","
+  echo "  \"node_pools\": \"$node_pools\","
+  echo "  \"hint_placement\": \"$hint_placement\","
   echo "  \"spawn_overhead\": ["
   printf '%s\n' "$spawn_json" | sed 's/^/    /; $!s/$/,/'
   echo "  ],"

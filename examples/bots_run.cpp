@@ -35,7 +35,12 @@ void usage() {
       "  -t <threads>          team size (default: hardware)\n"
       "  -r <reps>             repetitions, best-of (default 1)\n"
       "      --no-verify       skip self-verification\n"
-      "      --stats           print per-worker scheduler counters\n");
+      "      --stats           print per-worker scheduler counters\n"
+      "      --tripwire-pool-locality\n"
+      "                        exit nonzero if any descriptor retired into\n"
+      "                        a pool off its birth node (pool_remote_frees\n"
+      "                        > 0) — the CI locality guardrail for\n"
+      "                        RT_NODE_POOLS=1 runs (implies --stats)\n");
 }
 
 void print_report(const core::RunReport& rep, bool with_stats) {
@@ -68,6 +73,13 @@ void print_report(const core::RunReport& rep, bool with_stats) {
         static_cast<unsigned long long>(s.remote_probes_skipped),
         static_cast<unsigned long long>(s.pinned), rep.threads,
         rep.grain_sites.empty() ? "n/a" : rep.grain_sites.c_str());
+    std::printf(
+        "           pools: home-frees=%llu remote-frees=%llu "
+        "in-transit-high-water=%llu range-halves-redirected=%llu\n",
+        static_cast<unsigned long long>(s.pool_home_frees),
+        static_cast<unsigned long long>(s.pool_remote_frees),
+        static_cast<unsigned long long>(s.pool_migrations),
+        static_cast<unsigned long long>(s.range_halves_redirected));
   }
 }
 
@@ -84,6 +96,7 @@ int main(int argc, char** argv) {
   bool all_versions = false;
   bool verify = true;
   bool stats = false;
+  bool tripwire_pool_locality = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +131,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-verify") {
       verify = false;
     } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--tripwire-pool-locality") {
+      tripwire_pool_locality = true;
       stats = true;
     } else {
       usage();
@@ -169,14 +185,65 @@ int main(int argc, char** argv) {
   cfg.num_threads = threads;
   rt::Scheduler sched(cfg);
   int exit_code = 0;
+  std::uint64_t remote_frees = 0;  // across every rep, not just the best
   for (const auto& v : to_run) {
     core::RunReport best;
     for (int r = 0; r < reps; ++r) {
       auto rep = app->run(input, v, sched, verify);
+      remote_frees += rep.runtime_stats.pool_remote_frees;
       if (r == 0 || rep.seconds < best.seconds) best = rep;
     }
     print_report(best, stats);
     if (best.verified == core::Verified::failed) exit_code = 1;
+  }
+  if (tripwire_pool_locality) {
+    // The locality guardrail mirroring bench_spawn_overhead's zero-alloc
+    // tripwire: with node pools active, a descriptor retiring into a pool
+    // off its birth node is a regression of the whole mechanism — fail
+    // loudly so CI trips instead of the next paper-figure rerun. A
+    // multi-node topology where node pools silently FAILED to activate
+    // (broken knob plumbing, use_task_pool regression) would make the
+    // counter check vacuous, so that is a trip too.
+    if (!sched.node_pools_active()) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: node pools are INACTIVE (%u-node topology, "
+                   "source %s) — the locality guardrail would be vacuous. "
+                   "Run under a multi-node topology (RT_SYNTHETIC_TOPOLOGY="
+                   "2x4) with RT_NODE_POOLS=1 and pooling on.\n",
+                   sched.topology().num_nodes(),
+                   sched.topology().source().c_str());
+      return 1;
+    }
+    if (remote_frees > 0) {
+      std::fprintf(stderr,
+                   "TRIPWIRE: pool-locality regression — %llu descriptor "
+                   "free(s) landed off their birth node (pool_remote_frees "
+                   "must be 0 while node pools are on; node_pools_active=%s)\n",
+                   static_cast<unsigned long long>(remote_frees),
+                   sched.node_pools_active() ? "yes" : "no");
+      return 1;
+    }
+    // The counter above guards the retire ROUTING knob; the resting-place
+    // balance guards the routing ITSELF (e.g. a stash spliced into the
+    // wrong node's arena keeps the counter at zero but breaks this):
+    // between regions, every descriptor carved from a node's arena must
+    // rest ON that node, with nothing left in transit.
+    const auto snap = sched.node_pool_snapshot();
+    for (std::size_t n = 0; n < snap.size(); ++n) {
+      if (snap[n].in_transit != 0 ||
+          snap[n].cached + snap[n].arena_free != snap[n].arena_carved) {
+        std::fprintf(stderr,
+                     "TRIPWIRE: pool-locality imbalance on node %zu — "
+                     "cached=%zu arena_free=%zu in_transit=%zu != "
+                     "carved=%zu (descriptors rest off their birth node)\n",
+                     n, snap[n].cached, snap[n].arena_free,
+                     snap[n].in_transit, snap[n].arena_carved);
+        return 1;
+      }
+    }
+    std::printf("tripwire ok: pool_remote_frees=0 and per-node pool balance "
+                "exact across %d rep(s) (node_pools_active=%s)\n",
+                reps, sched.node_pools_active() ? "yes" : "no");
   }
   return exit_code;
 }

@@ -70,8 +70,9 @@ enum class StealPolicyKind : std::uint8_t {
 
 /// Boolean environment knob: "1"/"true"/"on" and "0"/"false"/"off" are
 /// recognized, anything else — including unset — keeps the fallback. Used
-/// by RT_PIN_WORKERS and RT_NODE_HINTS so CI legs can flip whole test
-/// binaries without touching code, mirroring RT_STEAL_POLICY.
+/// by RT_PIN_WORKERS, RT_NODE_HINTS, RT_NODE_POOLS and RT_HINT_PLACEMENT so
+/// CI legs can flip whole test binaries without touching code, mirroring
+/// RT_STEAL_POLICY.
 [[nodiscard]] inline bool env_flag(const char* name, bool fallback) noexcept {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
@@ -220,6 +221,30 @@ struct SchedulerConfig {
   /// hardcoded grain=1 becomes a runtime decision. Off: the caller's grain
   /// is used verbatim (the PR-2 behaviour).
   bool use_adaptive_grain = true;
+
+  /// Node-local descriptor pools (task.hpp NodeArena): descriptor memory is
+  /// carved and first-touched by the OWNING node's workers, and a stolen
+  /// descriptor retires to its *birth node's* arena — not the thief's pool —
+  /// via per-worker outbound stashes flushed home in batches. Without this,
+  /// cross-node steals recycle descriptors into the thief's freelist and
+  /// descriptor memory drifts across the interconnect over time (counted in
+  /// WorkerStats::pool_remote_frees, which this knob drives to zero). On a
+  /// single-node topology — or with use_task_pool off — the knob is inert
+  /// and allocation degenerates to the plain per-worker pools bit-for-bit.
+  /// Also settable via RT_NODE_POOLS=0/1.
+  bool use_node_pools = env_flag("RT_NODE_POOLS", true);
+
+  /// Hint-aware range placement: when a spawn_range splitter sits on a node
+  /// whose NodeHints word advertises local surplus while a remote node's
+  /// word is clear (idle), the split-off upper half is published to a
+  /// mailbox deque on the idle node (RangeMailbox in steal_policy.hpp)
+  /// instead of the splitter's own deque — the idle node finds it on its
+  /// next find_work round without paying cross-node steal latency, counted
+  /// in WorkerStats::range_halves_redirected. Piggybacks on NodeHints:
+  /// only active where the hints are (hierarchical policy, multi-node
+  /// topology, use_node_work_hints on). Also settable via
+  /// RT_HINT_PLACEMENT=0/1.
+  bool use_hint_placement = env_flag("RT_HINT_PLACEMENT", true);
 
   /// Key grain estimates by spawn site (rt::RangeSite tags threaded through
   /// spawn_range): each tagged call site converges its own GrainController

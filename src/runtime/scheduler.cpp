@@ -39,20 +39,6 @@ struct Backoff {
   int sleep_us = 50;
 };
 
-/// Release a dead descriptor according to its storage class.
-void dispose(Worker& w, Task& t) noexcept {
-  switch (t.storage()) {
-    case TaskStorage::pooled:
-      w.pool.recycle(&t);
-      break;
-    case TaskStorage::heap:
-      delete &t;
-      break;
-    case TaskStorage::stack_frame:
-      break;  // lifetime owned by a worker stack frame
-  }
-}
-
 }  // namespace
 
 void Region::store_exception() noexcept {
@@ -74,6 +60,8 @@ Scheduler::Scheduler(SchedulerConfig cfg)
   use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
   acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
   rebuild_node_hints();
+  rebuild_node_pools();
+  rebuild_mailboxes();
   policy_ = make_steal_policy(cfg_, topo_, hints_.get());
   if (cfg_.pin_workers) pin_generation_ = 1;
   workers_.reserve(cfg_.num_threads);
@@ -82,6 +70,7 @@ Scheduler::Scheduler(SchedulerConfig cfg)
         this, i, 0x9E3779B97F4A7C15ULL * (i + 1)));
     workers_.back()->node = topo_.node_of(i);
     workers_.back()->victim_buf.resize(cfg_.num_threads);
+    workers_.back()->outbound.resize(topo_.num_nodes());
   }
   threads_.reserve(cfg_.num_threads - 1);
   for (unsigned i = 1; i < cfg_.num_threads; ++i) {
@@ -236,6 +225,13 @@ void Scheduler::participate(Worker& w, Region& r) {
 
   barrier_from(w);  // implicit region-end barrier: full task quiescence
 
+  // Every remotely-retired descriptor flies home before the worker leaves:
+  // quiescence means no further disposals, so after this the in-transit
+  // count is exactly zero and the between-regions pool balance (cached +
+  // arena_free == carved, per node) is exact. Each worker flushes its own
+  // stashes — the splices parallelize across the team.
+  flush_outbound_stashes(w);
+
   assert(root.unfinished_children() == 0);
   w.current = nullptr;
   w.region = nullptr;
@@ -270,6 +266,29 @@ bool Scheduler::should_defer(Worker& w, std::uint32_t depth) noexcept {
 }
 
 Task* Scheduler::alloc_task(Worker& w, TaskStorage& storage_out) {
+  if (!arenas_.empty()) {
+    // Node-local pools: serve from this worker's private cache of home-node
+    // descriptors; refill in one batched arena pop when it runs dry. Only
+    // the node's own workers ever allocate here, so every descriptor handed
+    // out was carved — and its pages first-touched — on this node.
+    storage_out = TaskStorage::pooled;
+    Task* t = w.home_free;
+    if (t == nullptr) {
+      std::size_t got = 0;
+      t = arenas_[w.node]->take_chain(NodeArena::refill_batch, got);
+      if (t == nullptr) {
+        ++w.stats.pool_fresh;
+        return arenas_[w.node]->carve();  // placement-new on THIS thread
+      }
+      w.home_free_count = got;
+    }
+    w.home_free = t->pool_next;
+    --w.home_free_count;
+    t->pool_next = nullptr;
+    t->reset_for_reuse();
+    ++w.stats.pool_reuse;
+    return t;
+  }
   if (cfg_.use_task_pool) {
     bool reused = false;
     Task* t = w.pool.allocate(reused);
@@ -277,13 +296,98 @@ Task* Scheduler::alloc_task(Worker& w, TaskStorage& storage_out) {
       ++w.stats.pool_reuse;
     } else {
       ++w.stats.pool_fresh;
+      t->set_home_node(w.node);  // birth node of the fresh chunk slot
     }
     storage_out = TaskStorage::pooled;
     return t;
   }
   ++w.stats.pool_fresh;
   storage_out = TaskStorage::heap;
-  return new Task();
+  Task* t = new Task();
+  t->set_home_node(w.node);
+  return t;
+}
+
+void Scheduler::dispose(Worker& w, Task& t) noexcept {
+  switch (t.storage()) {
+    case TaskStorage::pooled: {
+      if (!arenas_.empty()) {
+        const unsigned home = t.home_node();
+        if (home == w.node) {
+          ++w.stats.pool_home_frees;
+          t.pool_next = w.home_free;
+          w.home_free = &t;
+          if (++w.home_free_count >= NodeArena::cache_spill) {
+            // Spill a refill batch back to the shared arena so a same-node
+            // sibling that mostly ALLOCATES (a generator this worker
+            // consumes for) reuses this memory instead of carving fresh
+            // chunks without bound (see NodeArena::cache_spill). The cache
+            // is newest-first, so KEEP its head half (lines still hot in
+            // this worker's cache) and hand the stale tail half over.
+            Task* keep_tail = w.home_free;
+            for (std::size_t i = 1; i < NodeArena::refill_batch; ++i) {
+              keep_tail = keep_tail->pool_next;
+            }
+            Task* spill_head = keep_tail->pool_next;
+            keep_tail->pool_next = nullptr;
+            const std::size_t spilled =
+                w.home_free_count - NodeArena::refill_batch;
+            Task* spill_tail = spill_head;
+            for (std::size_t i = 1; i < spilled; ++i) {
+              spill_tail = spill_tail->pool_next;
+            }
+            w.home_free_count = NodeArena::refill_batch;
+            arenas_[home]->put_chain(spill_head, spill_tail, spilled);
+          }
+        } else {
+          // Remote-born (a stolen task finishing here): stage the batched
+          // flight back to the birth arena. The retirement target is still
+          // the home node — this never counts as a remote free.
+          ++w.stats.pool_home_frees;
+          RemoteStash& s = w.outbound[home];
+          s.push(&t);
+          if (++w.stash_in_transit > w.stats.pool_migrations) {
+            w.stats.pool_migrations = w.stash_in_transit;  // high-water
+          }
+          if (s.count >= RemoteStash::flush_batch) flush_stash(w, home);
+        }
+      } else {
+        // Per-worker pools (the seed behaviour): recycle into THIS
+        // worker's freelist wherever the descriptor was born — and count
+        // the cross-node drift that causes, so the A/B against node pools
+        // is measurable.
+        if (t.home_node() == w.node) {
+          ++w.stats.pool_home_frees;
+        } else {
+          ++w.stats.pool_remote_frees;
+        }
+        w.pool.recycle(&t);
+      }
+      break;
+    }
+    case TaskStorage::heap:
+      delete &t;
+      break;
+    case TaskStorage::stack_frame:
+      break;  // lifetime owned by a worker stack frame
+  }
+}
+
+void Scheduler::flush_stash(Worker& w, unsigned node) noexcept {
+  RemoteStash& s = w.outbound[node];
+  if (s.count == 0) return;
+  arenas_[node]->put_chain(s.head, s.tail, s.count);
+  w.stash_in_transit -= s.count;
+  s.head = nullptr;
+  s.tail = nullptr;
+  s.count = 0;
+}
+
+void Scheduler::flush_outbound_stashes(Worker& w) noexcept {
+  if (arenas_.empty()) return;
+  for (unsigned n = 0; n < static_cast<unsigned>(w.outbound.size()); ++n) {
+    flush_stash(w, n);
+  }
 }
 
 void Scheduler::flush_accounting(Worker& w) noexcept {
@@ -295,11 +399,7 @@ void Scheduler::flush_accounting(Worker& w) noexcept {
   w.acct_ops = 0;
 }
 
-void Scheduler::enqueue(Worker& w, Task& t) {
-  // Advertise this node as fed (NodeHints): remote hierarchical planners
-  // consult the word before spending interconnect probes here. The steady
-  // state (word already set) costs one relaxed load.
-  if (hints_) hints_->publish(w.node);
+void Scheduler::account_spawn(Worker& w) noexcept {
   if (cfg_.batch_accounting) {
     ++w.live_delta;
     // Once this worker has arrived at a barrier, increments flush eagerly:
@@ -312,6 +412,14 @@ void Scheduler::enqueue(Worker& w, Task& t) {
   } else {
     w.region->live_tasks.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Scheduler::enqueue(Worker& w, Task& t) {
+  // Advertise this node as fed (NodeHints): remote hierarchical planners
+  // consult the word before spending interconnect probes here. The steady
+  // state (word already set) costs one relaxed load.
+  if (hints_) hints_->publish(w.node);
+  account_spawn(w);
   // Range tasks never hide in the private slot: their whole point is to be
   // splittable on steal, and a slot entry is invisible to thieves until the
   // owner's next scheduling point.
@@ -322,6 +430,40 @@ void Scheduler::enqueue(Worker& w, Task& t) {
   } else {
     w.deque.push(&t);
   }
+}
+
+void Scheduler::publish_range_half(Worker& w, Task& t) {
+  if (mailboxes_ != nullptr) {
+    const unsigned target = policy_->place_range_half(w);
+    if (target != StealPolicy::no_node && target != w.node &&
+        mailboxes_[target].empty()) {
+      // Same live-task accounting as enqueue, same ordering (the half is
+      // counted before it becomes claimable); only the landing spot moves.
+      ++w.stats.range_halves_redirected;
+      account_spawn(w);
+      mailboxes_[target].push(&t);
+      // The gift IS work on that node now: set its word, both so remote
+      // planners probe there and so the next split is not dumped on the
+      // same node before anybody drained this one (the redirect condition
+      // requires a CLEAR target word plus an empty mailbox).
+      if (hints_) hints_->publish(target);
+      return;
+    }
+  }
+  enqueue(w, t);
+}
+
+Task* Scheduler::take_mailed(Worker& w, bool scavenge) {
+  if (!scavenge) return mailboxes_[w.node].pop();
+  // Idle-path sweep over every node's mailbox, own node first: a half
+  // mailed to a node whose workers are wedged inside long task bodies must
+  // never strand — any idle worker may carry it off cross-node (ordinary
+  // stealing would have paid the same interconnect trip).
+  const unsigned nodes = topo_.num_nodes();
+  for (unsigned dn = 0; dn < nodes; ++dn) {
+    if (Task* t = mailboxes_[(w.node + dn) % nodes].pop()) return t;
+  }
+  return nullptr;
 }
 
 void Scheduler::execute_deferred(Worker& w, Task& t) {
@@ -699,16 +841,19 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   }
   // Node-wide dryness check, only on a fully fruitless round: this
   // worker's local state is already empty (find_work precondition), so if
-  // every home deque also looks empty the node's has-work word goes down
-  // and remote planners stop paying probes for us. A publish racing this
-  // clear is benign: home workers never consult the word for their own
-  // node, and the hierarchical backoff bounds the remote delay.
+  // every home deque also looks empty — and nothing is waiting in the
+  // node's mailbox — the node's has-work word goes down and remote
+  // planners stop paying probes for us. A publish racing this clear is
+  // benign: home workers never consult the word for their own node, and
+  // the hierarchical backoff bounds the remote delay.
   if (hints_) {
-    bool dry = true;
-    for (const unsigned m : topo_.workers_on(w.node)) {
-      if (!workers_[m]->deque.empty_estimate()) {
-        dry = false;
-        break;
+    bool dry = mailboxes_ == nullptr || mailboxes_[w.node].empty();
+    if (dry) {
+      for (const unsigned m : topo_.workers_on(w.node)) {
+        if (!workers_[m]->deque.empty_estimate()) {
+          dry = false;
+          break;
+        }
       }
     }
     if (dry) hints_->clear(w.node);
@@ -738,6 +883,16 @@ Task* Scheduler::find_work(Worker& w) {
       if (tsc_allows(w, *t)) return t;
       park_refused(w, t);
     }
+    // 1.5 Range halves mailed to this node (use_hint_placement): fresher
+    // than anything stealable and placed here precisely because this node
+    // was hungry, so they outrank parked claims and raids. Steady state
+    // (no placement, empty mailbox) is one null check + one relaxed load.
+    if (mailboxes_ != nullptr) {
+      if (Task* t = take_mailed(w, /*scavenge=*/false)) {
+        if (tsc_allows(w, *t)) return t;
+        park_refused(w, t);
+      }
+    }
     // 2. Parked constraint-refused claims. Checked once local work is out —
     // off the per-pop hot path — but before stealing, so a waiting ancestor
     // reaches its parked descendant on every idle round.
@@ -746,6 +901,16 @@ Task* Scheduler::find_work(Worker& w) {
     // progress without returning one: loop back to the local phase.
     bool progress = false;
     if (Task* t = steal_work(w, progress)) return t;
+    // 3.5 Liveness fallback for hint placement: before reporting idle,
+    // sweep the OTHER nodes' mailboxes too — a mailed half must never
+    // strand behind a target node that stays busy in long task bodies.
+    if (!progress && mailboxes_ != nullptr) {
+      if (Task* t = take_mailed(w, /*scavenge=*/true)) {
+        if (tsc_allows(w, *t)) return t;
+        park_refused(w, t);
+        progress = true;
+      }
+    }
     if (!progress) {
       // Nothing local, parked or stealable anywhere: a starvation signal
       // for the adaptive grain controllers (a coarse range schedule that
@@ -779,6 +944,49 @@ void Scheduler::rebuild_node_hints() {
       topo_.num_nodes() > 1) {
     hints_ = std::make_unique<NodeHints>(topo_.num_nodes());
   }
+}
+
+void Scheduler::rebuild_node_pools() {
+  // One arena per node, but only when node pools can matter: pooling on
+  // and more than one locality domain. Otherwise the vector stays empty
+  // and alloc/dispose take exactly the per-worker TaskPool path — the
+  // flat-topology degeneration is structural, not a runtime branch per
+  // field.
+  arenas_.clear();
+  if (cfg_.use_node_pools && cfg_.use_task_pool && topo_.num_nodes() > 1) {
+    arenas_.reserve(topo_.num_nodes());
+    for (unsigned n = 0; n < topo_.num_nodes(); ++n) {
+      arenas_.push_back(std::make_unique<NodeArena>(n));
+    }
+  }
+}
+
+void Scheduler::rebuild_mailboxes() {
+  // Mailboxes exist only where the placement decision could ever fire:
+  // knob on AND hints to consult (hierarchical policy, multi-node, hints
+  // on). Everybody else keeps a null pointer and find_work's mailbox
+  // probes vanish behind it.
+  mailboxes_.reset();
+  if (cfg_.use_hint_placement && hints_ != nullptr) {
+    mailboxes_ = std::make_unique<RangeMailbox[]>(topo_.num_nodes());
+  }
+}
+
+std::vector<Scheduler::NodePoolSnapshot> Scheduler::node_pool_snapshot()
+    const {
+  std::vector<NodePoolSnapshot> snap(arenas_.size());
+  for (std::size_t n = 0; n < arenas_.size(); ++n) {
+    const NodeArena::Counts c = arenas_[n]->counts();
+    snap[n].arena_free = c.free_count;
+    snap[n].arena_carved = c.carved;
+  }
+  for (const auto& w : workers_) {
+    if (w->node < snap.size()) snap[w->node].cached += w->home_free_count;
+    for (std::size_t n = 0; n < w->outbound.size() && n < snap.size(); ++n) {
+      snap[n].in_transit += w->outbound[n].count;
+    }
+  }
+  return snap;
 }
 
 void Scheduler::restore_caller_mask() noexcept {
@@ -854,13 +1062,34 @@ void Scheduler::reconfigure(StealPolicyKind kind,
     w->node = topo_.node_of(w->id);
     w->last_victim = Worker::no_victim;
     w->gated_rounds = 0;
+    // Node-pool caches and stashes hold pointers into the OLD arenas'
+    // chunks, which die with rebuild_node_pools below: drop them first.
+    // Between regions every descriptor is dead, so dropping loses nothing
+    // but recycled memory the new arenas will re-carve.
+    w->home_free = nullptr;
+    w->home_free_count = 0;
+    w->stash_in_transit = 0;
+    w->outbound.assign(topo_.num_nodes(), RemoteStash{});
   }
+  rebuild_node_pools();
+  rebuild_mailboxes();
   if (pin_generation_ != 0) ++pin_generation_;  // re-pin at next region entry
 }
 
 void Scheduler::set_victim_hint(unsigned worker, unsigned victim) noexcept {
   assert_between_regions();
   if (worker < workers_.size()) workers_[worker]->last_victim = victim;
+}
+
+unsigned Scheduler::plan_range_placement(unsigned worker) {
+  assert_between_regions();
+  // Report what publish_range_half would DO, not just what the policy
+  // would prefer: without mailboxes (placement knob off, or no hints) no
+  // half is ever mailed, whatever the policy says.
+  if (mailboxes_ == nullptr || worker >= workers_.size()) {
+    return StealPolicy::no_node;
+  }
+  return policy_->place_range_half(*workers_[worker]);
 }
 
 std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {

@@ -84,6 +84,25 @@
 //   check always splits). enqueue routes range tasks past the private LIFO
 //   slot so a freshly published half is immediately stealable. Knob:
 //   use_range_tasks (consumed by the loop-style kernels).
+// * NUMA-honest descriptor memory (use_node_pools, multi-node topologies):
+//   descriptors come from per-node arenas (task.hpp NodeArena) fronted by a
+//   private per-worker cache — carved and first-touched only by the owning
+//   node's (pinned) workers — and a descriptor finishing on a FOREIGN node
+//   retires to its birth node's arena through a per-worker outbound stash
+//   flushed home in batches (RemoteStash), never into the thief's pool.
+//   Descriptor memory therefore stops migrating across the interconnect as
+//   tasks are stolen (pool_home_frees / pool_remote_frees / pool_migrations
+//   count it; remote frees are zero by construction with the knob on). On a
+//   single-node topology allocation degenerates to the per-worker TaskPool
+//   path bit-for-bit.
+// * Hint-aware range placement (use_hint_placement): when a range splitter
+//   sits on a node whose has-work word is set (local surplus) while a
+//   remote node's word is clear (provably hungry), the split-off upper half
+//   is mailed to that node's RangeMailbox — consulted by find_work right
+//   after the local phase — instead of enqueued on the splitter's deque, so
+//   the idle node stops paying cross-node steal latency for work the busy
+//   node already knows it cannot drain. An idle-path sweep of all
+//   mailboxes keeps a mailed half from ever stranding.
 // * TSC parking: a claimed task the constraint refuses is pushed onto the
 //   claiming worker's lock-free parked inbox (a Treiber stack). Idle workers
 //   drain whole inboxes with one exchange(nullptr) — MPSC-style handoff —
@@ -193,6 +212,20 @@ class Worker {
   WorkStealingDeque deque;
   TaskPool pool;
   WorkerStats stats;
+  // -- node-local descriptor pool state (cfg.use_node_pools; see the
+  // -- NodeArena/RemoteStash notes in task.hpp). Only used while the
+  // -- scheduler's node pools are active (multi-node topology).
+  /// Private cache of recycled home-node descriptors: the lock-free front
+  /// end of this worker's node arena, refilled/returned in batches.
+  Task* home_free = nullptr;
+  std::size_t home_free_count = 0;
+  /// Descriptors currently parked across ALL outbound stashes (drives the
+  /// pool_migrations high-water stat).
+  std::size_t stash_in_transit = 0;
+  /// One outbound retirement stash per node, indexed by a dead
+  /// descriptor's birth node (own-node slot stays unused). Sized by the
+  /// Scheduler constructor and reconfigure().
+  std::vector<RemoteStash> outbound;
   std::vector<Task*> tied_stack;  ///< tied tasks suspended at taskwait
   /// Length of the leading tied_stack prefix verified to be an ancestor
   /// chain (each entry a descendant of the one below). While the whole
@@ -318,6 +351,33 @@ class Scheduler {
   /// publishing costs nothing when nobody reads.
   [[nodiscard]] NodeHints* node_hints() noexcept { return hints_.get(); }
 
+  /// Whether descriptor memory is node-honest in THIS configuration:
+  /// cfg.use_node_pools with a pooled, multi-node setup. On one node (or
+  /// with use_task_pool off) the knob is inert and allocation is exactly
+  /// the per-worker pool path.
+  [[nodiscard]] bool node_pools_active() const noexcept {
+    return !arenas_.empty();
+  }
+
+  /// Between-regions view of one node's descriptor pool, for tests and the
+  /// locality tripwire: where every descriptor carved from the node's
+  /// arena currently rests. After a region (workers flush their outbound
+  /// stashes before leaving) in_transit is 0 and cached + arena_free ==
+  /// arena_carved — every remote-born free has landed home.
+  struct NodePoolSnapshot {
+    std::size_t arena_free = 0;    ///< on the node arena's freelist
+    std::size_t arena_carved = 0;  ///< ever constructed from this arena
+    std::size_t cached = 0;        ///< in the node's workers' home caches
+    std::size_t in_transit = 0;    ///< stashed toward this node, unflushed
+  };
+  [[nodiscard]] std::vector<NodePoolSnapshot> node_pool_snapshot() const;
+
+  /// The mailbox node the policy would pick for a range half split by
+  /// `worker` right now (introspection mirroring plan_steal_order;
+  /// StealPolicy::no_node = keep it local). Between regions only — tests
+  /// drive it by setting the NodeHints words directly.
+  [[nodiscard]] unsigned plan_range_placement(unsigned worker);
+
   /// Adaptive grain state for spawn_range (see grain.hpp). Meaningful with
   /// cfg.use_adaptive_grain; always constructed so tests can seed it.
   [[nodiscard]] GrainTable& grain_table() noexcept { return grain_table_; }
@@ -363,6 +423,11 @@ class Scheduler {
   [[nodiscard]] bool should_defer(Worker& w, std::uint32_t depth) noexcept;
   Task* alloc_task(Worker& w, TaskStorage& storage_out);
   void enqueue(Worker& w, Task& t);
+  /// Publication point for a split-off range half (worksharing.hpp): with
+  /// hint placement active and the policy naming an idle remote node whose
+  /// mailbox is empty, the half is mailed there instead of enqueued on the
+  /// splitter's deque. Accounting is identical to enqueue either way.
+  void publish_range_half(Worker& w, Task& t);
   void run_undeferred(Worker& w, Task& t);
   void taskwait_from(Worker& w);
   void barrier_from(Worker& w);
@@ -375,6 +440,13 @@ class Scheduler {
   void participate(Worker& w, Region& r);
   void worker_main(unsigned id);
   void rebuild_node_hints();
+  void rebuild_node_pools();
+  void rebuild_mailboxes();
+  void dispose(Worker& w, Task& t) noexcept;
+  void flush_stash(Worker& w, unsigned node) noexcept;
+  void flush_outbound_stashes(Worker& w) noexcept;
+  void account_spawn(Worker& w) noexcept;
+  Task* take_mailed(Worker& w, bool scavenge);
   void apply_pinning(Worker& w) noexcept;
   void restore_caller_mask() noexcept;
   void assert_between_regions() noexcept;
@@ -391,6 +463,14 @@ class Scheduler {
   SchedulerConfig cfg_;
   Topology topo_;
   std::unique_ptr<NodeHints> hints_;  ///< null when use_node_work_hints off
+  /// One descriptor arena per node (task.hpp); empty when node pools are
+  /// inert (knob off, single node, or use_task_pool off) — allocation then
+  /// degenerates to the per-worker TaskPool path bit-for-bit.
+  std::vector<std::unique_ptr<NodeArena>> arenas_;
+  /// One range mailbox per node; null when hint placement could never fire
+  /// (knob off, or no hints to consult) — the steady-state empty() probe
+  /// in find_work then costs nothing at all.
+  std::unique_ptr<RangeMailbox[]> mailboxes_;
   std::unique_ptr<StealPolicy> policy_;
   GrainTable grain_table_;
   std::uint32_t cutoff_bound_;

@@ -20,6 +20,7 @@ struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t tasks_inlined_fast = 0;   ///< undeferred on the zero-alloc path (no descriptor)
   std::uint64_t range_tasks = 0;          ///< spawn_range calls (one descriptor per range)
   std::uint64_t range_splits = 0;         ///< range halves split off for hungry thieves
+  std::uint64_t range_halves_redirected = 0; ///< split halves mailed to an idle remote node (use_hint_placement)
   std::uint64_t tasks_executed = 0;       ///< deferred tasks run by this worker
   std::uint64_t tasks_stolen = 0;         ///< deferred tasks taken from another worker
   std::uint64_t steal_attempts = 0;       ///< deque.steal()/steal_batch() calls on victims
@@ -35,6 +36,21 @@ struct alignas(cache_line_bytes) WorkerStats {
   std::uint64_t env_bytes = 0;            ///< captured-environment bytes (Table II)
   std::uint64_t pool_reuse = 0;           ///< descriptor allocations served by the freelist
   std::uint64_t pool_fresh = 0;           ///< descriptor allocations that hit the chunk allocator
+  /// Descriptor frees that retired to the BIRTH node (the node whose arena
+  /// chunk the memory was carved and first-touched on) — directly into this
+  /// worker's home cache, or batched home through an outbound stash.
+  std::uint64_t pool_home_frees = 0;
+  /// Descriptor frees that landed in a pool on a node OTHER than the birth
+  /// node — the cross-socket memory drift node pools exist to remove. With
+  /// use_node_pools on this is zero by construction (the CI locality
+  /// tripwire enforces it); with the knob off it counts every descriptor a
+  /// cross-node thief recycled into its own freelist.
+  std::uint64_t pool_remote_frees = 0;
+  /// High-water mark of descriptors simultaneously parked in this worker's
+  /// outbound stashes (retired remotely, awaiting the batched flight back
+  /// to their birth node's arena). Aggregated by MAX, not sum: the snapshot
+  /// total reports the worst single-worker in-transit backlog.
+  std::uint64_t pool_migrations = 0;
 
   WorkerStats& operator+=(const WorkerStats& o) noexcept {
     tasks_created += o.tasks_created;
@@ -44,6 +60,7 @@ struct alignas(cache_line_bytes) WorkerStats {
     tasks_inlined_fast += o.tasks_inlined_fast;
     range_tasks += o.range_tasks;
     range_splits += o.range_splits;
+    range_halves_redirected += o.range_halves_redirected;
     tasks_executed += o.tasks_executed;
     tasks_stolen += o.tasks_stolen;
     steal_attempts += o.steal_attempts;
@@ -59,6 +76,12 @@ struct alignas(cache_line_bytes) WorkerStats {
     env_bytes += o.env_bytes;
     pool_reuse += o.pool_reuse;
     pool_fresh += o.pool_fresh;
+    pool_home_frees += o.pool_home_frees;
+    pool_remote_frees += o.pool_remote_frees;
+    // High-water mark, not a flow: the aggregate is the worst per-worker
+    // in-transit backlog, which is what bounds stash memory.
+    pool_migrations = pool_migrations > o.pool_migrations ? pool_migrations
+                                                          : o.pool_migrations;
     return *this;
   }
 };

@@ -148,6 +148,24 @@ class HierarchicalPolicy final : public LastVictimPolicy {
     LastVictimPolicy::raided(w, v, success);
   }
 
+  unsigned place_range_half(Worker& w) noexcept override {
+    // Redirect only on the exact signal pair the hints already maintain:
+    // home advertises surplus (a local thief has nearer work than this
+    // half) AND some remote node is provably hungry (word clear: every
+    // enqueue there would have set it). Without hints — or with every
+    // remote node fed — the half stays local, the PR-3 behaviour.
+    const unsigned nodes = topo_.num_nodes();
+    if (hints_ == nullptr || nodes <= 1) return no_node;
+    const unsigned home = topo_.node_of(w.id);
+    if (!hints_->has_work(home)) return no_node;  // no local surplus
+    for (unsigned dn = 1; dn < nodes; ++dn) {
+      const unsigned node = (home + dn) % nodes;
+      if (!topo_.has_workers(node)) continue;  // nobody to drain a mailbox
+      if (!hints_->has_work(node)) return node;
+    }
+    return no_node;
+  }
+
   [[nodiscard]] std::size_t batch_cap(
       const Worker& w, unsigned v, std::size_t base) const noexcept override {
     if (topo_.same_node(w.id, v)) return base;

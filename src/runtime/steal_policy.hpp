@@ -1,9 +1,11 @@
 // Pluggable steal/placement policies: every scheduling *decision* the
 // work-stealing core used to hardcode now flows through one of these
-// objects — victim selection order, steal-batch sizing, and the
-// range-split demand check (which decides where split halves appear:
-// published on the splitter's own deque, they reach whichever thief the
-// victim order sends there first).
+// objects — victim selection order, steal-batch sizing, the range-split
+// demand check (which decides where split halves appear: published on the
+// splitter's own deque, they reach whichever thief the victim order sends
+// there first), and the hint-aware placement consultation
+// (place_range_half: whether a split half should instead be MAILED to an
+// idle remote node's RangeMailbox, sparing that node the cross-node steal).
 //
 // One policy instance serves the whole team. Methods take the acting
 // Worker and mutate only that worker's state (last_victim, rng), so the
@@ -37,8 +39,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "runtime/config.hpp"
+#include "runtime/task.hpp"
 #include "runtime/topology.hpp"
 
 namespace bots::rt {
@@ -98,6 +102,69 @@ class NodeHints {
   std::unique_ptr<Word[]> words_;
 };
 
+/// Per-node mailbox deque for hint-aware range placement
+/// (SchedulerConfig::use_hint_placement): a splitter on a saturated node
+/// publishes a split-off range half HERE — on the idle node the hints say
+/// is starving — instead of on its own deque, so the idle node's workers
+/// find the half on their next find_work round without paying a
+/// cross-node steal probe for it.
+///
+/// Push and pop are multi-producer/multi-consumer (any remote splitter may
+/// push; any of the node's workers — and, as an idle-path liveness
+/// fallback, any worker at all — may pop), so the chain is guarded by a
+/// mutex: redirects are rare, batched events and exactly-once delivery
+/// matters more than lock-freedom here. The steady state costs one relaxed
+/// size probe (empty()) per idle round and zero locks. FIFO order: the
+/// oldest redirected half — the one whose spawner has waited longest — is
+/// delivered first. Tasks chain through Task::pool_next (a mailed task is
+/// live and queued, so the freelist/parked uses of that link are disjoint
+/// from this one).
+class alignas(cache_line_bytes) RangeMailbox {
+ public:
+  RangeMailbox() = default;
+  RangeMailbox(const RangeMailbox&) = delete;
+  RangeMailbox& operator=(const RangeMailbox&) = delete;
+
+  void push(Task* t) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    t->pool_next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->pool_next = t;
+    } else {
+      head_ = t;
+    }
+    tail_ = t;
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Oldest mailed task, or nullptr. Exactly-once: the mutex serializes
+  /// concurrent drains, so every pushed task is returned by exactly one
+  /// pop, whichever workers race for it.
+  [[nodiscard]] Task* pop() noexcept {
+    if (size_.load(std::memory_order_acquire) == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    Task* t = head_;
+    if (t == nullptr) return nullptr;
+    head_ = t->pool_next;
+    if (head_ == nullptr) tail_ = nullptr;
+    t->pool_next = nullptr;
+    size_.store(size_.load(std::memory_order_relaxed) - 1,
+                std::memory_order_release);
+    return t;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return size_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  std::mutex mu_;
+  Task* head_ = nullptr;
+  Task* tail_ = nullptr;
+  std::atomic<std::size_t> size_{0};
+};
+
 class StealPolicy {
  public:
   explicit StealPolicy(const Topology& topo) noexcept : topo_(topo) {}
@@ -128,6 +195,23 @@ class StealPolicy {
     (void)w;
     (void)v;
     (void)success;
+  }
+
+  /// "No placement preference" sentinel for place_range_half.
+  static constexpr unsigned no_node = ~0u;
+
+  /// Placement consultation for a split-off range half: the node whose
+  /// mailbox should receive it, or no_node to publish on the splitter's own
+  /// deque (the default — every non-topology-aware policy). The
+  /// hierarchical policy redirects when the splitter's home node already
+  /// advertises surplus (its has-work word is set: local thieves have
+  /// nearer work) while a remote node's word is clear (its workers are
+  /// provably hungry — they would otherwise pay a cross-node steal for
+  /// exactly this half). Purely advisory: the scheduler still keeps the
+  /// half local when the target's mailbox is backed up.
+  [[nodiscard]] virtual unsigned place_range_half(Worker& w) noexcept {
+    (void)w;
+    return no_node;
   }
 
   /// Range-split demand check: should the worker executing a range task

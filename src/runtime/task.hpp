@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -180,11 +181,22 @@ class Task {
   /// path with. Only the fields init_env/set_links do not overwrite need
   /// resetting: the fused state word (refs back to 1, children 0) and the
   /// environment pointer (so a stray destroy_env on an uninitialised
-  /// descriptor stays a no-op).
+  /// descriptor stays a no-op). home_node_ deliberately survives: the birth
+  /// node is a property of the descriptor's MEMORY (where its chunk was
+  /// carved and first-touched), not of any one use.
   void reset_for_reuse() noexcept {
     env_ = nullptr;
     range_ = nullptr;
     state_.store(ref_one, std::memory_order_relaxed);
+  }
+
+  /// Locality node whose chunk this descriptor's memory was carved on (set
+  /// once, at construction). The retire path routes the descriptor back to
+  /// this node's arena under SchedulerConfig::use_node_pools, and counts a
+  /// pool_remote_free whenever a free lands anywhere else.
+  [[nodiscard]] std::uint16_t home_node() const noexcept { return home_node_; }
+  void set_home_node(unsigned node) noexcept {
+    home_node_ = static_cast<std::uint16_t>(node);
   }
 
   /// True when `ancestor` appears on this task's parent chain.
@@ -215,6 +227,7 @@ class Task {
   Tiedness tied_ = Tiedness::tied;
   TaskStorage storage_ = TaskStorage::stack_frame;
   bool heap_env_ = false;
+  std::uint16_t home_node_ = 0;  ///< birth node of this descriptor's memory
   alignas(std::max_align_t) std::byte inline_env_[inline_env_capacity];
 };
 
@@ -290,6 +303,145 @@ class TaskPool {
   Task* chunk_cursor_ = nullptr;
   std::size_t next_in_chunk_ = chunk_tasks;
   std::vector<std::byte*> chunks_;
+};
+
+/// Shared descriptor arena for ONE locality node (SchedulerConfig::
+/// use_node_pools). The per-worker fast path stays lock-free: each worker
+/// keeps a private cache of home-node descriptors (Worker::home_free) and
+/// only touches the arena in batches — a refill chain when the cache runs
+/// dry, a stash flush when remotely-retired descriptors fly home — so the
+/// mutex here guards whole-batch splices, never per-task traffic.
+///
+/// First-touch discipline: only the node's own (pinned) workers ever carve
+/// fresh descriptors from this arena, and construction (the placement-new
+/// that first writes the slot) happens on the carving worker's thread —
+/// outside the lock — so under first-touch NUMA policy every chunk's pages
+/// fault in on the node that will keep reusing them. Remote workers only
+/// ever *return* descriptors here (put_chain), which writes one link word
+/// per task; the descriptor bodies are next rewritten by home workers.
+class NodeArena {
+ public:
+  static constexpr std::size_t chunk_tasks = TaskPool::chunk_tasks;
+  /// Descriptors a worker cache pulls per refill: big enough to amortize
+  /// the lock far below per-spawn cost, small enough not to strand the
+  /// node's freelist in one worker's private cache.
+  static constexpr std::size_t refill_batch = 16;
+  /// Home-cache spill threshold: when a worker's private cache reaches
+  /// this, it splices refill_batch descriptors back to the arena. Without
+  /// the spill, an intra-node producer-consumer pattern (worker A spawns,
+  /// same-node worker B executes and frees) grows B's cache by one per
+  /// task while A carves fresh chunks forever — arena memory O(total
+  /// tasks) instead of O(peak live). Balanced alloc/free never reaches
+  /// the threshold, so the recursion hot path pays one compare.
+  static constexpr std::size_t cache_spill = 2 * refill_batch;
+
+  explicit NodeArena(unsigned node) noexcept : node_(node) {}
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  ~NodeArena() {
+    for (auto& chunk : chunks_) {
+      ::operator delete[](chunk, std::align_val_t{alignof(Task)});
+    }
+  }
+
+  /// Pop up to `max` recycled descriptors as a pool_next chain (most
+  /// recently freed first); writes the count to `got`. Returns nullptr
+  /// (got = 0) when the freelist is empty — the caller carves fresh then.
+  [[nodiscard]] Task* take_chain(std::size_t max, std::size_t& got) {
+    std::lock_guard<std::mutex> lock(mu_);
+    got = 0;
+    if (free_ == nullptr) return nullptr;
+    Task* head = free_;
+    Task* tail = head;
+    got = 1;
+    while (got < max && tail->pool_next != nullptr) {
+      tail = tail->pool_next;
+      ++got;
+    }
+    free_ = tail->pool_next;
+    tail->pool_next = nullptr;
+    free_count_ -= got;
+    return head;
+  }
+
+  /// Splice a pool_next chain of `n` descriptors [head..tail] onto the
+  /// freelist: the batched retirement flight home (one lock per stash
+  /// flush, not per task). Every descriptor must have been carved HERE.
+  void put_chain(Task* head, Task* tail, std::size_t n) noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail->pool_next = free_;
+    free_ = head;
+    free_count_ += n;
+  }
+
+  /// Construct one fresh descriptor (freelist empty). The slot is claimed
+  /// under the lock; the placement-new — the first write to the memory, the
+  /// touch that places the page — runs on the caller's thread outside it.
+  [[nodiscard]] Task* carve() {
+    Task* slot = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_in_chunk_ >= chunk_tasks) {
+        void* raw = ::operator new[](sizeof(Task) * chunk_tasks,
+                                     std::align_val_t{alignof(Task)});
+        chunk_cursor_ = static_cast<Task*>(raw);
+        chunks_.push_back(static_cast<std::byte*>(raw));
+        next_in_chunk_ = 0;
+      }
+      slot = chunk_cursor_ + next_in_chunk_;
+      ++next_in_chunk_;
+      ++carved_;
+    }
+    Task* t = ::new (static_cast<void*>(slot)) Task();
+    t->set_home_node(node_);
+    return t;
+  }
+
+  /// Between-regions introspection (tests, node_pool_snapshot): descriptors
+  /// currently on the freelist and total ever carved from this arena.
+  struct Counts {
+    std::size_t free_count = 0;
+    std::size_t carved = 0;
+  };
+  [[nodiscard]] Counts counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {free_count_, carved_};
+  }
+
+  [[nodiscard]] unsigned node() const noexcept { return node_; }
+
+ private:
+  mutable std::mutex mu_;
+  Task* free_ = nullptr;
+  std::size_t free_count_ = 0;
+  std::size_t carved_ = 0;
+  Task* chunk_cursor_ = nullptr;
+  std::size_t next_in_chunk_ = chunk_tasks;
+  std::vector<std::byte*> chunks_;
+  unsigned node_;
+};
+
+/// Per-worker outbound retirement stash toward ONE remote birth node: a
+/// descriptor freed off its birth node chains here (two plain stores) and
+/// the whole chain flies home in one NodeArena::put_chain splice when the
+/// stash reaches flush_batch — so cross-node frees cost one remote lock
+/// per batch instead of per descriptor. Workers also flush every stash at
+/// region end, bounding in-transit memory and making the between-regions
+/// balance exact (every remote-born free has landed home).
+struct RemoteStash {
+  static constexpr std::uint32_t flush_batch = 16;
+
+  Task* head = nullptr;
+  Task* tail = nullptr;
+  std::uint32_t count = 0;
+
+  void push(Task* t) noexcept {
+    t->pool_next = head;
+    if (head == nullptr) tail = t;
+    head = t;
+    ++count;
+  }
 };
 
 }  // namespace bots::rt

@@ -5,7 +5,11 @@
 // (steal_policy.hpp) consults it to probe same-node victims before crossing
 // the interconnect, to shrink cross-node steal batches, and — through the
 // victim order — to keep freshly split range halves on the node that
-// produced them (a same-node thief reaches them first).
+// produced them (a same-node thief reaches them first). The node map also
+// scopes descriptor memory (one NodeArena per node under use_node_pools:
+// descriptors are carved, first-touched and retired on their birth node)
+// and addresses the per-node RangeMailbox hint-aware placement delivers
+// split halves through.
 //
 // Three sources, in precedence order:
 //   1. A synthetic "NxM" spec (N nodes of M cores) from
@@ -127,6 +131,13 @@ class Topology {
       unsigned node) const noexcept {
     static const std::vector<unsigned> empty;
     return node < nodes_.size() ? nodes_[node] : empty;
+  }
+  /// Whether any worker lives on `node`. Nodes can be empty when the team
+  /// is smaller than the machine (an 8-node box running 4 workers): such a
+  /// node is never a steal tier, never owns live descriptors, and must
+  /// never be a placement target — nobody would drain its mailbox.
+  [[nodiscard]] bool has_workers(unsigned node) const noexcept {
+    return node < nodes_.size() && !nodes_[node].empty();
   }
   /// CPU ids backing `node` — the cpuset pin_workers pins that node's
   /// workers to. Empty for the flat fallback and out-of-range nodes (no

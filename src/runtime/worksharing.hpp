@@ -200,7 +200,12 @@ struct RangeRunner {
 
   /// Publish [lo2, hi2) as a sibling of the running range task (same parent,
   /// same depth, same tiedness), so a taskwait at the original spawner joins
-  /// every split exactly like the range itself.
+  /// every split exactly like the range itself. WHERE the half appears is
+  /// the scheduler's placement call (publish_range_half): normally this
+  /// worker's own deque — where the victim order sends same-node thieves
+  /// first — but under use_hint_placement a half split on a saturated node
+  /// while a remote node's has-work word is clear is mailed to that idle
+  /// node's RangeMailbox instead, sparing it the cross-node steal.
   void split_off(Worker& w, std::int64_t lo2, std::int64_t hi2) {
     Scheduler& s = *w.sched;
     Task* self = w.current;
@@ -215,7 +220,7 @@ struct RangeRunner {
     if (parent != nullptr) parent->add_child_ref();
     t->set_links(parent, self->depth(), self->tiedness(), storage);
     t->set_range(&t->env_as<RangeRunner<Body>>()->desc);
-    s.enqueue(w, *t);
+    s.publish_range_half(w, *t);
   }
 };
 

@@ -144,6 +144,37 @@ TEST(Properties, StatsAccountingBalancesOnEveryApp) {
   }
 }
 
+TEST(Properties, PoolFreesBalanceAllocationsOnEveryApp) {
+  // Every pooled descriptor allocated inside a region dies inside it
+  // (region quiescence covers release chains), and every death is
+  // classified as exactly one home or remote free — so after any suite
+  // run, home + remote frees == reuse + fresh allocations. Checked in the
+  // default (flat) configuration AND on a synthetic 2x4 box under the
+  // hierarchical policy, where node pools route remote-born frees through
+  // the outbound stashes and remote frees must be zero by construction.
+  auto check = [](rt::SchedulerConfig cfg, const char* label) {
+    ASSERT_TRUE(cfg.use_task_pool);  // the invariant is about pooled storage
+    rt::Scheduler sched(cfg);
+    for (const auto& app : core::apps()) {
+      (void)app.run(core::InputClass::test, app.best_version().name, sched,
+                    false);
+      const auto t = sched.stats().total;
+      EXPECT_EQ(t.pool_home_frees + t.pool_remote_frees,
+                t.pool_reuse + t.pool_fresh)
+          << label << "/" << app.name;
+      if (sched.node_pools_active()) {
+        EXPECT_EQ(t.pool_remote_frees, 0u) << label << "/" << app.name;
+      }
+    }
+  };
+  check(rt::SchedulerConfig{.num_threads = 4}, "default");
+  rt::SchedulerConfig numa;
+  numa.num_threads = 8;
+  numa.steal_policy = rt::StealPolicyKind::hierarchical;
+  numa.synthetic_topology = "2x4";
+  check(numa, "2x4-hierarchical");
+}
+
 TEST(Properties, InlinePathCountsCapturedEnvironmentBytes) {
   // Regression pin (ROADMAP: env_bytes on the zero-alloc inline path): a
   // construct that runs without a descriptor still captured its closure on

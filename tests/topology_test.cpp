@@ -1,6 +1,9 @@
 // Topology/steal-policy layer tests: synthetic-topology determinism, the
 // hierarchical policy's same-node-before-cross-node victim order, its
-// single-node degeneration to last_victim, steal locality counters, and
+// single-node degeneration to last_victim, steal locality counters,
+// node-local descriptor pools (birth-node retirement, cross-node stash
+// flight, the between-regions balance), hint-aware range placement
+// (mailbox delivery, the placement plan, A/B output identity), and
 // correctness of every policy under the usual workloads.
 #include <algorithm>
 #include <atomic>
@@ -10,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "kernels/alignment/alignment.hpp"
+#include "kernels/fft/fft.hpp"
+#include "kernels/sort/sort.hpp"
 #include "runtime/rt.hpp"
 
 namespace rt = bots::rt;
@@ -532,6 +538,405 @@ TEST(StealPolicy, ReconfigureRemapsWorkerNodesForLocalityCounters) {
   EXPECT_EQ(t.steals_local_node, 0u)
       << "a steal was classified with a stale pre-reconfigure node id";
   EXPECT_GT(t.steals_remote_node, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Node-local descriptor pools (cfg.use_node_pools / RT_NODE_POOLS): birth-
+// node retirement, batched stash flight, and the between-regions balance.
+// ---------------------------------------------------------------------------
+
+/// Sum of a node-pool snapshot's resting places, asserting the between-
+/// regions balance: nothing in transit, and every descriptor ever carved
+/// from a node's arena resting ON that node (worker caches + arena
+/// freelist) — i.e. every remote-born free landed home.
+void expect_pool_balance(const rt::Scheduler& s) {
+  const auto snap = s.node_pool_snapshot();
+  for (std::size_t n = 0; n < snap.size(); ++n) {
+    EXPECT_EQ(snap[n].in_transit, 0u)
+        << "node " << n << ": unflushed outbound stash after region end";
+    EXPECT_EQ(snap[n].cached + snap[n].arena_free, snap[n].arena_carved)
+        << "node " << n << ": descriptors rest off their birth node";
+  }
+}
+
+TEST(NodePools, SingleNodeTopologyKeepsPlainWorkerPools) {
+  // The documented degeneration: on one locality domain the knob is inert
+  // — no arenas exist and allocation takes exactly the per-worker TaskPool
+  // path, so a flat box pays nothing for the default-on knob.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "1x4");
+  ASSERT_TRUE(cfg.use_node_pools);
+  rt::Scheduler s(cfg);
+  EXPECT_FALSE(s.node_pools_active());
+  EXPECT_TRUE(s.node_pool_snapshot().empty());
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(18, rt::Tiedness::tied); });
+  EXPECT_EQ(r, fib_ref(18));
+  // Frees are still classified: on one node every free is a home free.
+  const auto t = s.stats().total;
+  EXPECT_GT(t.pool_home_frees, 0u);
+  EXPECT_EQ(t.pool_remote_frees, 0u);
+}
+
+TEST(NodePools, FlatDegenerationMatchesWorkerPoolsCounterForCounter) {
+  // One worker, one node: the same deterministic workload must produce the
+  // exact same pool counter stream with the knob on and off — the
+  // degeneration is bit-for-bit, not merely "also correct".
+  auto counters = [](bool node_pools) {
+    rt::SchedulerConfig cfg =
+        policy_cfg(1, rt::StealPolicyKind::hierarchical, "1x1");
+    cfg.cutoff = rt::CutoffPolicy::none;
+    cfg.use_node_pools = node_pools;
+    rt::Scheduler s(cfg);
+    std::uint64_t r = 0;
+    s.run_single([&] { r = fib_task(16, rt::Tiedness::tied); });
+    EXPECT_EQ(r, fib_ref(16));
+    return s.stats().total;
+  };
+  const auto on = counters(true);
+  const auto off = counters(false);
+  EXPECT_EQ(on.pool_reuse, off.pool_reuse);
+  EXPECT_EQ(on.pool_fresh, off.pool_fresh);
+  EXPECT_EQ(on.pool_home_frees, off.pool_home_frees);
+  EXPECT_EQ(on.pool_remote_frees, 0u);
+  EXPECT_EQ(off.pool_remote_frees, 0u);
+}
+
+TEST(NodePools, CrossNodeStealRetiresDescriptorsToTheirBirthNode) {
+  // Every worker its own node (4x1): any successful steal crosses the
+  // interconnect, so the stolen task's descriptor dies on a foreign node.
+  // With node pools ON it must fly home through the outbound stash — a
+  // remote free never happens (the acceptance criterion and the CI
+  // tripwire), the in-transit high-water shows the flight, and the
+  // between-regions balance proves the landing.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "4x1");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  ASSERT_TRUE(cfg.use_node_pools);
+  rt::Scheduler s(cfg);
+  ASSERT_TRUE(s.node_pools_active());
+  std::atomic<bool> stolen{false};
+  s.run_single([&stolen] {
+    rt::spawn(rt::Tiedness::untied,
+              [&stolen] { stolen.store(true, std::memory_order_release); });
+    rt::spawn(rt::Tiedness::untied, [] {});
+    while (!stolen.load(std::memory_order_acquire)) std::this_thread::yield();
+    rt::taskwait();
+  });
+  const auto t = s.stats().total;
+  EXPECT_GT(t.steals_remote_node, 0u);  // the forced cross-node steal
+  EXPECT_EQ(t.pool_remote_frees, 0u)
+      << "a descriptor retired into a pool off its birth node";
+  EXPECT_GT(t.pool_home_frees, 0u);
+  EXPECT_GT(t.pool_migrations, 0u)
+      << "a cross-node-finished descriptor never rode an outbound stash";
+  expect_pool_balance(s);
+}
+
+TEST(NodePools, WorkerPoolsCountTheDriftNodePoolsRemove) {
+  // The same forced cross-node steal with the knob OFF: the thief recycles
+  // the stolen descriptor into its own freelist, and the drift counter
+  // must say so — this is the measurable difference the feature exists to
+  // remove, and the A/B the ablation bench reports.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "4x1");
+  cfg.use_node_pools = false;
+  const auto t = run_forced_steal(cfg).total;
+  EXPECT_GT(t.steals_remote_node, 0u);
+  EXPECT_GT(t.pool_remote_frees, 0u)
+      << "knob off must reproduce (and count) the historical drift";
+  EXPECT_EQ(t.pool_migrations, 0u);  // no stashes without node pools
+}
+
+TEST(NodePools, HeavyStealTrafficStaysBalancedAcrossRegions) {
+  // A task flood across a 2x4 box, twice, with stats reset in between:
+  // thousands of steals, every descriptor repeatedly reused — the balance
+  // and the remote-free zero must hold after every region, and the second
+  // region must be served mostly from recycled home memory (reuse >>
+  // fresh).
+  rt::SchedulerConfig cfg =
+      policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  rt::Scheduler s(cfg);
+  ASSERT_TRUE(s.node_pools_active());
+  for (int round = 0; round < 2; ++round) {
+    std::uint64_t r = 0;
+    s.run_single([&] { r = fib_task(21, rt::Tiedness::untied); });
+    ASSERT_EQ(r, fib_ref(21));
+    const auto t = s.stats().total;
+    EXPECT_EQ(t.pool_remote_frees, 0u) << "round " << round;
+    EXPECT_EQ(t.pool_home_frees, t.pool_reuse + t.pool_fresh)
+        << "round " << round << ": an allocated descriptor was never freed";
+    expect_pool_balance(s);
+    s.reset_stats();
+  }
+}
+
+TEST(NodePools, HomeCacheSpillsBackUnderProducerConsumerFlow) {
+  // Worker 0 generates waves of tasks and busy-waits them out (never
+  // reaching a scheduling point), so its same-node sibling consumes them:
+  // the consumed descriptors pile into the SIBLING's home cache, and the
+  // cache must spill them back to the arena — otherwise the generator
+  // finds the arena empty every wave and carves fresh chunk slots at task
+  // scale (arena memory O(total tasks) instead of O(peak live)). The
+  // bound is one-sided: whatever share the sibling actually won, total
+  // carving must stay at cache scale.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  cfg.lifo_slot = false;  // a slot entry is invisible while the generator spins
+  rt::Scheduler s(cfg);
+  ASSERT_TRUE(s.node_pools_active());
+  constexpr int waves = 100;
+  constexpr int per_wave = 40;
+  std::atomic<bool> done{false};
+  std::atomic<int> executed{0};
+  s.run_all([&](unsigned id) {
+    if (id >= 2) {  // node 1: held out — keep the flow intra-node
+      while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+      return;
+    }
+    if (id == 0) {
+      for (int wv = 1; wv <= waves; ++wv) {
+        for (int i = 0; i < per_wave; ++i) {
+          rt::spawn(rt::Tiedness::untied, [&executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        while (executed.load(std::memory_order_acquire) < wv * per_wave) {
+          std::this_thread::yield();
+        }
+      }
+      rt::taskwait();
+      done.store(true, std::memory_order_release);
+    }
+  });
+  EXPECT_EQ(executed.load(), waves * per_wave);
+  const auto snap = s.node_pool_snapshot();
+  std::size_t carved = 0;
+  for (const auto& e : snap) carved += e.arena_carved;
+  EXPECT_LE(carved, 512u)
+      << "arena grew at task scale: consumed descriptors are not spilling "
+         "back to the generator";
+  expect_pool_balance(s);
+}
+
+// ---------------------------------------------------------------------------
+// Hint-aware range placement (cfg.use_hint_placement / RT_HINT_PLACEMENT).
+// ---------------------------------------------------------------------------
+
+TEST(HintPlacement, PlacementPlanFollowsTheHintWords) {
+  // The deterministic pin on the decision rule itself: redirect exactly
+  // when home advertises surplus AND a populated remote node's word is
+  // clear; nearest such node wins. Driven between regions by setting the
+  // NodeHints words directly.
+  rt::Scheduler s(policy_cfg(6, rt::StealPolicyKind::hierarchical, "3x2"));
+  auto* hints = s.node_hints();
+  ASSERT_NE(hints, nullptr);
+  // No local surplus: never redirect, whatever the remote words say.
+  hints->clear(0);
+  hints->clear(1);
+  hints->clear(2);
+  EXPECT_EQ(s.plan_range_placement(0), rt::StealPolicy::no_node);
+  // Local surplus + both remotes clear: the nearest remote node wins.
+  hints->publish(0);
+  EXPECT_EQ(s.plan_range_placement(0), 1u);
+  // Nearest remote fed, farther one hungry: skip to the hungry one.
+  hints->publish(1);
+  EXPECT_EQ(s.plan_range_placement(0), 2u);
+  // Everybody fed: keep the half local.
+  hints->publish(2);
+  EXPECT_EQ(s.plan_range_placement(0), rt::StealPolicy::no_node);
+  // The scan is relative to the splitter's home node (worker 2 lives on
+  // node 1): its nearest hungry remote is node 2.
+  hints->clear(2);
+  hints->publish(1);
+  EXPECT_EQ(s.plan_range_placement(2), 2u);
+}
+
+TEST(HintPlacement, NeverTargetsANodeWithoutWorkers) {
+  // 8 nodes of 1 core but only 4 workers: nodes 4..7 exist in the spec but
+  // hold nobody — nobody would ever drain their mailbox, so the placement
+  // scan must skip them even though their hint words are clear.
+  rt::Scheduler s(policy_cfg(4, rt::StealPolicyKind::hierarchical, "8x1"));
+  auto* hints = s.node_hints();
+  ASSERT_NE(hints, nullptr);
+  hints->publish(0);  // local surplus on worker 0's node
+  // All words clear: the nearest POPULATED node wins (1, not an empty one).
+  EXPECT_EQ(s.plan_range_placement(0), 1u);
+  // Every populated remote node fed: nodes 4..7 are clear but hold nobody,
+  // so the plan must fall back to "keep it local", never a dead mailbox.
+  hints->publish(1);
+  hints->publish(2);
+  hints->publish(3);
+  EXPECT_EQ(s.plan_range_placement(0), rt::StealPolicy::no_node);
+}
+
+TEST(HintPlacement, InertWithoutHintsOrOffKnob) {
+  // The placement layer piggybacks on NodeHints: hints off, single node,
+  // or the placement knob itself off must all plan "keep it local".
+  rt::SchedulerConfig no_hints =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  no_hints.use_node_work_hints = false;
+  rt::Scheduler a(no_hints);
+  EXPECT_EQ(a.plan_range_placement(0), rt::StealPolicy::no_node);
+
+  rt::Scheduler b(policy_cfg(4, rt::StealPolicyKind::hierarchical, "1x4"));
+  EXPECT_EQ(b.plan_range_placement(0), rt::StealPolicy::no_node);
+
+  rt::SchedulerConfig off =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  off.use_hint_placement = false;
+  rt::Scheduler c(off);
+  if (c.node_hints() != nullptr) c.node_hints()->publish(0);
+  // The introspection reflects what the scheduler would DO: knob off means
+  // no mailboxes, so the plan is "keep it local" even though the policy's
+  // hint rule would have preferred node 1.
+  EXPECT_EQ(c.plan_range_placement(0), rt::StealPolicy::no_node);
+  std::atomic<std::uint32_t> hits{0};
+  c.run_single([&] {
+    rt::spawn_range(rt::Tiedness::untied, 0, 5000, 1,
+                    [&hits](std::int64_t) {
+                      hits.fetch_add(1, std::memory_order_relaxed);
+                    });
+    rt::taskwait();
+  });
+  EXPECT_EQ(hits.load(), 5000u);
+  EXPECT_EQ(c.stats().total.range_halves_redirected, 0u)
+      << "knob off must never mail a half";
+}
+
+TEST(HintPlacement, RedirectsHalvesToTheIdleNodeWithExactCoverage) {
+  // The acceptance scenario: a 2x2 box whose node-1 workers are held
+  // inside the region body (they never steal, so node 1's word stays
+  // clear) while node 0 chews a big range. Splits on the saturated node
+  // must mail at least one half to node 1's mailbox — and every iteration
+  // still runs exactly once, wherever the halves landed.
+  rt::SchedulerConfig cfg =
+      policy_cfg(4, rt::StealPolicyKind::hierarchical, "2x2");
+  cfg.cutoff = rt::CutoffPolicy::none;
+  cfg.use_adaptive_grain = false;  // keep every split check eligible
+  ASSERT_TRUE(cfg.use_hint_placement);
+  rt::Scheduler s(cfg);
+  constexpr std::int64_t n = 20000;
+  std::vector<std::atomic<std::uint8_t>> hits(n);
+  std::atomic<bool> done{false};
+  s.run_all([&](unsigned id) {
+    if (id >= 2) {  // node 1: provably hungry, word never published
+      while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+      return;
+    }
+    if (id == 0) {
+      rt::spawn_range(rt::Tiedness::untied, 0, n, 1,
+                      [&hits](std::int64_t i) {
+                        hits[static_cast<std::size_t>(i)].fetch_add(
+                            1, std::memory_order_relaxed);
+                      });
+      rt::taskwait();  // joins the range and every mailed half (liveness:
+                       // the idle sweep reaches remote mailboxes)
+      done.store(true, std::memory_order_release);
+    }
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1u) << i;
+  }
+  EXPECT_GT(s.stats().total.range_halves_redirected, 0u)
+      << "no half was mailed to the provably idle node";
+}
+
+TEST(HintPlacement, MailboxDeliversExactlyOnceUnderConcurrentDrain) {
+  // The RangeMailbox contract in isolation: concurrent pushers and
+  // drainers, every task delivered to exactly one drainer, none lost,
+  // none duplicated, FIFO per producer not required — only exactly-once.
+  constexpr std::size_t producers = 4;
+  constexpr std::size_t per_producer = 512;
+  constexpr std::size_t total = producers * per_producer;
+  std::vector<rt::Task> tasks(total);
+  std::vector<std::atomic<std::uint32_t>> seen(total);
+  rt::RangeMailbox box;
+  std::atomic<std::size_t> drained{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        box.push(&tasks[p * per_producer + i]);
+      }
+    });
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    threads.emplace_back([&] {
+      while (drained.load(std::memory_order_acquire) < total) {
+        rt::Task* t = box.pop();
+        if (t == nullptr) {
+          std::this_thread::yield();
+          continue;
+        }
+        const std::size_t idx = static_cast<std::size_t>(t - tasks.data());
+        seen[idx].fetch_add(1, std::memory_order_relaxed);
+        drained.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.pop(), nullptr);
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "task " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A/B output identity: both new knobs, across the three kernel shapes the
+// issue names (alignment rows / sort merges / fft butterflies). The knobs
+// move descriptor memory and half placement, never results.
+// ---------------------------------------------------------------------------
+
+/// Kernel outputs under a 2x4 hierarchical box with the given knob states.
+struct KnobOutputs {
+  std::vector<int> alignment;
+  std::vector<bots::sort::Elm> sorted;
+  std::vector<bots::fft::Complex> fft;
+};
+
+KnobOutputs kernel_outputs(bool node_pools, bool hint_placement) {
+  rt::SchedulerConfig cfg =
+      policy_cfg(8, rt::StealPolicyKind::hierarchical, "2x4");
+  cfg.use_node_pools = node_pools;
+  cfg.use_hint_placement = hint_placement;
+  rt::Scheduler s(cfg);
+  KnobOutputs out;
+  {
+    const auto p = bots::alignment::params_for(bots::core::InputClass::test);
+    const auto seqs = bots::alignment::make_input(p);
+    out.alignment = bots::alignment::run_parallel(p, seqs, s, {});
+  }
+  {
+    const auto p = bots::sort::params_for(bots::core::InputClass::test);
+    out.sorted = bots::sort::make_input(p);
+    bots::sort::run_parallel(p, out.sorted, s, {});
+  }
+  {
+    const auto p = bots::fft::params_for(bots::core::InputClass::test);
+    out.fft = bots::fft::make_input(p);
+    bots::fft::run_parallel(p, out.fft, s, {});
+  }
+  return out;
+}
+
+TEST(KnobIdentity, NodePoolsNeverChangeKernelOutputs) {
+  const KnobOutputs on = kernel_outputs(true, true);
+  const KnobOutputs off = kernel_outputs(false, true);
+  EXPECT_EQ(on.alignment, off.alignment);
+  EXPECT_EQ(on.sorted, off.sorted);
+  EXPECT_EQ(on.fft, off.fft);  // bitwise: same per-element float operations
+}
+
+TEST(KnobIdentity, HintPlacementNeverChangesKernelOutputs) {
+  const KnobOutputs on = kernel_outputs(true, true);
+  const KnobOutputs off = kernel_outputs(true, false);
+  EXPECT_EQ(on.alignment, off.alignment);
+  EXPECT_EQ(on.sorted, off.sorted);
+  EXPECT_EQ(on.fft, off.fft);
 }
 
 // ---------------------------------------------------------------------------

@@ -157,6 +157,42 @@ TEST(RangeSpawn, BodiesMaySpawnOrdinaryTasks) {
 // Adaptive grain (GrainController): convergence in both directions.
 // ---------------------------------------------------------------------------
 
+TEST(RangeSpawn, HintPlacementPreservesCoverageAndKnobOffNeverMails) {
+  // Range split publication now flows through the scheduler's placement
+  // layer (publish_range_half): on a multi-node hierarchical box a half
+  // may land in a remote node's mailbox instead of the splitter's deque.
+  // Whatever the landing spots, iteration coverage must stay exactly-once,
+  // and with the knob off the redirect counter must stay at hard zero.
+  for (const bool placement : {true, false}) {
+    rt::SchedulerConfig cfg;
+    cfg.num_threads = 8;
+    cfg.steal_policy = rt::StealPolicyKind::hierarchical;
+    cfg.synthetic_topology = "2x4";
+    cfg.use_hint_placement = placement;
+    rt::Scheduler s(cfg);
+    constexpr std::int64_t n = 50000;
+    std::vector<std::atomic<std::uint8_t>> hits(n);
+    for (int round = 0; round < 3; ++round) {
+      for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+      s.run_single([&] {
+        rt::spawn_range(rt::Tiedness::untied, 0, n, 1,
+                        [&hits](std::int64_t i) {
+                          hits[static_cast<std::size_t>(i)].fetch_add(
+                              1, std::memory_order_relaxed);
+                        });
+        rt::taskwait();
+      });
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1u)
+            << "placement=" << placement << " round=" << round << " i=" << i;
+      }
+    }
+    if (!placement) {
+      EXPECT_EQ(s.stats().total.range_halves_redirected, 0u);
+    }
+  }
+}
+
 TEST(AdaptiveGrain, GrowsUnderDenseSplits) {
   // grain = 1 on a trivial-body range fragments it into descriptors that
   // average far fewer than GrainController::grow_floor iterations (the
