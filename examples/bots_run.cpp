@@ -36,6 +36,14 @@ void usage() {
       "  -r <reps>             repetitions, best-of (default 1)\n"
       "      --no-verify       skip self-verification\n"
       "      --stats           print per-worker scheduler counters\n"
+      "      --deadline-ms <n> cancel any region still running after n ms\n"
+      "                        (reported as status=deadline_exceeded)\n"
+      "      --watchdog-ms <n> arm the stall watchdog: dump per-worker state\n"
+      "                        to stderr when no task progresses for n ms\n"
+      "      --fault-plan <s>  deterministic fault injection, e.g.\n"
+      "                        'seed=7,all=0.02' or 'task_body=0.05'\n"
+      "                        (sites: descriptor_alloc arena_carve\n"
+      "                        thread_spawn pin mailbox_push task_body)\n"
       "      --tripwire-pool-locality\n"
       "                        exit nonzero if any descriptor retired into\n"
       "                        a pool off its birth node (pool_remote_frees\n"
@@ -83,6 +91,35 @@ void print_report(const core::RunReport& rep, bool with_stats) {
   }
 }
 
+// Fault-tolerance counters (PR 6), printed on the --stats channel only when
+// something actually happened — the common all-zero case stays silent so
+// existing --stats consumers see unchanged output.
+void print_fault_report(const rt::Scheduler& sched,
+                        const core::RunReport& rep) {
+  const auto& s = rep.runtime_stats;
+  const std::uint64_t stalls = sched.stalls_detected();
+  if (s.faults_injected == 0 && s.tasks_retried == 0 &&
+      s.pool_alloc_fallbacks == 0 && s.tasks_degraded_inline == 0 &&
+      s.tasks_discarded == 0 && s.tasks_discarded_inline == 0 &&
+      stalls == 0 && !sched.team_degraded() &&
+      sched.last_region_status() == rt::RegionStatus::completed) {
+    return;
+  }
+  std::printf(
+      "           faults: injected=%llu retried=%llu pool-fallbacks=%llu "
+      "degraded-inline=%llu discarded=%llu+%llu stalls=%llu "
+      "team-degraded=%s status=%s\n",
+      static_cast<unsigned long long>(s.faults_injected),
+      static_cast<unsigned long long>(s.tasks_retried),
+      static_cast<unsigned long long>(s.pool_alloc_fallbacks),
+      static_cast<unsigned long long>(s.tasks_degraded_inline),
+      static_cast<unsigned long long>(s.tasks_discarded),
+      static_cast<unsigned long long>(s.tasks_discarded_inline),
+      static_cast<unsigned long long>(stalls),
+      sched.team_degraded() ? "yes" : "no",
+      rt::to_string(sched.last_region_status()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +134,9 @@ int main(int argc, char** argv) {
   bool verify = true;
   bool stats = false;
   bool tripwire_pool_locality = false;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t watchdog_ms = 0;
+  std::string fault_plan;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +146,18 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    // Numeric option values share the runtime's hardened env parser: a
+    // malformed count is a usage error, never UB or a silent zero.
+    auto next_u32 = [&](const char* what) -> std::uint32_t {
+      const char* v = next();
+      std::uint32_t out = 0;
+      if (!rt::parse_u32(v, out)) {
+        std::fprintf(stderr, "bots_run: invalid %s '%s' (expected an "
+                     "unsigned integer)\n", what, v);
+        std::exit(2);
+      }
+      return out;
     };
     if (arg == "-l" || arg == "--list") {
       list = true;
@@ -125,9 +177,15 @@ int main(int argc, char** argv) {
       }
       input = *parsed;
     } else if (arg == "-t") {
-      threads = static_cast<unsigned>(std::stoul(next()));
+      threads = next_u32("thread count");
     } else if (arg == "-r") {
-      reps = std::stoi(next());
+      reps = static_cast<int>(next_u32("repetition count"));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = next_u32("deadline");
+    } else if (arg == "--watchdog-ms") {
+      watchdog_ms = next_u32("watchdog interval");
+    } else if (arg == "--fault-plan") {
+      fault_plan = next();
     } else if (arg == "--no-verify") {
       verify = false;
     } else if (arg == "--stats") {
@@ -183,6 +241,9 @@ int main(int argc, char** argv) {
 
   rt::SchedulerConfig cfg;
   cfg.num_threads = threads;
+  if (deadline_ms > 0) cfg.region_deadline_ms = deadline_ms;
+  if (watchdog_ms > 0) cfg.watchdog_ms = watchdog_ms;
+  if (!fault_plan.empty()) cfg.fault_plan = fault_plan;
   rt::Scheduler sched(cfg);
   int exit_code = 0;
   std::uint64_t remote_frees = 0;  // across every rep, not just the best
@@ -194,6 +255,14 @@ int main(int argc, char** argv) {
       if (r == 0 || rep.seconds < best.seconds) best = rep;
     }
     print_report(best, stats);
+    if (stats) print_fault_report(sched, best);
+    // A deadline-cancelled run produced a truncated (unverifiable) answer;
+    // report it as a failure distinct from a verify mismatch.
+    if (sched.last_region_status() != rt::RegionStatus::completed) {
+      std::fprintf(stderr, "bots_run: region ended with status=%s\n",
+                   rt::to_string(sched.last_region_status()));
+      exit_code = 1;
+    }
     if (best.verified == core::Verified::failed) exit_code = 1;
   }
   if (tripwire_pool_locality) {

@@ -53,33 +53,102 @@ enum class StealPolicyKind : std::uint8_t {
   hierarchical  ///< same-node victims before cross-node, scaled batches
 };
 
+// -- hardened environment parsing ------------------------------------------
+//
+// Every RT_* knob funnels through a pure `parse_*` function (unit-testable
+// over malformed inputs with no environment involved) plus an env_* wrapper
+// that falls back to the default and prints ONE stderr warning per variable
+// when the value is unrecognisable — never UB, never silent garbage.
+
+/// Pure parser behind RT_STEAL_POLICY. Returns false (leaving `out`
+/// untouched) when `s` names no policy; "legacy" is accepted explicitly.
+[[nodiscard]] inline bool steal_policy_from_string(std::string_view s,
+                                                   StealPolicyKind& out) noexcept {
+  if (s == "legacy") { out = StealPolicyKind::legacy; return true; }
+  if (s == "random") { out = StealPolicyKind::random; return true; }
+  if (s == "sequential") { out = StealPolicyKind::sequential; return true; }
+  if (s == "last_victim") { out = StealPolicyKind::last_victim; return true; }
+  if (s == "hierarchical") { out = StealPolicyKind::hierarchical; return true; }
+  return false;
+}
+
+/// Pure boolean parser: "1"/"true"/"on" and "0"/"false"/"off".
+[[nodiscard]] inline bool parse_flag(std::string_view s, bool& out) noexcept {
+  if (s == "1" || s == "true" || s == "on") { out = true; return true; }
+  if (s == "0" || s == "false" || s == "off") { out = false; return true; }
+  return false;
+}
+
+/// Pure decimal u32 parser: digits only, rejects empty/overflow/trailing
+/// junk (no locale, no exceptions — unlike std::stoul).
+[[nodiscard]] inline bool parse_u32(std::string_view s,
+                                    std::uint32_t& out) noexcept {
+  if (s.empty() || s.size() > 10) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > 0xffffffffULL) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+/// One stderr warning per (variable, process): repeated constructions of
+/// SchedulerConfig under the same bad environment don't spam.
+inline void warn_malformed_env(const char* name, const char* value) noexcept {
+  static thread_local const char* last = nullptr;
+  // Cheap best-effort dedup: the common spam source is one thread
+  // constructing many configs in a loop; cross-thread duplicates are rare
+  // and harmless.
+  if (last == name) return;
+  last = name;
+  std::fprintf(stderr,
+               "rt: warning: ignoring malformed %s='%s' (using default)\n",
+               name, value);
+}
+
 /// RT_STEAL_POLICY environment override ("random", "sequential",
-/// "last_victim", "hierarchical"); anything else — including unset — keeps
-/// the legacy derivation. Lets CI and scripts re-run whole test binaries
-/// under a policy without touching code.
+/// "last_victim", "hierarchical"); unset keeps the legacy derivation and a
+/// malformed value warns once and keeps it too. Lets CI and scripts re-run
+/// whole test binaries under a policy without touching code.
 [[nodiscard]] inline StealPolicyKind steal_policy_from_env() noexcept {
   const char* v = std::getenv("RT_STEAL_POLICY");
   if (v == nullptr) return StealPolicyKind::legacy;
-  const std::string_view s(v);
-  if (s == "random") return StealPolicyKind::random;
-  if (s == "sequential") return StealPolicyKind::sequential;
-  if (s == "last_victim") return StealPolicyKind::last_victim;
-  if (s == "hierarchical") return StealPolicyKind::hierarchical;
-  return StealPolicyKind::legacy;
+  StealPolicyKind k = StealPolicyKind::legacy;
+  if (!steal_policy_from_string(v, k)) warn_malformed_env("RT_STEAL_POLICY", v);
+  return k;
 }
 
 /// Boolean environment knob: "1"/"true"/"on" and "0"/"false"/"off" are
-/// recognized, anything else — including unset — keeps the fallback. Used
-/// by RT_PIN_WORKERS, RT_NODE_HINTS, RT_NODE_POOLS and RT_HINT_PLACEMENT so
-/// CI legs can flip whole test binaries without touching code, mirroring
-/// RT_STEAL_POLICY.
+/// recognized; unset keeps the fallback silently, anything else keeps the
+/// fallback with one stderr warning. Used by RT_PIN_WORKERS, RT_NODE_HINTS,
+/// RT_NODE_POOLS, RT_HINT_PLACEMENT and the fault-tolerance flags so CI
+/// legs can flip whole test binaries without touching code.
 [[nodiscard]] inline bool env_flag(const char* name, bool fallback) noexcept {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
-  const std::string_view s(v);
-  if (s == "1" || s == "true" || s == "on") return true;
-  if (s == "0" || s == "false" || s == "off") return false;
-  return fallback;
+  bool out = fallback;
+  if (!parse_flag(v, out)) warn_malformed_env(name, v);
+  return out;
+}
+
+/// Numeric (u32) environment knob with the same malformed-value contract as
+/// env_flag. Used by RT_REGION_DEADLINE_MS and RT_WATCHDOG_MS.
+[[nodiscard]] inline std::uint32_t env_u32(const char* name,
+                                           std::uint32_t fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  std::uint32_t out = fallback;
+  if (!parse_u32(v, out)) warn_malformed_env(name, v);
+  return out;
+}
+
+/// String environment knob (empty fallback when unset). Validation is the
+/// consumer's job — e.g. FaultPlan::parse warns per malformed entry.
+[[nodiscard]] inline std::string env_string(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string{} : std::string{v};
 }
 
 /// Cache line size used for padding shared structures (WorkerStats,
@@ -254,6 +323,42 @@ struct SchedulerConfig {
   /// when this is off — share the scheduler-global controller (the PR-3
   /// behaviour). Only meaningful with use_adaptive_grain.
   bool use_site_grain = true;
+
+  // -- fault-tolerance layer (fault.hpp / scheduler cancellation) -----------
+
+  /// First captured task exception cancels the region: every
+  /// not-yet-started descendant is discarded (retired without executing its
+  /// body, counted in WorkerStats::tasks_discarded) instead of running to
+  /// completion before the rethrow. Mirrors OpenMP `cancel taskgroup`
+  /// semantics for the exceptional path. Off: the seed behaviour — the
+  /// exception is held until the region barrier and every remaining task
+  /// still executes. Also settable via RT_CANCEL_ON_EXCEPTION=0/1.
+  bool cancel_on_exception = env_flag("RT_CANCEL_ON_EXCEPTION", false);
+
+  /// Default region deadline in milliseconds, applied to every
+  /// run_single/run_all that doesn't pass an explicit deadline. On expiry
+  /// the region is cooperatively cancelled (running bodies finish; nothing
+  /// new starts) and the deadline-taking overloads report
+  /// RegionStatus::deadline_exceeded. 0 = no deadline. Also settable via
+  /// RT_REGION_DEADLINE_MS.
+  std::uint32_t region_deadline_ms = env_u32("RT_REGION_DEADLINE_MS", 0);
+
+  /// Stall watchdog: a monitor thread samples the team's progress counters
+  /// (tasks executed, range chunks peeled) and, after `watchdog_ms`
+  /// milliseconds without any movement while tasks are still live, dumps
+  /// per-worker state, node hint words, mailbox depths and node-pool
+  /// snapshots to stderr. 0 = no watchdog. Also settable via RT_WATCHDOG_MS.
+  std::uint32_t watchdog_ms = env_u32("RT_WATCHDOG_MS", 0);
+
+  /// When the watchdog declares a stall, also cancel the region (the
+  /// deadline-style cooperative cancel) instead of only reporting it. Also
+  /// settable via RT_WATCHDOG_CANCEL=0/1.
+  bool watchdog_cancel = env_flag("RT_WATCHDOG_CANCEL", false);
+
+  /// Deterministic fault-injection plan (fault.hpp grammar, e.g.
+  /// "seed=7,all=0.02"). Empty = no injection. Defaults to RT_FAULT_PLAN
+  /// like every other knob; assigning the field overrides the environment.
+  std::string fault_plan = env_string("RT_FAULT_PLAN");
 
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {

@@ -4,6 +4,7 @@
 #include "runtime/affinity.hpp"    // IWYU pragma: export
 #include "runtime/config.hpp"      // IWYU pragma: export
 #include "runtime/deque.hpp"       // IWYU pragma: export
+#include "runtime/fault.hpp"       // IWYU pragma: export
 #include "runtime/grain.hpp"       // IWYU pragma: export
 #include "runtime/scheduler.hpp"   // IWYU pragma: export
 #include "runtime/stats.hpp"       // IWYU pragma: export

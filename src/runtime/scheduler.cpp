@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <optional>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 #include "runtime/affinity.hpp"
@@ -47,6 +50,10 @@ void Region::store_exception() noexcept {
     first_exception = std::current_exception();
     has_exception.store(true, std::memory_order_release);
   }
+  // cfg.cancel_on_exception: the first captured exception starts discarding
+  // every not-yet-started descendant (OpenMP `cancel taskgroup` on error).
+  // Safe for later exceptions too — cancel() is sticky/idempotent.
+  if (cancel_on_exception) cancel(RegionStatus::cancelled);
 }
 
 Scheduler::Scheduler(SchedulerConfig cfg)
@@ -57,6 +64,7 @@ Scheduler::Scheduler(SchedulerConfig cfg)
                    cfg.use_site_grain),
       cutoff_bound_(cfg.resolved_cutoff_bound()) {
   if (cfg_.num_threads == 0) cfg_.num_threads = 1;
+  fault_.parse(cfg_.fault_plan);
   use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
   acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
   rebuild_node_hints();
@@ -72,10 +80,68 @@ Scheduler::Scheduler(SchedulerConfig cfg)
     workers_.back()->victim_buf.resize(cfg_.num_threads);
     workers_.back()->outbound.resize(topo_.num_nodes());
   }
+  // Worker-thread spawn is a degradation point, not a construction failure:
+  // the first thread the OS (or the fault plan) refuses stops the roll-out
+  // and the team shrinks to the workers that do exist — worker 0 is the
+  // caller's thread and always exists, so a Scheduler is always usable.
   threads_.reserve(cfg_.num_threads - 1);
+  unsigned built = 1;
   for (unsigned i = 1; i < cfg_.num_threads; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+    try {
+      if (inject(workers_[i].get(), FaultSite::thread_spawn)) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "rt: injected thread-spawn failure");
+      }
+      threads_.emplace_back([this, i] { worker_main(i); });
+    } catch (const std::system_error&) {
+      break;
+    }
+    ++built;
   }
+  if (built != cfg_.num_threads) shrink_team(built);
+}
+
+void Scheduler::shrink_team(unsigned built) {
+  std::fprintf(stderr,
+               "rt: warning: worker thread spawn failed; shrinking team "
+               "%u -> %u and re-mapping topology\n",
+               cfg_.num_threads, built);
+  team_degraded_ = true;
+  cfg_.num_threads = built;
+  // Only never-started workers die here: threads_[k] serves worker k+1 and
+  // exactly `built - 1` threads were emplaced, so workers_[built..) have no
+  // thread attached and nothing observes their destruction.
+  workers_.resize(built);
+  // Re-map locality onto the team that actually exists — node ids, hints,
+  // arenas, mailboxes and the policy were all sized for the planned team.
+  topo_ = Topology::detect(built, cfg_.synthetic_topology);
+  rebuild_node_hints();
+  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  for (auto& w : workers_) {
+    w->node = topo_.node_of(w->id);
+    w->last_victim = Worker::no_victim;
+    w->gated_rounds = 0;
+    w->home_free = nullptr;
+    w->home_free_count = 0;
+    w->stash_in_transit = 0;
+    w->outbound.assign(topo_.num_nodes(), RemoteStash{});
+  }
+  rebuild_node_pools();
+  rebuild_mailboxes();
+  if (cfg_.cutoff_value == 0) cutoff_bound_ = cfg_.resolved_cutoff_bound();
+}
+
+bool Scheduler::inject(Worker* w, FaultSite site) noexcept {
+  if (!fault_.site_active(site)) return false;
+  if (!fault_.should_fail(site)) return false;
+  if (w != nullptr) ++w->stats.faults_injected;
+  return true;
+}
+
+void Scheduler::cancel_current_region() noexcept {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  if (region_ != nullptr) region_->cancel(RegionStatus::cancelled);
 }
 
 Scheduler::~Scheduler() {
@@ -118,16 +184,42 @@ void Scheduler::worker_main(unsigned id) {
 void Scheduler::run_single(const std::function<void()>& fn) {
   Region r(cfg_.num_threads);
   r.single_fn = &fn;
-  run_region(r);
+  run_region(r, std::chrono::milliseconds(cfg_.region_deadline_ms));
 }
 
 void Scheduler::run_all(const std::function<void(unsigned)>& fn) {
   Region r(cfg_.num_threads);
   r.all_fn = &fn;
-  run_region(r);
+  run_region(r, std::chrono::milliseconds(cfg_.region_deadline_ms));
 }
 
-void Scheduler::run_region(Region& r) {
+RegionResult Scheduler::run_single(const std::function<void()>& fn,
+                                   std::chrono::milliseconds deadline) {
+  Region r(cfg_.num_threads);
+  r.single_fn = &fn;
+  if (deadline.count() <= 0) {
+    deadline = std::chrono::milliseconds(cfg_.region_deadline_ms);
+  }
+  RegionResult res;
+  res.status = run_region(r, deadline);
+  res.stats = stats();
+  return res;
+}
+
+RegionResult Scheduler::run_all(const std::function<void(unsigned)>& fn,
+                                std::chrono::milliseconds deadline) {
+  Region r(cfg_.num_threads);
+  r.all_fn = &fn;
+  if (deadline.count() <= 0) {
+    deadline = std::chrono::milliseconds(cfg_.region_deadline_ms);
+  }
+  RegionResult res;
+  res.status = run_region(r, deadline);
+  res.stats = stats();
+  return res;
+}
+
+RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline) {
   Worker* inside = detail::tls_worker;
   if (inside != nullptr) {
     // Nested region: serialize with a team of one (the OpenMP default of
@@ -142,13 +234,36 @@ void Scheduler::run_region(Region& r) {
     } else if (r.single_fn != nullptr) {
       run_inline_scope(*inside, *r.single_fn);
     }
-    return;
+    return RegionStatus::completed;
   }
 
   // Region-start grain reset (grain.hpp): retuned estimates drop back to
   // their seeded base so a coarse grain learned on the previous region's
   // workload cannot block this region's first splits.
   if (cfg_.use_adaptive_grain) grain_table_.on_region_start();
+
+  r.cancel_on_exception = cfg_.cancel_on_exception;
+
+  // Deadline + stall watchdog share one monitor thread, spawned only when
+  // either is armed so unmonitored regions pay nothing. It reads atomics
+  // only (per-worker progress, live_tasks) and is joined before the Region
+  // (a caller stack object) can die or the first exception rethrows. A
+  // refused monitor thread degrades to an unmonitored region — strictly
+  // better than failing the region for the tool meant to watch it.
+  const bool has_deadline = deadline.count() > 0;
+  std::optional<std::jthread> monitor;
+  if (has_deadline || cfg_.watchdog_ms > 0) {
+    const auto deadline_tp = std::chrono::steady_clock::now() + deadline;
+    try {
+      monitor.emplace([this, &r, deadline_tp, has_deadline](std::stop_token st) {
+        monitor_region(st, r, deadline_tp, has_deadline);
+      });
+    } catch (const std::system_error&) {
+      std::fprintf(stderr,
+                   "rt: warning: monitor thread unavailable; region runs "
+                   "unmonitored\n");
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(region_mutex_);
@@ -168,12 +283,105 @@ void Scheduler::run_region(Region& r) {
     backoff.pause();
   }
   region_done_.store(0, std::memory_order_relaxed);
+  if (monitor.has_value()) {
+    monitor->request_stop();
+    monitor_cv_.notify_all();  // wake a mid-wait monitor immediately
+    monitor->join();
+    monitor.reset();
+  }
   {
     std::lock_guard<std::mutex> lock(region_mutex_);
     region_ = nullptr;
   }
+  last_region_status_ = r.status();
   if (r.has_exception.load(std::memory_order_acquire)) {
     std::rethrow_exception(r.first_exception);
+  }
+  return last_region_status_;
+}
+
+void Scheduler::monitor_region(std::stop_token st, Region& r,
+                               std::chrono::steady_clock::time_point deadline_tp,
+                               bool has_deadline) {
+  using clock = std::chrono::steady_clock;
+  const bool has_watchdog = cfg_.watchdog_ms > 0;
+  const auto stall_after = std::chrono::milliseconds(cfg_.watchdog_ms);
+  // Poll fast enough to catch a stall within ~12% of the configured window;
+  // a deadline wait always wakes exactly at the deadline.
+  const auto poll = has_watchdog
+                        ? std::chrono::milliseconds(std::clamp<std::uint32_t>(
+                              cfg_.watchdog_ms / 8, 1u, 50u))
+                        : std::chrono::milliseconds(100);
+  std::uint64_t last_sum = ~0ULL;  // first sample always counts as movement
+  auto last_move = clock::now();
+  std::unique_lock<std::mutex> lk(monitor_mutex_);
+  while (!st.stop_requested()) {
+    const auto now = clock::now();
+    if (has_deadline && now >= deadline_tp) {
+      r.cancel(RegionStatus::deadline_exceeded);
+      has_deadline = false;  // fired; nothing further to watch on this edge
+    }
+    if (has_watchdog) {
+      std::uint64_t sum = 0;
+      for (const auto& w : workers_) {
+        sum += w->progress.load(std::memory_order_relaxed);
+      }
+      if (sum != last_sum) {
+        last_sum = sum;
+        last_move = now;
+      } else if (now - last_move >= stall_after) {
+        stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+        dump_stall_report(r);
+        if (cfg_.watchdog_cancel) r.cancel(RegionStatus::cancelled);
+        last_move = now;  // re-arm: one report per stalled window
+      }
+    }
+    auto next = now + poll;
+    if (has_deadline && deadline_tp < next) next = deadline_tp;
+    monitor_cv_.wait_until(lk, st, next, [] { return false; });
+  }
+}
+
+void Scheduler::dump_stall_report(Region& r) {
+  // Stderr, single writer (only the monitor calls this). Reads shared
+  // atomics and mutex-guarded arena counts only — per-worker plain fields
+  // are the workers' property and are deliberately not touched.
+  std::fprintf(stderr,
+               "rt: STALL: no task progress for %u ms "
+               "(live_tasks=%lld parked=%zu arrived=%u cancel=%s)\n",
+               cfg_.watchdog_ms,
+               static_cast<long long>(
+                   r.live_tasks.load(std::memory_order_relaxed)),
+               r.parked_count.load(std::memory_order_relaxed),
+               r.arrived.load(std::memory_order_relaxed),
+               to_string(r.status()));
+  for (const auto& w : workers_) {
+    std::fprintf(
+        stderr,
+        "rt:   worker %u: node=%u progress=%llu deque=%s parked_inbox=%s\n",
+        w->id, w->node,
+        static_cast<unsigned long long>(
+            w->progress.load(std::memory_order_relaxed)),
+        w->deque.empty_estimate() ? "empty" : "nonempty",
+        w->parked_inbox.load(std::memory_order_relaxed) == nullptr ? "empty"
+                                                                   : "nonempty");
+  }
+  if (hints_ != nullptr) {
+    for (unsigned n = 0; n < topo_.num_nodes(); ++n) {
+      std::fprintf(stderr, "rt:   hint[node %u]=%s\n", n,
+                   hints_->has_work(n) ? "work" : "dry");
+    }
+  }
+  if (mailboxes_ != nullptr) {
+    for (unsigned n = 0; n < topo_.num_nodes(); ++n) {
+      std::fprintf(stderr, "rt:   mailbox[node %u]=%zu\n", n,
+                   mailboxes_[n].size());
+    }
+  }
+  for (std::size_t n = 0; n < arenas_.size(); ++n) {
+    const NodeArena::Counts c = arenas_[n]->counts();
+    std::fprintf(stderr, "rt:   node_pool[%zu]: carved=%zu arena_free=%zu\n",
+                 n, c.carved, c.free_count);
   }
 }
 
@@ -266,46 +474,87 @@ bool Scheduler::should_defer(Worker& w, std::uint32_t depth) noexcept {
 }
 
 Task* Scheduler::alloc_task(Worker& w, TaskStorage& storage_out) {
-  if (!arenas_.empty()) {
-    // Node-local pools: serve from this worker's private cache of home-node
-    // descriptors; refill in one batched arena pop when it runs dry. Only
-    // the node's own workers ever allocate here, so every descriptor handed
-    // out was carved — and its pages first-touched — on this node.
-    storage_out = TaskStorage::pooled;
-    Task* t = w.home_free;
-    if (t == nullptr) {
-      std::size_t got = 0;
-      t = arenas_[w.node]->take_chain(NodeArena::refill_batch, got);
+  // Degradation ladder: pooled rung (node arena or per-worker pool) ->
+  // plain per-descriptor heap rung -> nullptr, which spawn/spawn_if degrade
+  // to serial inline execution. A real bad_alloc and an injected
+  // descriptor_alloc/arena_carve fault take the identical path, so the
+  // fault plan exercises exactly the code OOM would. Counters move only
+  // AFTER an allocation succeeds — a failed rung must not leave phantom
+  // pool_fresh behind, or the frees==allocs invariant breaks.
+  const bool pooled_cfg = !arenas_.empty() || cfg_.use_task_pool;
+  if (pooled_cfg && !inject(&w, FaultSite::descriptor_alloc)) {
+    if (!arenas_.empty()) {
+      // Node-local pools: serve from this worker's private cache of
+      // home-node descriptors; refill in one batched arena pop when it runs
+      // dry. Only the node's own workers ever allocate here, so every
+      // descriptor handed out was carved — and its pages first-touched —
+      // on this node.
+      Task* t = w.home_free;
       if (t == nullptr) {
-        ++w.stats.pool_fresh;
-        return arenas_[w.node]->carve();  // placement-new on THIS thread
+        std::size_t got = 0;
+        t = arenas_[w.node]->take_chain(NodeArena::refill_batch, got);
+        if (t == nullptr) {
+          if (!inject(&w, FaultSite::arena_carve)) {
+            try {
+              Task* fresh = arenas_[w.node]->carve();  // placement-new HERE
+              ++w.stats.pool_fresh;
+              storage_out = TaskStorage::pooled;
+              return fresh;
+            } catch (const std::bad_alloc&) {
+              // fall through to the heap rung
+            }
+          }
+          t = nullptr;
+        } else {
+          w.home_free_count = got;
+        }
       }
-      w.home_free_count = got;
-    }
-    w.home_free = t->pool_next;
-    --w.home_free_count;
-    t->pool_next = nullptr;
-    t->reset_for_reuse();
-    ++w.stats.pool_reuse;
-    return t;
-  }
-  if (cfg_.use_task_pool) {
-    bool reused = false;
-    Task* t = w.pool.allocate(reused);
-    if (reused) {
-      ++w.stats.pool_reuse;
+      if (t != nullptr) {
+        w.home_free = t->pool_next;
+        --w.home_free_count;
+        t->pool_next = nullptr;
+        t->reset_for_reuse();
+        ++w.stats.pool_reuse;
+        storage_out = TaskStorage::pooled;
+        return t;
+      }
     } else {
-      ++w.stats.pool_fresh;
-      t->set_home_node(w.node);  // birth node of the fresh chunk slot
+      bool reused = false;
+      Task* t = nullptr;
+      try {
+        t = w.pool.allocate(reused);
+      } catch (const std::bad_alloc&) {
+        // fall through to the heap rung
+      }
+      if (t != nullptr) {
+        if (reused) {
+          ++w.stats.pool_reuse;
+        } else {
+          ++w.stats.pool_fresh;
+          t->set_home_node(w.node);  // birth node of the fresh chunk slot
+        }
+        storage_out = TaskStorage::pooled;
+        return t;
+      }
     }
-    storage_out = TaskStorage::pooled;
-    return t;
   }
-  ++w.stats.pool_fresh;
-  storage_out = TaskStorage::heap;
-  Task* t = new Task();
-  t->set_home_node(w.node);
-  return t;
+  if (pooled_cfg) ++w.stats.pool_alloc_fallbacks;
+  // Heap rung: the configured allocator when pooling is off, the graceful
+  // fallback otherwise. Fallback descriptors deliberately skip pool_fresh —
+  // dispose() deletes them without a matching free count, and the pool
+  // balance invariant must keep holding on the degraded path.
+  if (!inject(&w, FaultSite::descriptor_alloc)) {
+    try {
+      Task* t = new Task();
+      t->set_home_node(w.node);
+      if (!pooled_cfg) ++w.stats.pool_fresh;
+      storage_out = TaskStorage::heap;
+      return t;
+    } catch (const std::bad_alloc&) {
+      // fall through to the inline rung
+    }
+  }
+  return nullptr;  // bottom rung: the caller runs the task serially inline
 }
 
 void Scheduler::dispose(Worker& w, Task& t) noexcept {
@@ -436,7 +685,11 @@ void Scheduler::publish_range_half(Worker& w, Task& t) {
   if (mailboxes_ != nullptr) {
     const unsigned target = policy_->place_range_half(w);
     if (target != StealPolicy::no_node && target != w.node &&
-        mailboxes_[target].empty()) {
+        mailboxes_[target].empty() &&
+        // An injected mailbox_push failure degrades to the local deque —
+        // exactly-once delivery is preserved, only the placement quality
+        // drops (the half stays stealable the ordinary way).
+        !inject(&w, FaultSite::mailbox_push)) {
       // Same live-task accounting as enqueue, same ordering (the half is
       // counted before it becomes claimable); only the landing spot moves.
       ++w.stats.range_halves_redirected;
@@ -467,6 +720,21 @@ Task* Scheduler::take_mailed(Worker& w, bool scavenge) {
 }
 
 void Scheduler::execute_deferred(Worker& w, Task& t) {
+  // Every deferred dispatch — execute or discard — funnels through here,
+  // which makes this the single cancellation boundary for queued work and
+  // the watchdog's primary progress signal.
+  w.note_progress();
+  if (w.region != nullptr && w.region->cancelled() && t.range() == nullptr) {
+    // Cancelled region: retire the descriptor through the normal finish
+    // path WITHOUT running the body. destroy_env still runs — the captured
+    // closure was constructed and its members must destruct. Range tasks
+    // are exempt: they execute (RangeRunner stops at its first cancelled
+    // check) so their GrainController live-range gate always closes.
+    ++w.stats.tasks_discarded;
+    t.destroy_env();
+    finish_task(w, t, /*deferred=*/true);
+    return;
+  }
   Task* prev = w.current;
   // inline_depth counts descriptor-less frames stacked above `current`; a
   // claimed task is a fresh frame whose depth is fully recorded in its
@@ -476,8 +744,22 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
   w.inline_depth = 0;
   w.current = &t;
   ++w.stats.tasks_executed;
+  const bool fail_body = inject(&w, FaultSite::task_body);
   try {
+    if (fail_body) throw FaultInjected{};
     t.invoke();
+  } catch (const FaultInjected&) {
+    // OMPC-style task re-execution: the injected fault fired BEFORE the
+    // body, so the retry runs it exactly once — suite results stay correct
+    // under an all-sites fault plan while the throw/unwind path is
+    // exercised for real. Never stored into the region: an injected
+    // transient must not trip cancel_on_exception.
+    ++w.stats.tasks_retried;
+    try {
+      t.invoke();
+    } catch (...) {
+      w.region->store_exception();
+    }
   } catch (...) {
     w.region->store_exception();
   }
@@ -488,6 +770,16 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
 }
 
 void Scheduler::run_undeferred(Worker& w, Task& t) {
+  if (w.region != nullptr && w.region->cancelled()) {
+    // Cancelled before it ever started: retire the descriptor, skip the
+    // body. Undeferred tasks are not in tasks_deferred, so this counts in
+    // the inline-discard bucket, keeping executed + discarded == deferred
+    // exact for the queued population.
+    ++w.stats.tasks_discarded_inline;
+    t.destroy_env();
+    finish_task(w, t, /*deferred=*/false);
+    return;
+  }
   Task* prev = w.current;
   // As in execute_deferred: t's descriptor depth already includes any inline
   // frames below it, so depths computed under t start from zero again.
@@ -668,6 +960,23 @@ void Scheduler::barrier_from(Worker& w) {
 void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
   TaskStorage storage{};
   Task* frame = alloc_task(w, storage);
+  if (frame == nullptr) {
+    // Descriptor-less nested region (degradation ladder bottom): run the
+    // body on this frame; the children it spawns attach to the adopting
+    // ancestor, so the taskwait below joins a superset of them.
+    ++w.stats.tasks_degraded_inline;
+    ++w.inline_depth;
+    std::exception_ptr eptr;
+    try {
+      body();
+    } catch (...) {
+      eptr = std::current_exception();
+    }
+    --w.inline_depth;
+    taskwait_from(w);
+    if (eptr) std::rethrow_exception(eptr);
+    return;
+  }
   frame->init_env([] {});  // scope frames carry no environment of their own
   Task* parent = w.current;
   const std::uint32_t depth =
@@ -1027,7 +1336,11 @@ void Scheduler::apply_pinning(Worker& w) noexcept {
     if (w.prepin_saved) prepin = &w.prepin_affinity;
   }
   const std::vector<unsigned>& cpus = topo_.cpus_on(w.node);
-  bool ok = !cpus.empty() && pin_current_thread(cpus);
+  // An injected pin failure takes the same graceful path as a refused
+  // sched_setaffinity: the worker runs unpinned (stats.pinned = 0) on its
+  // pre-pin mask.
+  bool ok = !cpus.empty() && !inject(&w, FaultSite::pin) &&
+            pin_current_thread(cpus);
   if (ok) {
     // Record reality, not intent: the pin only counts when the thread is
     // observed running inside the requested cpuset afterwards.

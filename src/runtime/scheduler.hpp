@@ -120,30 +120,63 @@
 //
 // Exceptions: a DEFERRED task's exception is captured into the region and
 // the first one is rethrown to the caller of run_single/run_all after the
-// region completes (there is no cancellation: remaining tasks still
-// execute; OpenMP has no cross-thread propagation to mimic). An UNDEFERRED
-// task — spawn_if(false), a cut-off-refused spawn, with or without the
-// zero-alloc inline path — runs synchronously on the encountering thread,
-// so its exception propagates from the spawn call itself like any function
-// call (the OpenMP-faithful semantics: the construct is sequenced in the
-// parent), after the worker's bookkeeping is unwound and any descriptor
-// retired. Uncaught, it unwinds into the enclosing task body and from
-// there follows the deferred rules.
+// region completes. By default there is no cancellation — remaining tasks
+// still execute (OpenMP has no cross-thread propagation to mimic); with
+// cfg.cancel_on_exception the first captured exception also cancels the
+// region cooperatively (below). An UNDEFERRED task — spawn_if(false), a
+// cut-off-refused spawn, with or without the zero-alloc inline path — runs
+// synchronously on the encountering thread, so its exception propagates
+// from the spawn call itself like any function call (the OpenMP-faithful
+// semantics: the construct is sequenced in the parent), after the worker's
+// bookkeeping is unwound and any descriptor retired. Uncaught, it unwinds
+// into the enclosing task body and from there follows the deferred rules.
+//
+// Cancellation (PR 6, OpenMP `cancel taskgroup` style): Region::cancel sets
+// a sticky cancel word that every dispatch boundary consults — a deferred
+// task dequeued after the cancel is DISCARDED (its environment destroyed
+// and its descriptor retired through the normal finish path, never
+// executing the body; counted in WorkerStats::tasks_discarded), undeferred
+// and zero-alloc inline dispatches are skipped (tasks_discarded_inline),
+// and RangeRunner stops peeling chunks at its next grain boundary. Already
+// RUNNING bodies are never interrupted — they observe the cancel only at
+// rt::cancellation_point() or their next spawn — so cancellation latency is
+// bounded by the longest grain/body, and the quiescence barrier still sees
+// every descriptor retired: all pool/accounting invariants hold on the
+// cancelled path (with tasks_executed + tasks_discarded == tasks_deferred
+// replacing executed == deferred). Triggers: rt::cancel_region() from any
+// task body, Scheduler::cancel_current_region() from outside, a region
+// deadline expiring (run_single/run_all overloads taking a
+// std::chrono::milliseconds budget report RegionStatus::deadline_exceeded),
+// the stall watchdog with cfg.watchdog_cancel, or the first captured task
+// exception with cfg.cancel_on_exception. The monitor thread (deadline +
+// watchdog) samples per-worker progress atomics and live_tasks only.
+//
+// Degradation ladder (PR 6): descriptor allocation falls from the pool /
+// node-arena rung to a plain per-descriptor heap rung
+// (pool_alloc_fallbacks) to serial inline execution on the spawner's frame
+// (tasks_degraded_inline) instead of aborting; a worker thread that cannot
+// be spawned at construction shrinks the team and re-maps the topology
+// (Scheduler::team_degraded). Fault sites for all three rungs can be
+// exercised deterministically via cfg.fault_plan / RT_FAULT_PLAN
+// (fault.hpp).
 #pragma once
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stop_token>
 #include <thread>
 #include <vector>
 
 #include "runtime/config.hpp"
 #include "runtime/deque.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/grain.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/steal_policy.hpp"
@@ -153,6 +186,31 @@
 namespace bots::rt {
 
 class Scheduler;
+
+/// How a parallel region ended. `completed` = the quiescence barrier was
+/// reached with no cancel; the other values name the FIRST cancel cause
+/// (sticky: later causes lose the CAS).
+enum class RegionStatus : std::uint8_t {
+  completed = 0,
+  cancelled = 1,          ///< rt::cancel_region(), watchdog, or cancel_on_exception
+  deadline_exceeded = 2,  ///< the region's deadline expired first
+};
+
+[[nodiscard]] constexpr const char* to_string(RegionStatus s) noexcept {
+  switch (s) {
+    case RegionStatus::completed: return "completed";
+    case RegionStatus::cancelled: return "cancelled";
+    case RegionStatus::deadline_exceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
+
+/// Outcome of a deadline-taking run_single/run_all overload: how the region
+/// ended plus the team's cumulative statistics at region end.
+struct RegionResult {
+  RegionStatus status = RegionStatus::completed;
+  StatsSnapshot stats;
+};
 
 /// Per-region shared state. One Region is live per Scheduler at a time.
 struct Region {
@@ -180,6 +238,32 @@ struct Region {
   const std::function<void()>* single_fn = nullptr;
   const std::function<void(unsigned)>* all_fn = nullptr;
   unsigned team_size;
+
+  /// Sticky cancel word: 0 while the region is healthy, otherwise the
+  /// RegionStatus of the FIRST cancel cause (first CAS wins). A fresh
+  /// Region object is built for every run_single/run_all, so a cancel can
+  /// never leak into the next region by construction.
+  std::atomic<std::uint8_t> cancel_state{0};
+  /// Mirror of SchedulerConfig::cancel_on_exception for this region, set by
+  /// run_region before publication (store_exception consults it).
+  bool cancel_on_exception = false;
+
+  /// Request cooperative cancellation with `why` as the recorded cause.
+  /// Idempotent and thread-safe; callable from any thread, including
+  /// non-team threads (the monitor, an external controller).
+  void cancel(RegionStatus why) noexcept {
+    std::uint8_t expected = 0;
+    cancel_state.compare_exchange_strong(expected,
+                                         static_cast<std::uint8_t>(why),
+                                         std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_state.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] RegionStatus status() const noexcept {
+    return static_cast<RegionStatus>(
+        cancel_state.load(std::memory_order_relaxed));
+  }
 
   void store_exception() noexcept;
 };
@@ -303,6 +387,18 @@ class Worker {
   /// through Task::pool_next. Padded so thieves' drains do not bounce the
   /// owner's hot state.
   alignas(cache_line_bytes) std::atomic<Task*> parked_inbox{nullptr};
+
+  /// Monotone progress counter sampled by the stall watchdog: bumped on
+  /// every deferred-task dispatch (execute or discard) and every range
+  /// chunk peeled. Single-writer (this worker); relaxed load+store keeps
+  /// the hot-path cost at one unfenced increment while staying a legal
+  /// cross-thread read for the monitor (TSAN-clean). Own cache line so the
+  /// monitor's polling never bounces the worker's hot state.
+  alignas(cache_line_bytes) std::atomic<std::uint64_t> progress{0};
+  void note_progress() noexcept {
+    progress.store(progress.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  }
 };
 
 namespace detail {
@@ -328,11 +424,51 @@ class Scheduler {
 
   /// Parallel region, single generator: fn runs once on worker 0, the other
   /// workers help through work stealing until every task has completed.
+  /// Applies cfg.region_deadline_ms as the deadline (0 = none); how the
+  /// region ended is retrievable via last_region_status().
   void run_single(const std::function<void()>& fn);
 
   /// Parallel region, one implicit task per worker: fn(worker_id) runs on
-  /// every worker. rt::barrier() may be used inside.
+  /// every worker. rt::barrier() may be used inside. Deadline semantics as
+  /// run_single.
   void run_all(const std::function<void(unsigned)>& fn);
+
+  /// Deadline-bounded region: like run_single, but the region is
+  /// cooperatively cancelled once `deadline` elapses — running bodies
+  /// finish, every not-yet-started task is discarded — and the outcome is
+  /// reported instead of needing a separate stats() call. A zero deadline
+  /// means no deadline (cfg.region_deadline_ms still applies). Exceptions
+  /// from task bodies rethrow exactly as the void overload.
+  RegionResult run_single(const std::function<void()>& fn,
+                          std::chrono::milliseconds deadline);
+
+  /// Deadline-bounded run_all; semantics as the run_single overload.
+  RegionResult run_all(const std::function<void(unsigned)>& fn,
+                       std::chrono::milliseconds deadline);
+
+  /// How the most recent region ended (RegionStatus::completed before any
+  /// region has run). Between regions only.
+  [[nodiscard]] RegionStatus last_region_status() const noexcept {
+    return last_region_status_;
+  }
+
+  /// Cooperatively cancel the region currently running, if any (thread-safe,
+  /// callable from outside the team — a signal handler thread, a REPL).
+  /// No-op between regions: a cancel can never leak into a future region.
+  void cancel_current_region() noexcept;
+
+  /// Stalls the watchdog has declared over this scheduler's lifetime.
+  [[nodiscard]] std::uint64_t stalls_detected() const noexcept {
+    return stalls_detected_.load(std::memory_order_relaxed);
+  }
+
+  /// True when worker-thread spawn failed at construction and the team was
+  /// shrunk (num_workers() reports the post-shrink size).
+  [[nodiscard]] bool team_degraded() const noexcept { return team_degraded_; }
+
+  /// The active fault-injection plan (inactive unless cfg.fault_plan /
+  /// RT_FAULT_PLAN named a site). Tests read per-site injection counts.
+  [[nodiscard]] FaultPlan& fault_plan() noexcept { return fault_; }
 
   [[nodiscard]] unsigned num_workers() const noexcept {
     return cfg_.num_threads;
@@ -436,9 +572,19 @@ class Scheduler {
  private:
   friend struct Region;
 
-  void run_region(Region& r);
+  RegionStatus run_region(Region& r, std::chrono::milliseconds deadline);
   void participate(Worker& w, Region& r);
   void worker_main(unsigned id);
+  void monitor_region(std::stop_token st, Region& r,
+                      std::chrono::steady_clock::time_point deadline_tp,
+                      bool has_deadline);
+  void dump_stall_report(Region& r);
+  /// One fault-plan draw at `site`; counts into `w` when given. Returns
+  /// true when the site should fail now.
+  [[nodiscard]] bool inject(Worker* w, FaultSite site) noexcept;
+  /// Drop never-started workers [built, N) after a thread-spawn failure and
+  /// re-map topology/policy/pools onto the shrunken team.
+  void shrink_team(unsigned built);
   void rebuild_node_hints();
   void rebuild_node_pools();
   void rebuild_mailboxes();
@@ -501,6 +647,17 @@ class Scheduler {
   Region* region_ = nullptr;           // guarded by region_mutex_
   bool stopping_ = false;              // guarded by region_mutex_
   std::atomic<unsigned> region_done_{0};
+
+  // -- fault-tolerance state (PR 6) ----------------------------------------
+  FaultPlan fault_;  ///< parsed from cfg_.fault_plan; inactive when empty
+  /// Sleep/wake channel for the per-region monitor thread (deadline +
+  /// watchdog). The condition_variable_any + stop_token pairing makes the
+  /// monitor's join at region end immediate rather than one poll period.
+  std::mutex monitor_mutex_;
+  std::condition_variable_any monitor_cv_;
+  std::atomic<std::uint64_t> stalls_detected_{0};
+  RegionStatus last_region_status_ = RegionStatus::completed;
+  bool team_degraded_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -555,6 +712,13 @@ namespace detail {
 /// there is no descriptor to leak on this path.
 template <class F>
 void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
+  if (w.region != nullptr && w.region->cancelled()) {
+    // Cancelled region: an undeferred construct is "not yet started" until
+    // its body runs, so it is discarded like any queued sibling. Nothing to
+    // retire — this path never had a descriptor.
+    ++w.stats.tasks_discarded_inline;
+    return;
+  }
   ++w.stats.tasks_inlined_fast;
   // No descriptor is materialized, but the construct still *captured* this
   // many bytes on the parent's frame — count them so Table-II-style env
@@ -615,6 +779,17 @@ void spawn(Tiedness tied, F&& f) {
   }
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
+  if (t == nullptr) {
+    // Bottom of the degradation ladder: no descriptor from the pool rung OR
+    // the heap rung. Run serially on this frame instead of aborting —
+    // counted as cutoff_inlined so the creation-side invariant is
+    // undisturbed, plus tasks_degraded_inline to make the degradation
+    // observable.
+    ++w->stats.tasks_cutoff_inlined;
+    ++w->stats.tasks_degraded_inline;
+    detail::run_inline_fast(*w, tied, std::forward<F>(f));
+    return;
+  }
   t->init_env(std::forward<F>(f));
   w->stats.env_bytes += t->env_bytes();
   Task* parent = w->current;
@@ -662,6 +837,11 @@ void spawn_if(bool condition, Tiedness tied, F&& f) {
       (w->current != nullptr ? w->current->depth() + 1 : 1) + w->inline_depth;
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
+  if (t == nullptr) {  // degradation ladder bottom: run serially, no descriptor
+    ++w->stats.tasks_degraded_inline;
+    detail::run_inline_fast(*w, tied, std::forward<F>(f));
+    return;
+  }
   t->init_env(std::forward<F>(f));
   w->stats.env_bytes += t->env_bytes();
   Task* parent = w->current;
@@ -688,6 +868,27 @@ inline void barrier() {
   Worker* w = detail::tls_worker;
   if (w == nullptr) return;
   w->sched->barrier_from(*w);
+}
+
+/// Cooperative cancellation probe for long task bodies (`#pragma omp
+/// cancellation point taskgroup`): true when the enclosing region has been
+/// cancelled and the body should return early. Long-running loops should
+/// poll it; everything else observes cancellation at its next spawn or
+/// dispatch boundary for free. Outside a region: always false.
+[[nodiscard]] inline bool cancellation_point() noexcept {
+  Worker* w = detail::tls_worker;
+  return w != nullptr && w->region != nullptr && w->region->cancelled();
+}
+
+/// Cancel the enclosing region from inside a task body (`#pragma omp cancel
+/// taskgroup`): every not-yet-started task in the region is discarded;
+/// running bodies finish (or poll cancellation_point()). The deadline-taking
+/// run_* overloads report this as RegionStatus::cancelled. Outside a
+/// region: no-op.
+inline void cancel_region() noexcept {
+  Worker* w = detail::tls_worker;
+  if (w == nullptr || w->region == nullptr) return;
+  w->region->cancel(RegionStatus::cancelled);
 }
 
 }  // namespace bots::rt

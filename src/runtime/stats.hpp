@@ -52,6 +52,32 @@ struct alignas(cache_line_bytes) WorkerStats {
   /// total reports the worst single-worker in-transit backlog.
   std::uint64_t pool_migrations = 0;
 
+  // -- fault-tolerance counters (PR 6) --------------------------------------
+
+  /// Deferred tasks retired WITHOUT executing their body because the region
+  /// was cancelled before they were dispatched. Under cancellation the
+  /// executed-side invariant becomes
+  /// `tasks_executed + tasks_discarded == tasks_deferred`.
+  std::uint64_t tasks_discarded = 0;
+  /// Undeferred/inline dispatches skipped because the region was already
+  /// cancelled (no descriptor was retired; the closure simply never ran).
+  std::uint64_t tasks_discarded_inline = 0;
+  /// Descriptor allocations that fell back to a plain per-descriptor heap
+  /// allocation because the pool/arena rung failed (real or injected
+  /// bad_alloc).
+  std::uint64_t pool_alloc_fallbacks = 0;
+  /// Spawns degraded to serial inline execution because no descriptor could
+  /// be obtained at all (both pool and heap rungs failed). Also counted in
+  /// tasks_cutoff_inlined so the creation-side invariant
+  /// `created + range_splits == deferred + if_inlined + cutoff_inlined`
+  /// is undisturbed.
+  std::uint64_t tasks_degraded_inline = 0;
+  /// Faults this worker observed from the active FaultPlan (all sites).
+  std::uint64_t faults_injected = 0;
+  /// Deferred bodies re-executed after an injected transient task_body
+  /// fault (OMPC-style task re-execution: the body still runs exactly once).
+  std::uint64_t tasks_retried = 0;
+
   WorkerStats& operator+=(const WorkerStats& o) noexcept {
     tasks_created += o.tasks_created;
     tasks_deferred += o.tasks_deferred;
@@ -78,6 +104,12 @@ struct alignas(cache_line_bytes) WorkerStats {
     pool_fresh += o.pool_fresh;
     pool_home_frees += o.pool_home_frees;
     pool_remote_frees += o.pool_remote_frees;
+    tasks_discarded += o.tasks_discarded;
+    tasks_discarded_inline += o.tasks_discarded_inline;
+    pool_alloc_fallbacks += o.pool_alloc_fallbacks;
+    tasks_degraded_inline += o.tasks_degraded_inline;
+    faults_injected += o.faults_injected;
+    tasks_retried += o.tasks_retried;
     // High-water mark, not a flow: the aggregate is the worst per-worker
     // in-transit backlog, which is what bounds stash memory.
     pool_migrations = pool_migrations > o.pool_migrations ? pool_migrations

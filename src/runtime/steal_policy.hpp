@@ -158,6 +158,12 @@ class alignas(cache_line_bytes) RangeMailbox {
     return size_.load(std::memory_order_acquire) == 0;
   }
 
+  /// Current depth (one atomic load, no lock): introspection for the stall
+  /// watchdog's dump and tests — safe to call from a non-team thread.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
  private:
   std::mutex mu_;
   Task* head_ = nullptr;

@@ -292,6 +292,12 @@ class TaskPool {
 
  private:
   void refill() {
+    // Grow the bookkeeping vector BEFORE allocating the chunk: with the
+    // slot reserved, the push_back below cannot throw, so a bad_alloc
+    // (real or injected upstream) can never leak a chunk. Throwing out of
+    // refill leaves the pool unchanged — the scheduler's degradation
+    // ladder catches it and falls back to heap descriptors.
+    chunks_.reserve(chunks_.size() + 1);
     void* raw = ::operator new[](sizeof(Task) * chunk_tasks,
                                  std::align_val_t{alignof(Task)});
     chunk_cursor_ = static_cast<Task*>(raw);
@@ -383,6 +389,11 @@ class NodeArena {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (next_in_chunk_ >= chunk_tasks) {
+        // Reserve-then-allocate, as in TaskPool::refill: the push_back
+        // cannot throw once the slot is reserved, so a bad_alloc unwinds
+        // with the arena state (cursor, carved_) untouched and no chunk
+        // leaked — the caller's degradation ladder takes over.
+        chunks_.reserve(chunks_.size() + 1);
         void* raw = ::operator new[](sizeof(Task) * chunk_tasks,
                                      std::align_val_t{alignof(Task)});
         chunk_cursor_ = static_cast<Task*>(raw);

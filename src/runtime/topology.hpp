@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/config.hpp"
+
 namespace bots::rt {
 
 class Topology {
@@ -57,6 +59,13 @@ class Topology {
     }
     unsigned nodes = 0;
     unsigned cores = 0;
+    // A non-empty spec that does not parse falls through to sysfs/flat like
+    // the unset case — but loudly: a typo'd RT_SYNTHETIC_TOPOLOGY silently
+    // running flat would invalidate whatever locality experiment asked for
+    // it (same malformed-env contract as config.hpp's env_* helpers).
+    if (!spec.empty() && !parse_synthetic(spec, nodes, cores)) {
+      warn_malformed_env("RT_SYNTHETIC_TOPOLOGY", spec.c_str());
+    }
     if (parse_synthetic(spec, nodes, cores)) {
       t.source_ = "synthetic";
       for (unsigned w = 0; w < t.node_of_.size(); ++w) {

@@ -168,21 +168,31 @@ struct RangeRunner {
     std::int64_t executed = 0;
     try {
       while (lo < hi) {
+        // Cancellation boundary at every grain chunk: a cancelled region
+        // truncates the remainder right here, so range latency is bounded
+        // by one chunk, not the whole range. The descriptor still
+        // completes normally below (on_range_complete fires), which is why
+        // execute_deferred dispatches range tasks even after a cancel.
+        if (w->region->cancelled()) break;
         // Whether to split is the steal policy's decision (the demand check
         // lives next to victim selection: the policy knows who the half will
         // feed — under the hierarchical policy, same-node thieves probe this
         // deque first, so halves stay on-node while the node is hungry).
         if (splittable && hi - lo > grain && pol.should_split_range(*w)) {
           const std::int64_t mid = lo + (hi - lo) / 2;
-          split_off(*w, mid, hi);
-          ++splits;
-          hi = mid;
-          continue;
+          if (split_off(*w, mid, hi)) {
+            ++splits;
+            hi = mid;
+            continue;
+          }
+          // Split refused (descriptor drought): keep the whole remainder
+          // and chew through it serially — degraded but correct.
         }
         const std::int64_t stop = lo + grain < hi ? lo + grain : hi;
         for (std::int64_t i = lo; i < stop; ++i) body(i);
         executed += stop - lo;
         lo = stop;
+        w->note_progress();  // one watchdog tick per chunk peeled
       }
     } catch (...) {
       // The descriptor still completes (the scheduler captures the
@@ -206,14 +216,20 @@ struct RangeRunner {
   /// first — but under use_hint_placement a half split on a saturated node
   /// while a remote node's has-work word is clear is mailed to that idle
   /// node's RangeMailbox instead, sparing it the cross-node steal.
-  void split_off(Worker& w, std::int64_t lo2, std::int64_t hi2) {
+  /// False when no descriptor could be obtained (degradation ladder): the
+  /// caller keeps the whole remainder. Counters — and the grain
+  /// controller's live-range census — move only after the allocation
+  /// succeeds, so a refused split leaves no phantom split/deferred counts
+  /// behind and the accounting invariants hold on the degraded path.
+  bool split_off(Worker& w, std::int64_t lo2, std::int64_t hi2) {
     Scheduler& s = *w.sched;
     Task* self = w.current;
+    TaskStorage storage{};
+    Task* t = s.alloc_task(w, storage);
+    if (t == nullptr) return false;
     ++w.stats.range_splits;
     ++w.stats.tasks_deferred;
     if (grain_ctrl != nullptr) grain_ctrl->range_published();
-    TaskStorage storage{};
-    Task* t = s.alloc_task(w, storage);
     t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body, grain_ctrl});
     w.stats.env_bytes += t->env_bytes();
     Task* parent = self->parent();
@@ -221,6 +237,7 @@ struct RangeRunner {
     t->set_links(parent, self->depth(), self->tiedness(), storage);
     t->set_range(&t->env_as<RangeRunner<Body>>()->desc);
     s.publish_range_half(w, *t);
+    return true;
   }
 };
 
@@ -258,13 +275,27 @@ void spawn_range(RangeSite site, Tiedness tied, std::int64_t lo,
     ctrl = &s.grain_controller_for(site);
     const std::int64_t tuned = ctrl->grain();
     if (tuned > grain) grain = tuned;
-    ctrl->range_published();
   }
   ++w->stats.tasks_created;
   ++w->stats.range_tasks;
-  ++w->stats.tasks_deferred;
   TaskStorage storage{};
   Task* t = s.alloc_task(*w, storage);
+  if (t == nullptr) {
+    // Degradation ladder bottom: run the whole range serially on this
+    // frame. Counted as cutoff_inlined (creation-side invariant) plus the
+    // degradation marker; the controller never saw a published range, so
+    // its live-range census stays balanced.
+    ++w->stats.tasks_cutoff_inlined;
+    ++w->stats.tasks_degraded_inline;
+    detail::run_inline_fast(*w, tied, [lo, hi, &body] {
+      for (std::int64_t i = lo; i < hi; ++i) body(i);
+    });
+    return;
+  }
+  // Publication census and the deferred count move only now, after the
+  // descriptor exists (the degraded path above must leave no phantoms).
+  if (ctrl != nullptr) ctrl->range_published();
+  ++w->stats.tasks_deferred;
   t->init_env(
       detail::RangeRunner<Body>{{lo, hi, grain}, std::move(body), ctrl});
   w->stats.env_bytes += t->env_bytes();

@@ -74,7 +74,12 @@ TEST(Properties, TwoSchedulersCoexistSequentially) {
 }
 
 TEST(Properties, ExceptionFromRunAllWorkerPropagates) {
-  rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 4});
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  // Worker id 2 must exist for the throw to happen: pin a fault-free team
+  // (an injected thread-spawn fault would shrink it under CI's fault legs).
+  cfg.fault_plan.clear();
+  rt::Scheduler sched(cfg);
   EXPECT_THROW(sched.run_all([](unsigned id) {
     if (id == 2) throw std::runtime_error("worker 2 failed");
   }),
@@ -175,6 +180,63 @@ TEST(Properties, PoolFreesBalanceAllocationsOnEveryApp) {
   check(numa, "2x4-hierarchical");
 }
 
+TEST(Properties, ThrowingBodiesKeepAccountingAndPoolsBalanced) {
+  // Exception-path stress (PR 6 regression): bodies that throw at random
+  // depths — some bodies still spawning children before throwing — must
+  // leave every ledger balanced: each deferred descriptor executes (or, in
+  // a cancelled region, is discarded) exactly once, every pooled descriptor
+  // retires to its birth node, and the node pools end each region holding
+  // all carved memory. Run on a synthetic 2x4 with node pools, where an
+  // unwound release chain crosses the stash machinery too.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 8;
+  cfg.steal_policy = rt::StealPolicyKind::hierarchical;
+  cfg.synthetic_topology = "2x4";
+  cfg.use_node_pools = true;
+  rt::Scheduler sched(cfg);
+  core::Xoshiro256 rng(2026);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t throw_mask = rng.next_below(64);
+    std::atomic<std::uint64_t> spawned{0};
+    std::function<void(int)> grow = [&](int d) {
+      const std::uint64_t id =
+          spawned.fetch_add(1, std::memory_order_relaxed);
+      if (d > 0) {
+        for (int i = 0; i < 3; ++i) {
+          rt::spawn(i % 2 == 0 ? rt::Tiedness::tied : rt::Tiedness::untied,
+                    [&grow, d] { grow(d - 1); });
+        }
+      }
+      if ((id & 63u) == throw_mask) throw std::runtime_error("stress");
+      if (d > 0 && (id & 1u) == 0u) rt::taskwait();
+    };
+    bool threw = false;
+    try {
+      sched.run_single([&] { grow(6); });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    // ~1100 bodies per round with a 1/64 throw rate: virtually certain.
+    EXPECT_TRUE(threw) << "round " << round;
+    const auto t = sched.stats().total;
+    ASSERT_EQ(t.tasks_created + t.range_splits,
+              t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined)
+        << "round " << round;
+    ASSERT_EQ(t.tasks_executed + t.tasks_discarded, t.tasks_deferred)
+        << "round " << round;
+    ASSERT_EQ(t.pool_home_frees + t.pool_remote_frees,
+              t.pool_reuse + t.pool_fresh)
+        << "round " << round;
+    ASSERT_EQ(t.pool_remote_frees, 0u) << "round " << round;
+    // The arenas got every carved descriptor back (none leaked down an
+    // unwound release chain).
+    for (const auto& n : sched.node_pool_snapshot()) {
+      ASSERT_EQ(n.arena_carved, n.arena_free + n.cached + n.in_transit)
+          << "round " << round;
+    }
+  }
+}
+
 TEST(Properties, InlinePathCountsCapturedEnvironmentBytes) {
   // Regression pin (ROADMAP: env_bytes on the zero-alloc inline path): a
   // construct that runs without a descriptor still captured its closure on
@@ -188,6 +250,9 @@ TEST(Properties, InlinePathCountsCapturedEnvironmentBytes) {
     cfg.cutoff = rt::CutoffPolicy::max_depth;
     cfg.cutoff_value = 3;
     cfg.use_inline_fast_path = inline_fast;
+    // The exact inlined/deferred partition this test pins is meaningless
+    // under injected allocation faults (CI's RT_FAULT_PLAN legs).
+    cfg.fault_plan.clear();
     rt::Scheduler sched(cfg);
     std::atomic<std::uint64_t> leaves{0};
     std::function<void(int)> grow = [&](int d) {

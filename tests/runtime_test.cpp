@@ -87,6 +87,9 @@ TEST_P(SchedulerThreads, FireAndForgetTasksCompleteAtRegionEnd) {
 TEST_P(SchedulerThreads, RunAllExecutesEveryWorkerOnce) {
   rt::SchedulerConfig cfg;
   cfg.num_threads = GetParam();
+  // Exactly GetParam() workers must exist: pin a fault-free team (an
+  // injected thread-spawn fault would shrink it under CI's fault legs).
+  cfg.fault_plan.clear();
   rt::Scheduler s(cfg);
   std::vector<std::atomic<int>> hits(cfg.num_threads);
   s.run_all([&](unsigned id) { hits[id].fetch_add(1); });
@@ -398,7 +401,12 @@ TEST(Scheduler, ZeroAllocInlinePathAllocatesNoDescriptors) {
   // bench_spawn_overhead): with every construct inlined and the fast path
   // on, the run must report ZERO pool activity — any pool_fresh/pool_reuse
   // means a descriptor sneaked back onto the zero-alloc path.
-  rt::Scheduler s(rt::SchedulerConfig{.num_threads = 2});
+  // This tripwire pins the EXACT alloc/inline partition — meaningless under
+  // injected allocation faults (CI's RT_FAULT_PLAN legs), so pin them off.
+  rt::SchedulerConfig on;
+  on.num_threads = 2;
+  on.fault_plan.clear();
+  rt::Scheduler s(on);
   ASSERT_TRUE(s.config().use_inline_fast_path);
   std::uint64_t r = 0;
   s.run_single([&] { r = fib_if(20, 0); });  // depth 0: everything inlined
@@ -413,6 +421,7 @@ TEST(Scheduler, ZeroAllocInlinePathAllocatesNoDescriptors) {
   rt::SchedulerConfig off;
   off.num_threads = 2;
   off.use_inline_fast_path = false;
+  off.fault_plan.clear();
   rt::Scheduler s2(off);
   std::uint64_t r2 = 0;
   s2.run_single([&] { r2 = fib_if(20, 0); });
@@ -671,6 +680,9 @@ TEST(Scheduler, ZeroThreadConfigClampsToOne) {
 
 TEST(Cutoff, NoneDefersEverything) {
   rt::SchedulerConfig cfg{.num_threads = 2, .cutoff = rt::CutoffPolicy::none};
+  // "Everything defers" pins the exact partition — incompatible with
+  // injected allocation faults (CI's RT_FAULT_PLAN legs).
+  cfg.fault_plan.clear();
   rt::Scheduler s(cfg);
   std::uint64_t r = 0;
   s.run_single([&] { r = fib_task(15, rt::Tiedness::tied); });
@@ -845,6 +857,9 @@ TEST(Stats, PoolReuseAfterFirstWave) {
 TEST(Stats, NoPoolModeUsesFreshAllocations) {
   rt::SchedulerConfig cfg{.num_threads = 2};
   cfg.use_task_pool = false;
+  // "Every construct hits the allocator" pins the exact alloc partition —
+  // incompatible with injected allocation faults (CI's RT_FAULT_PLAN legs).
+  cfg.fault_plan.clear();
   rt::Scheduler s(cfg);
   s.run_single([] {
     for (int wave = 0; wave < 3; ++wave) {

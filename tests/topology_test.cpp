@@ -47,6 +47,10 @@ rt::SchedulerConfig policy_cfg(unsigned threads, rt::StealPolicyKind kind,
   cfg.num_threads = threads;
   cfg.steal_policy = kind;
   cfg.synthetic_topology = topo;
+  // Every test here introspects the policy/topology structure of a team of
+  // exactly `threads` workers; injected thread-spawn/pin/mailbox faults
+  // (CI's RT_FAULT_PLAN legs) would reshape the very structure under test.
+  cfg.fault_plan.clear();
   return cfg;
 }
 
