@@ -2,9 +2,10 @@
 # Record the repo's performance-trajectory baseline.
 #
 # Runs bench_spawn_overhead (per-task spawn->run->join overhead, fast path
-# A/B) plus a small 2-thread Figure-3 smoke, and writes the result to
-# BENCH_baseline.json at the repo root. Future PRs rerun this script and
-# compare against the committed baseline.
+# A/B), a small 2-thread Figure-3 smoke, and the server-mode mixed-stream
+# bench (per-request p50/p99 latency + shed rate under overload), and
+# writes the result to BENCH_baseline.json at the repo root. Future PRs
+# rerun this script and compare against the committed baseline.
 #
 # Usage: bench/run_baseline.sh [output.json]
 # Env:   BUILD_DIR (default: build), plus the BOTS_* knobs understood by the
@@ -74,6 +75,21 @@ esac
 echo "== spawn/steal overhead (fast path A/B) ==" >&2
 spawn_json="$("$BUILD/bench_spawn_overhead")"
 
+# Server-mode mixed stream (PR 7): calibration, half-saturation and 2x
+# overload legs; each SERVERMIX: line is already a JSON object carrying
+# p50/p99 latency, throughput and shed/reject counts. The bench exits
+# nonzero if any robustness invariant breaks, which fails the script
+# (set -e) — a baseline is never recorded over a broken server. Optional
+# binary: a build with BOTS_BUILD_BENCHES=OFF or an older checkout just
+# records an empty list.
+server_mix_json=""
+if [[ -x "$BUILD/bench_server_mix" ]]; then
+  echo "== server mix (admission / backpressure / overload) ==" >&2
+  server_mix_json="$("$BUILD/bench_server_mix" \
+      --threads "${BOTS_MAX_THREADS:-4}" --requests 96 --queue 32 |
+      sed -n 's/^SERVERMIX: //p')"
+fi
+
 echo "== Figure 3 smoke (2 threads, test input) ==" >&2
 fig3_out="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
             BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
@@ -106,6 +122,11 @@ fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
   echo "  \"fig3_site_grain\": ["
   printf '%s\n' "$fig3_sitegrain" |
     sed 's/"/\\"/g; s/^[[:space:]]*//; s/^/    "/; s/$/"/' | sed '$!s/$/,/'
+  echo "  ],"
+  echo "  \"server_mix\": ["
+  if [[ -n "$server_mix_json" ]]; then
+    printf '%s\n' "$server_mix_json" | sed 's/^/    /; $!s/$/,/'
+  fi
   echo "  ]"
   echo "}"
 } > "$OUT"

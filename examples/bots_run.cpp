@@ -9,13 +9,21 @@
 // Every run self-verifies unless --no-verify is given; the report prints
 // elapsed time, the app metric when there is one (Floorplan nodes/s) and
 // the scheduler's task counters.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "runtime/rt.hpp"
 
 namespace core = bots::core;
 namespace rt = bots::rt;
@@ -48,7 +56,15 @@ void usage() {
       "                        exit nonzero if any descriptor retired into\n"
       "                        a pool off its birth node (pool_remote_frees\n"
       "                        > 0) — the CI locality guardrail for\n"
-      "                        RT_NODE_POOLS=1 runs (implies --stats)\n");
+      "                        RT_NODE_POOLS=1 runs (implies --stats)\n"
+      "      --server --mix    persistent server mode: bring up a resident\n"
+      "                        TaskServer and fire a seeded mixed-kernel\n"
+      "                        request stream at it (no -a needed); also\n"
+      "                        honours RT_SERVER_* (see README)\n"
+      "      --rps <n>         server mode: target arrival rate (0 = closed\n"
+      "                        loop, the default)\n"
+      "      --requests <n>    server mode: request count (default 32)\n"
+      "      --queue <n>       server mode: admission queue capacity\n");
 }
 
 void print_report(const core::RunReport& rep, bool with_stats) {
@@ -120,6 +136,160 @@ void print_fault_report(const rt::Scheduler& sched,
       rt::to_string(sched.last_region_status()));
 }
 
+// ---------------------------------------------------------------------------
+// --server --mix: resident TaskServer fed a seeded mixed request stream.
+// Each request is an in-region task recursion (the kernels' own run()
+// entries open their own region and cannot nest inside the resident one).
+// ---------------------------------------------------------------------------
+
+std::uint64_t mix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix_fib(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn([&a, n] { a = mix_fib(n - 1); });
+  rt::spawn([&b, n] { b = mix_fib(n - 2); });
+  rt::taskwait();
+  return a + b;
+}
+
+bool mix_request(std::uint64_t seed) {
+  switch (seed % 3) {
+    case 0: {  // fib with a known answer
+      const int n = 14 + static_cast<int>(seed % 4);
+      std::uint64_t a = 0, b = 1;
+      for (int i = 0; i < n; ++i) { const std::uint64_t t = a + b; a = b; b = t; }
+      return mix_fib(n) == a;
+    }
+    case 1: {  // spawn-sorted block, verified
+      std::vector<std::uint32_t> v(4096);
+      std::uint64_t s = seed, sum = 0;
+      for (auto& x : v) { x = static_cast<std::uint32_t>(mix64(s)); sum += x; }
+      std::function<void(std::size_t, std::size_t)> sort_rec =
+          [&](std::size_t lo, std::size_t hi) {
+            if (hi - lo <= 256) {
+              std::sort(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                        v.begin() + static_cast<std::ptrdiff_t>(hi));
+              return;
+            }
+            const std::size_t mid = lo + (hi - lo) / 2;
+            rt::spawn([&, lo, mid] { sort_rec(lo, mid); });
+            rt::spawn([&, mid, hi] { sort_rec(mid, hi); });
+            rt::taskwait();
+            std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                               v.begin() + static_cast<std::ptrdiff_t>(mid),
+                               v.begin() + static_cast<std::ptrdiff_t>(hi));
+          };
+      sort_rec(0, v.size());
+      std::uint64_t sum2 = 0;
+      bool sorted = true;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        sorted = sorted && (i == 0 || v[i - 1] <= v[i]);
+        sum2 += v[i];
+      }
+      return sorted && sum == sum2;
+    }
+    default: {  // alignment-style range scoring
+      std::atomic<std::uint64_t> total{0};
+      rt::spawn_range(0, 20000, 64, [&](std::int64_t i) {
+        total.fetch_add(static_cast<std::uint64_t>(i) % 7,
+                        std::memory_order_relaxed);
+      });
+      rt::taskwait();
+      std::uint64_t expect = 0;
+      for (std::int64_t i = 0; i < 20000; ++i) expect += static_cast<std::uint64_t>(i) % 7;
+      return total.load() == expect;
+    }
+  }
+}
+
+int run_server_mix(unsigned threads, unsigned requests, unsigned rps,
+                   std::uint32_t queue, std::uint32_t deadline_ms,
+                   const std::string& fault_plan) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  if (!fault_plan.empty()) cfg.fault_plan = fault_plan;
+  rt::Scheduler sched(cfg);
+  rt::ServerConfig sc = rt::ServerConfig::from_env();
+  if (queue > 0) sc.queue_capacity = queue;
+  if (deadline_ms > 0) sc.default_deadline_ms = deadline_ms;
+  rt::TaskServer server(sched, sc);
+
+  std::vector<rt::RegionHandle> handles(requests);
+  auto ok = std::make_shared<std::vector<std::atomic<bool>>>(requests);
+  std::uint64_t rng = 12345;
+  const auto t0 = std::chrono::steady_clock::now();
+  double due_us = 0;
+  for (unsigned i = 0; i < requests; ++i) {
+    const std::uint64_t seed = mix64(rng);
+    auto res = server.submit([ok, i, seed] {
+      (*ok)[i].store(mix_request(seed), std::memory_order_release);
+    });
+    handles[i] = res.handle;
+    if (rps == 0) {
+      handles[i].wait();
+    } else {
+      due_us += 1e6 / rps;
+      std::this_thread::sleep_until(
+          t0 + std::chrono::microseconds(static_cast<std::int64_t>(due_us)));
+    }
+  }
+  std::uint64_t completed = 0, cancelled = 0, deadline = 0, rejected = 0,
+                 wrong = 0, nonterminal = 0;
+  std::vector<double> lat_ms;
+  for (unsigned i = 0; i < requests; ++i) {
+    switch (handles[i].wait()) {
+      case rt::RequestStatus::completed:
+        ++completed;
+        if (!(*ok)[i].load(std::memory_order_acquire)) ++wrong;
+        lat_ms.push_back(static_cast<double>(handles[i].latency().count()) / 1e3);
+        break;
+      case rt::RequestStatus::cancelled: ++cancelled; break;
+      case rt::RequestStatus::deadline_exceeded: ++deadline; break;
+      case rt::RequestStatus::rejected_overload: ++rejected; break;
+      case rt::RequestStatus::pending: ++nonterminal; break;
+    }
+    if (!handles[i].ledger_balanced()) ++wrong;
+  }
+  server.drain();
+  const rt::ServerStats st = server.stats();
+  double p50 = 0, p99 = 0;
+  if (!lat_ms.empty()) {
+    std::sort(lat_ms.begin(), lat_ms.end());
+    p50 = lat_ms[lat_ms.size() / 2];
+    p99 = lat_ms[std::min(lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+  }
+  std::printf(
+      "server-mix t=%-3u requests=%u rps=%u queue=%u  completed=%llu "
+      "cancelled=%llu deadline=%llu rejected=%llu shed=%llu  p50=%.3fms "
+      "p99=%.3fms\n",
+      threads, requests, rps, sc.queue_capacity,
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(deadline),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(st.shed), p50, p99);
+  const bool conserved =
+      completed + cancelled + deadline + rejected == requests &&
+      st.submitted == st.completed + st.cancelled + st.deadline_exceeded +
+                          st.rejected;
+  if (nonterminal != 0 || wrong != 0 || !conserved) {
+    std::fprintf(stderr,
+                 "server-mix FAILED: nonterminal=%llu wrong=%llu conserved=%s\n",
+                 static_cast<unsigned long long>(nonterminal),
+                 static_cast<unsigned long long>(wrong),
+                 conserved ? "yes" : "no");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +307,11 @@ int main(int argc, char** argv) {
   std::uint32_t deadline_ms = 0;
   std::uint32_t watchdog_ms = 0;
   std::string fault_plan;
+  bool server_mode = false;
+  bool mix = false;
+  unsigned rps = 0;
+  unsigned server_requests = 32;
+  std::uint32_t server_queue = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -193,6 +368,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--tripwire-pool-locality") {
       tripwire_pool_locality = true;
       stats = true;
+    } else if (arg == "--server") {
+      server_mode = true;
+    } else if (arg == "--mix") {
+      mix = true;
+    } else if (arg == "--rps") {
+      rps = next_u32("arrival rate");
+    } else if (arg == "--requests") {
+      server_requests = next_u32("request count");
+    } else if (arg == "--queue") {
+      server_queue = next_u32("queue capacity");
     } else {
       usage();
       return arg == "-h" || arg == "--help" ? 0 : 2;
@@ -213,6 +398,17 @@ int main(int argc, char** argv) {
                   app.describe_input(core::InputClass::large).c_str());
     }
     return 0;
+  }
+
+  if (server_mode) {
+    if (!mix) {
+      std::fprintf(stderr,
+                   "bots_run: --server currently requires --mix (the seeded "
+                   "mixed-kernel request stream)\n");
+      return 2;
+    }
+    return run_server_mix(threads, server_requests, rps, server_queue,
+                          deadline_ms, fault_plan);
   }
 
   const auto* app = core::find_app(app_name);

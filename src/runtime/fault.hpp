@@ -7,7 +7,7 @@
 //   seed=N          64-bit decimal seed (default 1)
 //   all=P           probability in [0,1] applied to every site
 //   <site>=P        per-site override; sites: descriptor_alloc, arena_carve,
-//                   thread_spawn, pin, mailbox_push, task_body
+//                   thread_spawn, pin, mailbox_push, task_body, server_admit
 //
 // e.g. RT_FAULT_PLAN="seed=7,all=0.02,thread_spawn=0"
 //
@@ -39,6 +39,7 @@ enum class FaultSite : int {
   pin,                   // worker CPU pinning
   mailbox_push,          // hint-directed RangeMailbox push
   task_body,             // transient throw before a deferred body runs
+  server_admit,          // TaskServer::submit admission (transient reject)
   count_,
 };
 
@@ -52,6 +53,7 @@ inline constexpr int fault_site_count = static_cast<int>(FaultSite::count_);
     case FaultSite::pin: return "pin";
     case FaultSite::mailbox_push: return "mailbox_push";
     case FaultSite::task_body: return "task_body";
+    case FaultSite::server_admit: return "server_admit";
     case FaultSite::count_: break;
   }
   return "?";

@@ -1,0 +1,256 @@
+// Per-request region context (PR 7 server mode).
+//
+// PR 6 attached the fault-tolerance state — sticky cancel word, deadline,
+// first-exception slot, execution ledgers, watchdog progress — to the ONE
+// Region a Scheduler runs at a time. A resident server multiplexes many
+// concurrent client requests over a single long-lived region, so that state
+// must live per REQUEST instead: RegionCtx is that per-request context.
+//
+// Every task descriptor carries a RegionCtx* (Task::ctx), inherited from its
+// parent at set_links time, so a request's whole task subtree shares one
+// context at zero cost to non-server regions (the pointer is null there and
+// every ctx check short-circuits on it). The scheduler consults the context
+// at the same dispatch boundaries as the region cancel word — deferred
+// dequeue, undeferred/inline dispatch, range grain chunks — which gives each
+// request independent cooperative cancellation, deadline enforcement, fault
+// isolation (a body exception cancels only its own context, never the
+// resident region) and an exact per-request ledger:
+//
+//   executed + discarded == deferred      (after the request has drained)
+//
+// The terminal state (RequestStatus) is decided exactly once by a CAS:
+// completed, cancelled, deadline_exceeded or rejected_overload — every
+// submitted request ends in exactly one of them, which is the conservation
+// law bench_server_mix and the CI soak job assert.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+namespace bots::rt {
+
+/// How a parallel region ended. `completed` = the quiescence barrier was
+/// reached with no cancel; the other values name the FIRST cancel cause
+/// (sticky: later causes lose the CAS). Shared by the scheduler-global
+/// Region (one per run_single/run_all) and the per-request RegionCtx.
+enum class RegionStatus : std::uint8_t {
+  completed = 0,
+  cancelled = 1,          ///< rt::cancel_region(), watchdog, or cancel_on_exception
+  deadline_exceeded = 2,  ///< the region's deadline expired first
+};
+
+[[nodiscard]] constexpr const char* to_string(RegionStatus s) noexcept {
+  switch (s) {
+    case RegionStatus::completed: return "completed";
+    case RegionStatus::cancelled: return "cancelled";
+    case RegionStatus::deadline_exceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
+
+/// Terminal state of a server-submitted request. `pending` is the only
+/// non-terminal value; finalize() moves a context out of it exactly once.
+enum class RequestStatus : std::uint8_t {
+  pending = 0,            ///< queued or executing; not yet terminal
+  completed = 1,          ///< body and every descendant task finished
+  cancelled = 2,          ///< client cancel, shed, fault, or server shutdown
+  deadline_exceeded = 3,  ///< the request's deadline expired first
+  rejected_overload = 4,  ///< never admitted: queue full or server stopping
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::pending: return "pending";
+    case RequestStatus::completed: return "completed";
+    case RequestStatus::cancelled: return "cancelled";
+    case RequestStatus::deadline_exceeded: return "deadline_exceeded";
+    case RequestStatus::rejected_overload: return "rejected_overload";
+  }
+  return "?";
+}
+
+class RegionCtx {
+ public:
+  explicit RegionCtx(std::uint64_t id, std::uint32_t weight = 1) noexcept
+      : id_(id), weight_(weight == 0 ? 1u : weight) {}
+
+  RegionCtx(const RegionCtx&) = delete;
+  RegionCtx& operator=(const RegionCtx&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  /// Weighted-share fairness weight (>= 1): a weight-2 request receives
+  /// roots twice as often as a weight-1 one under ServerFairness::weighted_share.
+  [[nodiscard]] std::uint32_t weight() const noexcept { return weight_; }
+
+  /// Set once by the server at submit / admission; read by the monitor and
+  /// the latency accounting. Default-constructed time_point = unset.
+  std::chrono::steady_clock::time_point arrival{};
+  std::chrono::steady_clock::time_point deadline{};
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  // -- cooperative cancellation (per request) -------------------------------
+  // Same sticky first-cause CAS discipline as Region::cancel: the request's
+  // whole task subtree observes it at every dispatch boundary, while sibling
+  // requests and the resident region never do.
+
+  void cancel(RegionStatus why) noexcept {
+    std::uint8_t expected = 0;
+    cancel_state_.compare_exchange_strong(expected,
+                                          static_cast<std::uint8_t>(why),
+                                          std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_state_.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] RegionStatus cancel_cause() const noexcept {
+    return static_cast<RegionStatus>(
+        cancel_state_.load(std::memory_order_relaxed));
+  }
+
+  // -- first exception (per request) ----------------------------------------
+  // Capturing always cancels the context: one client's exception discards
+  // only that client's not-yet-started tasks (per-request fault isolation —
+  // the Region-level cancel_on_exception knob is irrelevant here because
+  // the blast radius is already a single request).
+
+  void store_exception() noexcept {
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    cancel(RegionStatus::cancelled);
+  }
+  [[nodiscard]] std::exception_ptr exception() const {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    return first_exception_;
+  }
+
+  // -- execution ledger (per request) ---------------------------------------
+  // Mirrors the PR 6 region-wide invariant at request granularity: every
+  // task deferred under this context is eventually dispatched exactly once,
+  // as an execute or a discard, so after the request drains
+  // executed + discarded == deferred.
+
+  void note_deferred() noexcept {
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One deferred task of this request fully retired (executed or
+  /// discarded, descriptor gone). live() == 0 with the root frame's direct
+  /// children joined means the request's whole subtree is quiescent: an
+  /// in-flight descendant either still holds its own live count or is
+  /// executing synchronously inside one that does.
+  void note_finished() noexcept {
+    live_.fetch_sub(1, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t live() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+  void note_executed() noexcept {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_discarded() noexcept {
+    discarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deferred() const noexcept {
+    return deferred_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t executed() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t discarded() const noexcept {
+    return discarded_.load(std::memory_order_relaxed);
+  }
+  /// Valid once the request is terminal and its subtree has drained.
+  [[nodiscard]] bool ledger_balanced() const noexcept {
+    return executed() + discarded() == deferred();
+  }
+
+  // -- watchdog progress (per request) --------------------------------------
+  // Bumped on every dispatch and range chunk of this request's subtree; the
+  // server's monitor reports a per-request stall when it stops moving.
+
+  void note_progress() noexcept {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  // -- terminal state -------------------------------------------------------
+
+  /// Move the request out of `pending` exactly once (first caller wins) and
+  /// wake every wait()er. Records the admission-to-terminal latency when
+  /// `arrival` was set. Returns whether THIS call won the transition.
+  bool finalize(RequestStatus s) noexcept {
+    std::uint8_t expected =
+        static_cast<std::uint8_t>(RequestStatus::pending);
+    if (!terminal_.compare_exchange_strong(expected,
+                                           static_cast<std::uint8_t>(s),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return false;
+    }
+    if (arrival != std::chrono::steady_clock::time_point{}) {
+      latency_us_.store(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - arrival)
+              .count(),
+          std::memory_order_relaxed);
+    }
+    {
+      // Empty critical section: a wait()er between its predicate check and
+      // its cv wait holds the mutex, so acquiring it here before notify
+      // closes the lost-wakeup window.
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    wait_cv_.notify_all();
+    return true;
+  }
+
+  [[nodiscard]] RequestStatus status() const noexcept {
+    return static_cast<RequestStatus>(
+        terminal_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool done() const noexcept {
+    return status() != RequestStatus::pending;
+  }
+
+  /// Block until the request is terminal; returns the terminal status.
+  RequestStatus wait() const {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [this] { return done(); });
+    return status();
+  }
+
+  /// Admission-to-terminal latency; 0 until the request is terminal (or when
+  /// it was rejected before arrival was stamped).
+  [[nodiscard]] std::chrono::microseconds latency() const noexcept {
+    return std::chrono::microseconds(
+        latency_us_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  const std::uint64_t id_;
+  const std::uint32_t weight_;
+  std::atomic<std::uint8_t> cancel_state_{0};
+  std::atomic<std::uint8_t> terminal_{
+      static_cast<std::uint8_t>(RequestStatus::pending)};
+  std::atomic<std::uint64_t> deferred_{0};
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> discarded_{0};
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::int64_t> latency_us_{0};
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
+  std::exception_ptr first_exception_;  ///< guarded by wait_mutex_
+};
+
+}  // namespace bots::rt

@@ -6,7 +6,9 @@
 #include "runtime/deque.hpp"       // IWYU pragma: export
 #include "runtime/fault.hpp"       // IWYU pragma: export
 #include "runtime/grain.hpp"       // IWYU pragma: export
+#include "runtime/region_ctx.hpp"  // IWYU pragma: export
 #include "runtime/scheduler.hpp"   // IWYU pragma: export
+#include "runtime/server.hpp"      // IWYU pragma: export
 #include "runtime/stats.hpp"       // IWYU pragma: export
 #include "runtime/steal_policy.hpp"  // IWYU pragma: export
 #include "runtime/task.hpp"        // IWYU pragma: export

@@ -219,7 +219,8 @@ RegionResult Scheduler::run_all(const std::function<void(unsigned)>& fn,
   return res;
 }
 
-RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline) {
+RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline,
+                                   bool monitored) {
   Worker* inside = detail::tls_worker;
   if (inside != nullptr) {
     // Nested region: serialize with a team of one (the OpenMP default of
@@ -252,7 +253,7 @@ RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline
   // better than failing the region for the tool meant to watch it.
   const bool has_deadline = deadline.count() > 0;
   std::optional<std::jthread> monitor;
-  if (has_deadline || cfg_.watchdog_ms > 0) {
+  if (monitored && (has_deadline || cfg_.watchdog_ms > 0)) {
     const auto deadline_tp = std::chrono::steady_clock::now() + deadline;
     try {
       monitor.emplace([this, &r, deadline_tp, has_deadline](std::stop_token st) {
@@ -298,6 +299,102 @@ RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline
     std::rethrow_exception(r.first_exception);
   }
   return last_region_status_;
+}
+
+RegionStatus Scheduler::run_persistent(const std::function<void(unsigned)>& fn) {
+  Region r(cfg_.num_threads);
+  r.all_fn = &fn;
+  // Deadline 0 + monitored=false: neither cfg_.region_deadline_ms nor the
+  // watchdog applies to the resident region (see the header comment) — the
+  // TaskServer's own monitor watches per-request deadlines/stalls instead.
+  return run_region(r, std::chrono::milliseconds(0), /*monitored=*/false);
+}
+
+void Scheduler::run_ctx_root(RegionCtx& ctx, const std::function<void()>& body) {
+  Worker* wp = detail::tls_worker;
+  assert(wp != nullptr && wp->region != nullptr &&
+         "run_ctx_root is only valid on a team worker inside a region");
+  Worker& w = *wp;
+  ++w.stats.server_requests;
+  // Shed or expired before it ever started: nothing was spawned under this
+  // ctx yet, so skipping the body IS the discard (ledger stays 0 == 0).
+  if (ctx.cancelled()) return;
+  TaskStorage storage{};
+  Task* frame = alloc_task(w, storage);
+  if (frame == nullptr) {
+    // Degradation ladder bottom: run the request body inline on this frame.
+    // Children adopt `current` (the worker's implicit root, null ctx) — the
+    // request loses per-request cancel granularity for them but execution
+    // stays correct, and the taskwait below conservatively joins every
+    // child adopted by the root so far.
+    ++w.stats.tasks_degraded_inline;
+    ++w.inline_depth;
+    try {
+      body();
+    } catch (...) {
+      ctx.store_exception();
+    }
+    --w.inline_depth;
+    taskwait_from(w);
+    return;
+  }
+  frame->init_env([] {});  // root frames carry no environment of their own
+  Task* parent = w.current;
+  const std::uint32_t depth =
+      (parent != nullptr ? parent->depth() + 1 : 1) + w.inline_depth;
+  if (parent != nullptr) parent->add_child_ref();
+  // UNTIED: while this worker waits in the request's join it may claim any
+  // other request's tasks — no cross-request convoying through the TSC.
+  frame->set_links(parent, depth, Tiedness::untied, storage);
+  // The root of the request: set_links copied the parent's (null) ctx, so
+  // plant it here; every descendant inherits it through its own set_links.
+  frame->set_ctx(&ctx);
+
+  Task* prev = w.current;
+  const std::uint32_t prev_inline = w.inline_depth;
+  w.inline_depth = 0;  // the frame's depth already accounts for inline frames
+  w.current = frame;
+  try {
+    body();
+  } catch (...) {
+    // Fault isolation: the request's exception cancels the request, never
+    // the resident region, and is retrievable via its handle. Not rethrown —
+    // the caller is the server worker loop, which must keep serving.
+    ctx.store_exception();
+  }
+  // Join the WHOLE request subtree, not just direct children: a child's
+  // completion announces to the frame before the child's own deferred
+  // descendants finish, so the frame's child count alone is not quiescence.
+  // ctx.live() is: every deferred descendant holds a live count from
+  // enqueue to retirement, and undeferred ones execute synchronously inside
+  // one that does. The worker helps (any request's work) while it waits.
+  Backoff backoff;
+  while (frame->unfinished_children() != 0 || ctx.live() != 0) {
+    if (Task* t = find_work(w)) {
+      execute_deferred(w, *t);
+      backoff.reset();
+    } else {
+      if (cfg_.batch_accounting) flush_accounting(w);
+      backoff.pause();
+    }
+  }
+  frame->destroy_env();
+  w.current = prev;
+  w.inline_depth = prev_inline;
+  Task* frame_parent = frame->parent();
+  if (frame_parent != nullptr) frame_parent->child_completed();
+  release_chain(w, frame);
+}
+
+bool Scheduler::help_one() {
+  Worker* wp = detail::tls_worker;
+  if (wp == nullptr || wp->region == nullptr) return false;
+  if (Task* t = find_work(*wp)) {
+    execute_deferred(*wp, *t);
+    return true;
+  }
+  if (cfg_.batch_accounting) flush_accounting(*wp);
+  return false;
 }
 
 void Scheduler::monitor_region(std::stop_token st, Region& r,
@@ -669,6 +766,10 @@ void Scheduler::enqueue(Worker& w, Task& t) {
   // state (word already set) costs one relaxed load.
   if (hints_) hints_->publish(w.node);
   account_spawn(w);
+  // Per-request ledger (server mode): the task was counted into the queued
+  // population of its request; execute_deferred will balance it with exactly
+  // one executed or discarded. Null — and free — in ordinary regions.
+  if (RegionCtx* c = t.ctx()) c->note_deferred();
   // Range tasks never hide in the private slot: their whole point is to be
   // splittable on steal, and a slot entry is invisible to thieves until the
   // owner's next scheduling point.
@@ -694,6 +795,7 @@ void Scheduler::publish_range_half(Worker& w, Task& t) {
       // counted before it becomes claimable); only the landing spot moves.
       ++w.stats.range_halves_redirected;
       account_spawn(w);
+      if (RegionCtx* c = t.ctx()) c->note_deferred();
       mailboxes_[target].push(&t);
       // The gift IS work on that node now: set its word, both so remote
       // planners probe there and so the next split is not dumped on the
@@ -724,13 +826,21 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
   // which makes this the single cancellation boundary for queued work and
   // the watchdog's primary progress signal.
   w.note_progress();
-  if (w.region != nullptr && w.region->cancelled() && t.range() == nullptr) {
-    // Cancelled region: retire the descriptor through the normal finish
-    // path WITHOUT running the body. destroy_env still runs — the captured
-    // closure was constructed and its members must destruct. Range tasks
-    // are exempt: they execute (RangeRunner stops at its first cancelled
-    // check) so their GrainController live-range gate always closes.
+  RegionCtx* ctx = t.ctx();
+  if (ctx != nullptr) ctx->note_progress();
+  if (((w.region != nullptr && w.region->cancelled()) ||
+       (ctx != nullptr && ctx->cancelled())) &&
+      t.range() == nullptr) {
+    // Cancelled region — or, server mode, cancelled request context: retire
+    // the descriptor through the normal finish path WITHOUT running the
+    // body. destroy_env still runs — the captured closure was constructed
+    // and its members must destruct. Range tasks are exempt: they execute
+    // (RangeRunner stops at its first cancelled check) so their
+    // GrainController live-range gate always closes. The discard counts in
+    // BOTH ledgers: the worker's (keeps the global executed + discarded ==
+    // deferred invariant) and the request's.
     ++w.stats.tasks_discarded;
+    if (ctx != nullptr) ctx->note_discarded();
     t.destroy_env();
     finish_task(w, t, /*deferred=*/true);
     return;
@@ -744,6 +854,7 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
   w.inline_depth = 0;
   w.current = &t;
   ++w.stats.tasks_executed;
+  if (ctx != nullptr) ctx->note_executed();
   const bool fail_body = inject(&w, FaultSite::task_body);
   try {
     if (fail_body) throw FaultInjected{};
@@ -758,10 +869,20 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
     try {
       t.invoke();
     } catch (...) {
-      w.region->store_exception();
+      // Fault isolation: a request task's exception lands in ITS context
+      // (cancelling that request only), never in the resident region.
+      if (ctx != nullptr) {
+        ctx->store_exception();
+      } else {
+        w.region->store_exception();
+      }
     }
   } catch (...) {
-    w.region->store_exception();
+    if (ctx != nullptr) {
+      ctx->store_exception();
+    } else {
+      w.region->store_exception();
+    }
   }
   t.destroy_env();
   w.current = prev;
@@ -770,7 +891,8 @@ void Scheduler::execute_deferred(Worker& w, Task& t) {
 }
 
 void Scheduler::run_undeferred(Worker& w, Task& t) {
-  if (w.region != nullptr && w.region->cancelled()) {
+  if ((w.region != nullptr && w.region->cancelled()) ||
+      (t.ctx() != nullptr && t.ctx()->cancelled())) {
     // Cancelled before it ever started: retire the descriptor, skip the
     // body. Undeferred tasks are not in tasks_deferred, so this counts in
     // the inline-discard bucket, keeping executed + discarded == deferred
@@ -809,6 +931,7 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
 void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
   Task* parent = t.parent();
   Region* region = w.region;
+  RegionCtx* ctx = t.ctx();  // captured before dispose can recycle t
   // Order matters. (1) The completion announcement (the parent's
   // unfinished-children decrement) must never be preceded by dropping this
   // task's self-reference: t's reference on the parent is released only when
@@ -853,6 +976,10 @@ void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
     } else {
       region->live_tasks.fetch_sub(1, std::memory_order_release);
     }
+    // The request-scoped live count is deliberately UNBATCHED: run_ctx_root's
+    // join spins on it, and its contention domain is one request's subtree,
+    // not the whole team.
+    if (ctx != nullptr) ctx->note_finished();
   }
 }
 
@@ -1359,7 +1486,19 @@ void Scheduler::apply_pinning(Worker& w) noexcept {
 
 void Scheduler::reconfigure(StealPolicyKind kind,
                             const std::string& synthetic_topology) {
-  assert_between_regions();
+  {
+    // Checked in every build mode, not just the debug assert: reconfigure
+    // under a live region (including the resident server region) would
+    // rebuild arenas whose descriptors are still in flight and re-map node
+    // ids under workers that are using them — silent memory corruption in
+    // release builds before this guard.
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    if (region_ != nullptr) {
+      throw std::logic_error(
+          "bots::rt: reconfigure() called while a region is live; "
+          "drain or stop the region (server) first");
+    }
+  }
   cfg_.steal_policy = kind;
   cfg_.synthetic_topology = synthetic_topology;
   topo_ = Topology::detect(cfg_.num_threads, synthetic_topology);

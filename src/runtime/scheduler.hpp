@@ -178,6 +178,7 @@
 #include "runtime/deque.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/grain.hpp"
+#include "runtime/region_ctx.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/steal_policy.hpp"
 #include "runtime/task.hpp"
@@ -187,23 +188,12 @@ namespace bots::rt {
 
 class Scheduler;
 
-/// How a parallel region ended. `completed` = the quiescence barrier was
-/// reached with no cancel; the other values name the FIRST cancel cause
-/// (sticky: later causes lose the CAS).
-enum class RegionStatus : std::uint8_t {
-  completed = 0,
-  cancelled = 1,          ///< rt::cancel_region(), watchdog, or cancel_on_exception
-  deadline_exceeded = 2,  ///< the region's deadline expired first
-};
-
-[[nodiscard]] constexpr const char* to_string(RegionStatus s) noexcept {
-  switch (s) {
-    case RegionStatus::completed: return "completed";
-    case RegionStatus::cancelled: return "cancelled";
-    case RegionStatus::deadline_exceeded: return "deadline_exceeded";
-  }
-  return "?";
-}
+// RegionStatus and the per-request RegionCtx live in region_ctx.hpp: the
+// cancel word / deadline / ledger / watchdog state of PR 6 is now attachable
+// per REQUEST (server mode) as well as per region. Dispatch boundaries below
+// consult BOTH: the region's word (whole-region cancel, the PR 6 semantics)
+// and the dispatched task's ctx word (per-request cancel, null and free in
+// ordinary regions).
 
 /// Outcome of a deadline-taking run_single/run_all overload: how the region
 /// ended plus the team's cumulative statistics at region end.
@@ -446,8 +436,42 @@ class Scheduler {
   RegionResult run_all(const std::function<void(unsigned)>& fn,
                        std::chrono::milliseconds deadline);
 
-  /// How the most recent region ended (RegionStatus::completed before any
-  /// region has run). Between regions only.
+  /// Resident region for server mode (TaskServer, server.hpp): run_all
+  /// semantics — fn(worker_id) on every worker — but with NO deadline and NO
+  /// monitor thread, whatever cfg says: the region is meant to stay up for
+  /// the server's lifetime (cfg.region_deadline_ms would kill it;
+  /// cfg.watchdog_ms would report idle workers, which are the resident
+  /// steady state, as stalls). Per-REQUEST deadlines and stall detection are
+  /// the server's own monitor's job, over the live RegionCtx set. Returns
+  /// how the region ended (cancelled = someone hard-stopped the server via
+  /// cancel_current_region).
+  RegionStatus run_persistent(const std::function<void(unsigned)>& fn);
+
+  /// Run `body` as the ROOT of request context `ctx` on the CALLING worker
+  /// (must be a team worker inside a region — the server worker loop). The
+  /// root frame is UNTIED, so while this worker waits in the request's
+  /// join it may execute any other request's tasks (no cross-request
+  /// convoying); every task spawned inside inherits `ctx` and with it
+  /// per-request cancellation, ledgers and fault isolation. Exceptions from
+  /// the body or any descendant are captured into `ctx` (cancelling it),
+  /// never rethrown and never stored into the resident region. Returns when
+  /// the body and every descendant task have finished or been discarded.
+  void run_ctx_root(RegionCtx& ctx, const std::function<void()>& body);
+
+  /// Execute at most one ready task on the calling team worker (server
+  /// worker loop idle path: help drain other requests while this worker has
+  /// no root of its own to run). False when no work was found anywhere —
+  /// the caller should back off briefly.
+  bool help_one();
+
+  /// How the most recent COMPLETED region ended (RegionStatus::completed
+  /// before any region has run). Between regions only.
+  ///
+  /// DEPRECATED for concurrent-region use: with a TaskServer multiplexing
+  /// many requests over one resident region, a scheduler-global "last
+  /// status" is meaningless — query the per-request RegionHandle::status()
+  /// instead. Kept for single-region callers (the BOTS kernels) and the
+  /// PR 6 tests.
   [[nodiscard]] RegionStatus last_region_status() const noexcept {
     return last_region_status_;
   }
@@ -527,8 +551,12 @@ class Scheduler {
     return grain_table_.for_site(site);
   }
 
-  /// Swap the steal policy and/or locality topology between regions (same
-  /// rules as plan_steal_order: never while a region runs). Rebuilds the
+  /// Swap the steal policy and/or locality topology between regions. Never
+  /// valid while a region runs — including the resident server region — and
+  /// that is now a CHECKED error: a live region raises std::logic_error
+  /// (previously a debug-only assert; a release-build reconfigure under a
+  /// live region silently rebuilt arenas whose descriptors were still in
+  /// flight). Rebuilds the
   /// Topology, the policy and the node hints, refreshes every worker's
   /// cached node id and clears the per-worker victim/backoff hints — a
   /// last_victim or node id learned under the old configuration is
@@ -572,7 +600,8 @@ class Scheduler {
  private:
   friend struct Region;
 
-  RegionStatus run_region(Region& r, std::chrono::milliseconds deadline);
+  RegionStatus run_region(Region& r, std::chrono::milliseconds deadline,
+                          bool monitored = true);
   void participate(Worker& w, Region& r);
   void worker_main(unsigned id);
   void monitor_region(std::stop_token st, Region& r,
@@ -712,11 +741,16 @@ namespace detail {
 /// there is no descriptor to leak on this path.
 template <class F>
 void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
-  if (w.region != nullptr && w.region->cancelled()) {
-    // Cancelled region: an undeferred construct is "not yet started" until
-    // its body runs, so it is discarded like any queued sibling. Nothing to
-    // retire — this path never had a descriptor.
+  if ((w.region != nullptr && w.region->cancelled()) ||
+      (w.current != nullptr && w.current->ctx() != nullptr &&
+       w.current->ctx()->cancelled())) {
+    // Cancelled region OR cancelled request context: an undeferred construct
+    // is "not yet started" until its body runs, so it is discarded like any
+    // queued sibling. Nothing to retire — this path never had a descriptor.
     ++w.stats.tasks_discarded_inline;
+    if (w.current != nullptr && w.current->ctx() != nullptr) {
+      w.current->ctx()->note_progress();
+    }
     return;
   }
   ++w.stats.tasks_inlined_fast;
@@ -871,23 +905,35 @@ inline void barrier() {
 }
 
 /// Cooperative cancellation probe for long task bodies (`#pragma omp
-/// cancellation point taskgroup`): true when the enclosing region has been
-/// cancelled and the body should return early. Long-running loops should
-/// poll it; everything else observes cancellation at its next spawn or
-/// dispatch boundary for free. Outside a region: always false.
+/// cancellation point taskgroup`): true when the enclosing region OR the
+/// enclosing request context (server mode) has been cancelled and the body
+/// should return early. Long-running loops should poll it; everything else
+/// observes cancellation at its next spawn or dispatch boundary for free.
+/// Outside a region: always false.
 [[nodiscard]] inline bool cancellation_point() noexcept {
   Worker* w = detail::tls_worker;
-  return w != nullptr && w->region != nullptr && w->region->cancelled();
+  if (w == nullptr) return false;
+  if (w->region != nullptr && w->region->cancelled()) return true;
+  return w->current != nullptr && w->current->ctx() != nullptr &&
+         w->current->ctx()->cancelled();
 }
 
-/// Cancel the enclosing region from inside a task body (`#pragma omp cancel
-/// taskgroup`): every not-yet-started task in the region is discarded;
-/// running bodies finish (or poll cancellation_point()). The deadline-taking
-/// run_* overloads report this as RegionStatus::cancelled. Outside a
-/// region: no-op.
+/// Cancel the enclosing cancellation scope from inside a task body (`#pragma
+/// omp cancel taskgroup`): every not-yet-started task in the scope is
+/// discarded; running bodies finish (or poll cancellation_point()). Inside a
+/// server request the scope is THAT REQUEST's context — one client cancelling
+/// itself never touches its neighbours or the resident region. In an
+/// ordinary region (no ctx) the scope is the whole region, as in PR 6; the
+/// deadline-taking run_* overloads report it as RegionStatus::cancelled.
+/// Outside a region: no-op.
 inline void cancel_region() noexcept {
   Worker* w = detail::tls_worker;
-  if (w == nullptr || w->region == nullptr) return;
+  if (w == nullptr) return;
+  if (w->current != nullptr && w->current->ctx() != nullptr) {
+    w->current->ctx()->cancel(RegionStatus::cancelled);
+    return;
+  }
+  if (w->region == nullptr) return;
   w->region->cancel(RegionStatus::cancelled);
 }
 

@@ -1,0 +1,375 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace bots::rt {
+
+namespace {
+
+/// Stride-scheduling quantum: a request's pass advances the global virtual
+/// time by stride_unit / weight, so a weight-2 stream is picked twice as
+/// often as a weight-1 stream under sustained load.
+constexpr std::uint64_t stride_unit = 1ULL << 20;
+
+/// Map a request context's state to its terminal status. `hard_stop` is the
+/// resident-region-cancelled path: a request whose subtree was truncated by
+/// the region-wide cancel must not report completed.
+[[nodiscard]] RequestStatus terminal_from(const RegionCtx& c,
+                                          bool hard_stop) noexcept {
+  if (c.cancelled()) {
+    return c.cancel_cause() == RegionStatus::deadline_exceeded
+               ? RequestStatus::deadline_exceeded
+               : RequestStatus::cancelled;
+  }
+  return hard_stop ? RequestStatus::cancelled : RequestStatus::completed;
+}
+
+}  // namespace
+
+TaskServer::TaskServer(Scheduler& sched, ServerConfig cfg)
+    : sched_(sched), cfg_(cfg) {
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+  max_live_ = cfg_.max_live == 0 ? sched_.num_workers() : cfg_.max_live;
+  loop_fn_ = [this](unsigned id) { worker_loop(id); };
+  accepting_ = true;
+  region_up_ = true;
+  // The server thread becomes worker 0 of the resident region; submits that
+  // land before the region is published simply wait in the queue until the
+  // workers start looping.
+  server_thread_ = std::thread([this] { server_main(); });
+  monitor_ = std::jthread([this](std::stop_token st) { monitor_main(st); });
+  // Block until the resident region is actually published (first worker-loop
+  // iteration): a caller must never observe a TaskServer whose region the
+  // scheduler does not know about yet (reconfigure() would slip through).
+  while (!region_live_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+TaskServer::~TaskServer() { stop(); }
+
+bool TaskServer::running() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return region_up_;
+}
+
+ServerStats TaskServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TaskServer::tally_terminal_locked(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::completed: ++stats_.completed; break;
+    case RequestStatus::cancelled: ++stats_.cancelled; break;
+    case RequestStatus::deadline_exceeded: ++stats_.deadline_exceeded; break;
+    // rejected_overload is tallied at the submit site (it never transits
+    // the queue), pending is not terminal.
+    case RequestStatus::rejected_overload:
+    case RequestStatus::pending: break;
+  }
+}
+
+std::chrono::milliseconds TaskServer::retry_hint_locked() const noexcept {
+  // Backpressure hint: the backlog ahead of a retry, in EWMA service times,
+  // spread over the team — i.e. roughly when the queue will have drained a
+  // slot. Never less than 1ms: "immediately" would invite a retry storm.
+  const std::uint64_t service_us =
+      ewma_service_us_ == 0 ? 1000 : ewma_service_us_;
+  const std::uint64_t team = sched_.num_workers();
+  const std::uint64_t hint_us =
+      (static_cast<std::uint64_t>(queue_.size()) + 1) * service_us /
+      (team == 0 ? 1 : team);
+  return std::chrono::milliseconds(std::max<std::uint64_t>(1, hint_us / 1000));
+}
+
+bool TaskServer::shed_one_locked() {
+  // Shed the PENDING request closest to missing its deadline: it frees a
+  // queue slot and it is the admission the server is least likely to serve
+  // usefully. Undeadlined requests are "infinitely far": when nothing
+  // carries a deadline, drop the oldest (front) — the plain FIFO overflow
+  // policy.
+  if (!queue_.empty()) {
+    std::size_t victim = 0;
+    bool victim_dl = queue_[0].ctx->has_deadline();
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      const bool dl = queue_[i].ctx->has_deadline();
+      if (dl && (!victim_dl ||
+                 queue_[i].ctx->deadline < queue_[victim].ctx->deadline)) {
+        victim = i;
+        victim_dl = true;
+      }
+    }
+    PendingReq& p = queue_[victim];
+    p.ctx->cancel(RegionStatus::cancelled);
+    const RequestStatus st = terminal_from(*p.ctx, /*hard_stop=*/false);
+    if (p.ctx->finalize(st)) tally_terminal_locked(st);
+    ++stats_.shed;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    return true;
+  }
+  // No pending to shed (everything admitted is executing): cancel the
+  // nearest-deadline LIVE request so workers free up soon. This does NOT
+  // free a queue slot — the triggering submit is still rejected — but the
+  // next retry lands on a less saturated server.
+  std::shared_ptr<RegionCtx> victim;
+  for (const auto& c : live_) {
+    if (c->cancelled()) continue;
+    if (!victim || (c->has_deadline() &&
+                    (!victim->has_deadline() || c->deadline < victim->deadline))) {
+      victim = c;
+    }
+  }
+  if (victim) {
+    victim->cancel(RegionStatus::cancelled);
+    ++stats_.shed;
+  }
+  return false;
+}
+
+SubmitResult TaskServer::submit(std::function<void()> body,
+                                RequestOptions opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  auto ctx = std::make_shared<RegionCtx>(++next_id_, opts.weight);
+  ctx->arrival = std::chrono::steady_clock::now();
+  const std::uint32_t dl_ms =
+      opts.deadline_ms != 0 ? opts.deadline_ms : cfg_.default_deadline_ms;
+  if (dl_ms > 0) ctx->deadline = ctx->arrival + std::chrono::milliseconds(dl_ms);
+  SubmitResult res;
+  res.handle = RegionHandle(ctx);
+  if (!accepting_) {
+    // Draining or stopped: permanent rejection, no retry hint.
+    ++stats_.rejected;
+    (void)ctx->finalize(RequestStatus::rejected_overload);
+    return res;
+  }
+  FaultPlan& plan = sched_.fault_plan();
+  if (plan.site_active(FaultSite::server_admit) &&
+      plan.should_fail(FaultSite::server_admit)) {
+    // Injected transient admission failure: same client-visible contract as
+    // a real overload — rejected with a retry hint, never an exception.
+    ++stats_.rejected;
+    (void)ctx->finalize(RequestStatus::rejected_overload);
+    res.retry_after = retry_hint_locked();
+    return res;
+  }
+  if (queue_.size() >= cfg_.queue_capacity) {
+    const bool slot_freed = cfg_.shed_on_overload && shed_one_locked();
+    if (!slot_freed) {
+      ++stats_.rejected;
+      (void)ctx->finalize(RequestStatus::rejected_overload);
+      res.retry_after = retry_hint_locked();
+      return res;
+    }
+  }
+  ++stats_.admitted;
+  PendingReq req;
+  req.ctx = ctx;
+  req.body = std::move(body);
+  // weight() is already clamped >= 1 by RegionCtx.
+  req.pass = global_pass_ + stride_unit / ctx->weight();
+  queue_.push_back(std::move(req));
+  res.admitted = true;
+  return res;
+}
+
+bool TaskServer::pick_next_locked(PendingReq& out) {
+  if (queue_.empty() || live_.size() >= max_live_) return false;
+  std::size_t best = 0;
+  if (cfg_.fairness == ServerFairness::weighted_share) {
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].pass < queue_[best].pass) best = i;
+    }
+    global_pass_ = queue_[best].pass;
+  }
+  out = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  live_.push_back(out.ctx);
+  return true;
+}
+
+void TaskServer::run_request(PendingReq req) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sched_.run_ctx_root(*req.ctx, req.body);
+  const auto service = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // cancellation_point() from the worker loop's implicit task sees the
+  // RESIDENT region's cancel word: true = someone hard-stopped the server
+  // while this request ran, so its subtree was truncated mid-flight.
+  const bool hard_stop = cancellation_point();
+  const RequestStatus st = terminal_from(*req.ctx, hard_stop);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (req.ctx->finalize(st)) tally_terminal_locked(st);
+  if (st == RequestStatus::completed) {
+    const auto us = static_cast<std::uint64_t>(service.count());
+    ewma_service_us_ =
+        ewma_service_us_ == 0 ? us : (7 * ewma_service_us_ + us) / 8;
+  }
+  live_.erase(std::find(live_.begin(), live_.end(), req.ctx));
+}
+
+void TaskServer::worker_loop(unsigned id) {
+  (void)id;
+  region_live_.store(true, std::memory_order_release);
+  unsigned idle_spins = 0;
+  for (;;) {
+    // Hard stop: an external cancel_current_region() cancelled the resident
+    // region. Leave immediately; server_main sweeps up non-terminal
+    // requests after the region is down.
+    if (cancellation_point()) break;
+    PendingReq req;
+    bool got = false;
+    bool leave = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      got = pick_next_locked(req);
+      if (!got && draining_ && queue_.empty()) leave = true;
+    }
+    if (got) {
+      run_request(std::move(req));
+      idle_spins = 0;
+      continue;
+    }
+    if (leave) {
+      // Graceful drain with an empty queue: nothing left to pick. The
+      // region-end barrier this worker now enters keeps it HELPING other
+      // workers' still-live requests until true quiescence.
+      break;
+    }
+    if (sched_.help_one()) {
+      idle_spins = 0;
+    } else if (++idle_spins < 16) {
+      std::this_thread::yield();
+    } else {
+      // Resident steady state: park briefly instead of burning the core.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void TaskServer::server_main() {
+  (void)sched_.run_persistent(loop_fn_);
+  // The resident region is down — graceful drain or hard stop. Every
+  // admitted-but-unpicked request is terminal-ized here so the
+  // every-request-ends-in-exactly-one-state law holds on both paths (the
+  // workers finalize everything they picked before leaving).
+  std::lock_guard<std::mutex> lock(mu_);
+  accepting_ = false;
+  draining_ = true;
+  region_up_ = false;
+  for (auto& p : queue_) {
+    p.ctx->cancel(RegionStatus::cancelled);
+    const RequestStatus st = terminal_from(*p.ctx, /*hard_stop=*/true);
+    if (p.ctx->finalize(st)) tally_terminal_locked(st);
+  }
+  queue_.clear();
+  for (auto& c : live_) {  // defensive: workers drain live_ before leaving
+    c->cancel(RegionStatus::cancelled);
+    const RequestStatus st = terminal_from(*c, /*hard_stop=*/true);
+    if (c->finalize(st)) tally_terminal_locked(st);
+  }
+  live_.clear();
+}
+
+void TaskServer::monitor_main(const std::stop_token& st) {
+  // Per-request deadline enforcement + stall reporting, over the live and
+  // pending RegionCtx sets. This replaces the scheduler's per-region
+  // monitor, which run_persistent deliberately does not start.
+  struct Watch {
+    std::uint64_t progress = 0;
+    std::chrono::steady_clock::time_point since;
+  };
+  std::unordered_map<std::uint64_t, Watch> watch;
+  const bool watchdog = cfg_.watchdog_ms > 0;
+  const auto stall_after = std::chrono::milliseconds(cfg_.watchdog_ms);
+  const auto poll = std::chrono::milliseconds(2);
+  while (!st.stop_requested()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& p : queue_) {
+        if (p.ctx->has_deadline() && now >= p.ctx->deadline) {
+          // Still pending at its deadline: cancel; the worker that picks it
+          // skips the body and finalizes it as deadline_exceeded.
+          p.ctx->cancel(RegionStatus::deadline_exceeded);
+        }
+      }
+      for (auto& c : live_) {
+        if (c->has_deadline() && now >= c->deadline) {
+          c->cancel(RegionStatus::deadline_exceeded);
+        }
+        if (!watchdog) continue;
+        auto [it, fresh] = watch.try_emplace(c->id(), Watch{c->progress(), now});
+        if (fresh) continue;
+        const std::uint64_t p = c->progress();
+        if (p != it->second.progress) {
+          it->second.progress = p;
+          it->second.since = now;
+        } else if (now - it->second.since >= stall_after) {
+          std::fprintf(
+              stderr,
+              "rt: SERVER STALL: request %llu no progress for %u ms "
+              "(deferred=%llu executed=%llu discarded=%llu cancel=%s)\n",
+              static_cast<unsigned long long>(c->id()), cfg_.watchdog_ms,
+              static_cast<unsigned long long>(c->deferred()),
+              static_cast<unsigned long long>(c->executed()),
+              static_cast<unsigned long long>(c->discarded()),
+              to_string(c->cancel_cause()));
+          it->second.since = now;  // re-arm: one report per stalled window
+        }
+      }
+      if (watchdog) {
+        for (auto it = watch.begin(); it != watch.end();) {
+          const std::uint64_t id = it->first;
+          const bool still_live =
+              std::any_of(live_.begin(), live_.end(),
+                          [id](const auto& c) { return c->id() == id; });
+          it = still_live ? std::next(it) : watch.erase(it);
+        }
+      }
+    }
+    std::this_thread::sleep_for(poll);
+  }
+}
+
+void TaskServer::join_server() {
+  std::lock_guard<std::mutex> jl(join_mu_);
+  if (joined_) return;
+  if (server_thread_.joinable()) server_thread_.join();
+  monitor_.request_stop();
+  if (monitor_.joinable()) monitor_.join();
+  joined_ = true;
+}
+
+void TaskServer::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    draining_ = true;
+  }
+  join_server();
+}
+
+void TaskServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    // Pending requests are cancelled without ever being picked; live ones
+    // are cancelled cooperatively and finalized by their worker.
+    for (auto& p : queue_) {
+      p.ctx->cancel(RegionStatus::cancelled);
+      const RequestStatus st = terminal_from(*p.ctx, /*hard_stop=*/false);
+      if (p.ctx->finalize(st)) tally_terminal_locked(st);
+    }
+    queue_.clear();
+    for (auto& c : live_) c->cancel(RegionStatus::cancelled);
+    draining_ = true;
+  }
+  join_server();
+}
+
+}  // namespace bots::rt

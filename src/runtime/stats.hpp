@@ -78,6 +78,13 @@ struct alignas(cache_line_bytes) WorkerStats {
   /// fault (OMPC-style task re-execution: the body still runs exactly once).
   std::uint64_t tasks_retried = 0;
 
+  // -- server-mode counters (PR 7) ------------------------------------------
+
+  /// Request root frames this worker ran (Scheduler::run_ctx_root calls by
+  /// the TaskServer worker loop) — includes requests whose body was skipped
+  /// because their context was already cancelled at pickup.
+  std::uint64_t server_requests = 0;
+
   WorkerStats& operator+=(const WorkerStats& o) noexcept {
     tasks_created += o.tasks_created;
     tasks_deferred += o.tasks_deferred;
@@ -110,6 +117,7 @@ struct alignas(cache_line_bytes) WorkerStats {
     tasks_degraded_inline += o.tasks_degraded_inline;
     faults_injected += o.faults_injected;
     tasks_retried += o.tasks_retried;
+    server_requests += o.server_requests;
     // High-water mark, not a flow: the aggregate is the worst per-worker
     // in-transit backlog, which is what bounds stash memory.
     pool_migrations = pool_migrations > o.pool_migrations ? pool_migrations

@@ -29,6 +29,7 @@ namespace bots::rt {
 
 class Worker;
 class Task;
+class RegionCtx;  // per-request server context (region_ctx.hpp)
 
 /// Where a task descriptor's storage came from, which decides how it is
 /// released when the last reference drops.
@@ -122,7 +123,19 @@ class Task {
     depth_ = depth;
     tied_ = t;
     storage_ = storage;
+    // A task belongs to its parent's request context (server mode): the
+    // whole subtree of a request root shares one RegionCtx, and ordinary
+    // regions propagate the null pointer for free. Root frames with no
+    // parent set theirs explicitly via set_ctx.
+    ctx_ = parent != nullptr ? parent->ctx_ : nullptr;
   }
+
+  /// Per-request server context this task's subtree belongs to; null in
+  /// ordinary (non-server) regions. Inherited from the parent by set_links;
+  /// set explicitly only on request root frames (Scheduler::run_ctx_root)
+  /// and on split-off range halves whose parent pointer may not carry it.
+  [[nodiscard]] RegionCtx* ctx() const noexcept { return ctx_; }
+  void set_ctx(RegionCtx* c) noexcept { ctx_ = c; }
 
   // The reference count (low half) and unfinished-children count (high half)
   // live in ONE 64-bit atomic: a spawn charges its parent one reference and
@@ -187,6 +200,7 @@ class Task {
   void reset_for_reuse() noexcept {
     env_ = nullptr;
     range_ = nullptr;
+    ctx_ = nullptr;  // a recycled descriptor must not leak its old request
     state_.store(ref_one, std::memory_order_relaxed);
   }
 
@@ -221,6 +235,7 @@ class Task {
   void* env_ = nullptr;
   Task* parent_ = nullptr;
   RangeDesc* range_ = nullptr;  ///< range payload inside env_, else null
+  RegionCtx* ctx_ = nullptr;    ///< owning request context; null off-server
   std::atomic<std::uint64_t> state_{ref_one};  ///< children<<32 | refs
   std::uint32_t depth_ = 0;
   std::uint32_t env_bytes_ = 0;

@@ -163,17 +163,21 @@ struct RangeRunner {
     std::int64_t lo = desc.lo;
     std::int64_t hi = desc.hi;
     const std::int64_t grain = desc.grain;
+    RegionCtx* ctx = w->current->ctx();  // this range task's request, if any
     const bool splittable = w->region->team_size > 1;
     std::int64_t splits = 0;
     std::int64_t executed = 0;
     try {
       while (lo < hi) {
-        // Cancellation boundary at every grain chunk: a cancelled region
+        // Cancellation boundary at every grain chunk: a cancelled region —
+        // or, in server mode, this range's cancelled request context —
         // truncates the remainder right here, so range latency is bounded
         // by one chunk, not the whole range. The descriptor still
         // completes normally below (on_range_complete fires), which is why
         // execute_deferred dispatches range tasks even after a cancel.
-        if (w->region->cancelled()) break;
+        if (w->region->cancelled() || (ctx != nullptr && ctx->cancelled())) {
+          break;
+        }
         // Whether to split is the steal policy's decision (the demand check
         // lives next to victim selection: the policy knows who the half will
         // feed — under the hierarchical policy, same-node thieves probe this
@@ -193,6 +197,7 @@ struct RangeRunner {
         executed += stop - lo;
         lo = stop;
         w->note_progress();  // one watchdog tick per chunk peeled
+        if (ctx != nullptr) ctx->note_progress();  // per-request stall signal
       }
     } catch (...) {
       // The descriptor still completes (the scheduler captures the
@@ -235,6 +240,10 @@ struct RangeRunner {
     Task* parent = self->parent();
     if (parent != nullptr) parent->add_child_ref();
     t->set_links(parent, self->depth(), self->tiedness(), storage);
+    // A sibling inherits through the PARENT in set_links, but the request
+    // context belongs to the running range (the parent may be the ctx root's
+    // parent, outside the request): copy it from self explicitly.
+    t->set_ctx(self->ctx());
     t->set_range(&t->env_as<RangeRunner<Body>>()->desc);
     s.publish_range_half(w, *t);
     return true;

@@ -358,6 +358,31 @@ TEST(Deadline, RunAllHonoursDeadline) {
   EXPECT_EQ(res.status, rt::RegionStatus::deadline_exceeded);
 }
 
+TEST(Deadline, RunAllOverloadEveryWorkerSpawning) {
+  // Overload flavour of the run_all deadline: every worker keeps GENERATING
+  // deferred work when the deadline fires, so the cancel has to discard a
+  // continuously refilled task population — the ledgers must still balance
+  // and the region must still terminate promptly.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  rt::Scheduler s(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::RegionResult res = s.run_all(
+      [&](unsigned) {
+        while (!rt::cancellation_point()) {
+          rt::spawn([] { fib_task(8); });
+          rt::spawn([] { fib_task(8); });
+          rt::taskwait();
+        }
+      },
+      std::chrono::milliseconds(40));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(res.status, rt::RegionStatus::deadline_exceeded);
+  EXPECT_LT(elapsed.count(), 5000);  // terminated, not wedged
+  expect_accounting_balanced(res.stats);
+}
+
 // ---------------------------------------------------------------------------
 // Tentpole: stall watchdog.
 // ---------------------------------------------------------------------------
@@ -535,6 +560,31 @@ TEST(Teardown, DoubleReconfigureBackToBack) {
   EXPECT_EQ(s.num_workers(), 4u);
 }
 
+TEST(Teardown, ReconfigureInsideLiveRegionThrows) {
+  // Satellite regression test (failing before PR 7): reconfigure() used to
+  // be guarded only by a debug assert, so a release-build call from inside
+  // a region body would tear the policy/topology out from under running
+  // workers. It is now a checked error in every build type.
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  rt::Scheduler s(cfg);
+  std::atomic<bool> threw{false};
+  s.run_single([&] {
+    try {
+      s.reconfigure(rt::StealPolicyKind::hierarchical, "2x2");
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  EXPECT_TRUE(threw.load());
+  // The region completed despite the refused call; between regions the
+  // reconfigure works as always.
+  s.reconfigure(rt::StealPolicyKind::hierarchical, "2x2");
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(16); });
+  EXPECT_EQ(r, fib_ref(16));
+}
+
 TEST(Teardown, RegionReentryAfterCancelledRegion) {
   rt::SchedulerConfig cfg;
   cfg.num_threads = 4;
@@ -593,6 +643,66 @@ TEST(Teardown, CancelledRangeRegionKeepsGrainGateClosed) {
 }
 
 // ---------------------------------------------------------------------------
+// Satellite: external cancel_current_region() raced against concurrent
+// submit() on a live TaskServer. TSAN is the other half of this test: the
+// assertions below prove no request is lost; the sanitizer proves the race
+// itself is clean.
+// ---------------------------------------------------------------------------
+
+TEST(ServerStress, ExternalCancelRacesConcurrentSubmit) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 4;
+  cfg.fault_plan.clear();  // exact-count assertions below
+  rt::Scheduler s(cfg);
+  rt::ServerConfig sc;
+  sc.queue_capacity = 16;
+  rt::TaskServer server(s, sc);
+
+  std::atomic<bool> stop_submitting{false};
+  std::mutex hm;
+  std::vector<rt::RegionHandle> handles;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 2; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop_submitting.load(std::memory_order_acquire)) {
+        auto res = server.submit([] { (void)fib_task(12); });
+        {
+          std::lock_guard<std::mutex> lock(hm);
+          handles.push_back(res.handle);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Let a batch of requests land, then hard-stop the resident region from
+  // OUTSIDE the team while the submitters keep firing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  s.cancel_current_region();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop_submitting.store(true, std::memory_order_release);
+  for (auto& t : submitters) t.join();
+  server.drain();
+
+  // No hang, no lost request: EVERY handle ever returned is terminal, with
+  // a balanced per-request ledger.
+  std::lock_guard<std::mutex> lock(hm);
+  ASSERT_GT(handles.size(), 0u);
+  std::uint64_t terminal = 0;
+  for (auto& h : handles) {
+    const rt::RequestStatus st = h.wait();
+    EXPECT_NE(st, rt::RequestStatus::pending);
+    EXPECT_TRUE(h.ledger_balanced());
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, handles.size());
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(handles.size()));
+  EXPECT_EQ(st.submitted,
+            st.completed + st.cancelled + st.deadline_exceeded + st.rejected);
+  expect_accounting_balanced(s.stats());
+}
+
+// ---------------------------------------------------------------------------
 // A/B identity: with every PR-6 knob off, a region behaves exactly as
 // before — completed status, full execution, zero new-counter movement.
 // ---------------------------------------------------------------------------
@@ -619,6 +729,7 @@ TEST(Baseline, KnobsOffChangeNothing) {
   EXPECT_EQ(res.stats.total.tasks_degraded_inline, 0u);
   EXPECT_EQ(res.stats.total.faults_injected, 0u);
   EXPECT_EQ(res.stats.total.tasks_retried, 0u);
+  EXPECT_EQ(res.stats.total.server_requests, 0u);  // PR 7: no server in play
   EXPECT_EQ(s.stalls_detected(), 0u);
   EXPECT_FALSE(s.team_degraded());
   expect_accounting_balanced(res.stats);

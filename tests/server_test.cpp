@@ -1,0 +1,478 @@
+// Server-mode tests (PR 7): the resident TaskServer multiplexing many
+// concurrent request regions over one pinned worker pool. Everything runs
+// the REAL scheduler and a REAL resident region; the invariants asserted —
+// non-blocking admission, exactly-one-terminal-state, per-request ledgers
+// and fault isolation, deadline/shed behaviour, the reconfigure guard — are
+// the ones bench_server_mix and the CI soak job rely on.
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/rt.hpp"
+
+namespace rt = bots::rt;
+
+namespace {
+
+std::uint64_t fib_ref(int n) {
+  std::uint64_t a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t fib_task(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 0;
+  rt::spawn([&a, n] { a = fib_task(n - 1); });
+  rt::spawn([&b, n] { b = fib_task(n - 2); });
+  rt::taskwait();
+  return a + b;
+}
+
+// Scheduler config pinned against the environment (CI's fault legs export
+// RT_FAULT_PLAN to the whole suite; server tests that assert exact admission
+// counts must not see injected admission faults).
+rt::SchedulerConfig clean_cfg(unsigned threads) {
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = threads;
+  cfg.fault_plan.clear();
+  return cfg;
+}
+
+void expect_accounting_balanced(const rt::StatsSnapshot& st) {
+  EXPECT_EQ(st.total.tasks_created + st.total.range_splits,
+            st.total.tasks_deferred + st.total.tasks_if_inlined +
+                st.total.tasks_cutoff_inlined);
+  EXPECT_EQ(st.total.tasks_executed + st.total.tasks_discarded,
+            st.total.tasks_deferred);
+}
+
+// The conservation law: after drain, every submit() call ended in exactly
+// one terminal state.
+void expect_conservation(const rt::ServerStats& st) {
+  EXPECT_EQ(st.submitted,
+            st.completed + st.cancelled + st.deadline_exceeded + st.rejected);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: concurrent requests complete with per-request ledgers.
+// ---------------------------------------------------------------------------
+
+TEST(Server, MixedRequestsAllComplete) {
+  rt::Scheduler s(clean_cfg(4));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 32;
+  rt::TaskServer server(s, sc);
+  EXPECT_TRUE(server.running());
+
+  constexpr int kReqs = 8;
+  std::array<std::uint64_t, kReqs> out{};
+  std::vector<rt::RegionHandle> handles;
+  for (int i = 0; i < kReqs; ++i) {
+    const int n = 16 + (i % 3);
+    auto res = server.submit([&out, i, n] { out[static_cast<std::size_t>(i)] = fib_task(n); });
+    ASSERT_TRUE(res.admitted);
+    ASSERT_TRUE(res.handle.valid());
+    handles.push_back(res.handle);
+  }
+  for (auto& h : handles) {
+    EXPECT_EQ(h.wait(), rt::RequestStatus::completed);
+    EXPECT_TRUE(h.ledger_balanced());
+    EXPECT_GT(h.tasks_executed(), 0u);
+    EXPECT_EQ(h.tasks_discarded(), 0u);
+    EXPECT_EQ(h.exception(), nullptr);
+    EXPECT_GT(h.latency().count(), 0);
+  }
+  for (int i = 0; i < kReqs; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], fib_ref(16 + (i % 3)));
+  }
+  server.drain();
+  EXPECT_FALSE(server.running());
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(kReqs));
+  EXPECT_EQ(st.admitted, static_cast<std::uint64_t>(kReqs));
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(kReqs));
+  EXPECT_EQ(st.rejected, 0u);
+  expect_conservation(st);
+  const rt::StatsSnapshot snap = s.stats();
+  EXPECT_GE(snap.total.server_requests, static_cast<std::uint64_t>(kReqs));
+  expect_accounting_balanced(snap);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: per-region status via handles — two OVERLAPPING requests with
+// independently queryable, distinct statuses (the scheduler-global
+// last_region_status() cannot express this; it is deprecated for server use).
+// ---------------------------------------------------------------------------
+
+TEST(Server, OverlappingRequestsHaveIndependentStatus) {
+  rt::Scheduler s(clean_cfg(4));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 8;
+  rt::TaskServer server(s, sc);
+
+  std::atomic<bool> a_started{false};
+  auto ra = server.submit([&] {
+    a_started.store(true, std::memory_order_release);
+    while (!rt::cancellation_point()) { std::this_thread::yield(); }
+  });
+  auto rb = server.submit([] { (void)fib_task(18); });
+  ASSERT_TRUE(ra.admitted);
+  ASSERT_TRUE(rb.admitted);
+  while (!a_started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // B completes while A is still live: two regions, two statuses.
+  EXPECT_EQ(rb.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(ra.handle.status(), rt::RequestStatus::pending);
+  ra.handle.cancel();
+  EXPECT_EQ(ra.handle.wait(), rt::RequestStatus::cancelled);
+  EXPECT_EQ(rb.handle.status(), rt::RequestStatus::completed);
+  server.drain();
+  expect_conservation(server.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: per-request fault isolation — one client's exception cancels
+// only that client's region; siblings and the server survive.
+// ---------------------------------------------------------------------------
+
+TEST(Server, ExceptionCancelsOnlyItsOwnRequest) {
+  rt::Scheduler s(clean_cfg(4));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 8;
+  rt::TaskServer server(s, sc);
+
+  std::uint64_t good_out = 0;
+  auto bad = server.submit([] {
+    rt::spawn([] { throw std::runtime_error("client A boom"); });
+    (void)fib_task(18);
+  });
+  auto good = server.submit([&good_out] { good_out = fib_task(20); });
+  ASSERT_TRUE(bad.admitted);
+  ASSERT_TRUE(good.admitted);
+
+  EXPECT_EQ(bad.handle.wait(), rt::RequestStatus::cancelled);
+  ASSERT_NE(bad.handle.exception(), nullptr);
+  try {
+    std::rethrow_exception(bad.handle.exception());
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "client A boom");
+  }
+  EXPECT_TRUE(bad.handle.ledger_balanced());
+
+  EXPECT_EQ(good.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(good_out, fib_ref(20));
+  EXPECT_EQ(good.handle.exception(), nullptr);
+
+  // The server itself is unharmed: a THIRD request still completes.
+  EXPECT_TRUE(server.running());
+  auto after = server.submit([] { (void)fib_task(14); });
+  ASSERT_TRUE(after.admitted);
+  EXPECT_EQ(after.handle.wait(), rt::RequestStatus::completed);
+  server.drain();
+  expect_conservation(server.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: bounded admission — submit() never blocks; a full queue rejects
+// with a retry-after hint.
+// ---------------------------------------------------------------------------
+
+TEST(Server, BackpressureRejectsWithRetryHint) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 2;
+  sc.max_live = 1;
+  sc.shed_on_overload = false;  // plain rejection, no shedding
+  rt::TaskServer server(s, sc);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  auto blocker_body = [&] {
+    started.fetch_add(1, std::memory_order_acq_rel);
+    while (!release.load(std::memory_order_acquire) &&
+           !rt::cancellation_point()) {
+      std::this_thread::yield();
+    }
+  };
+  std::vector<rt::RegionHandle> admitted;
+  auto live = server.submit(blocker_body);
+  ASSERT_TRUE(live.admitted);
+  admitted.push_back(live.handle);
+  // Wait until the blocker occupies the single live slot, then fill the
+  // queue behind it.
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto r = server.submit(blocker_body);
+    ASSERT_TRUE(r.admitted);
+    admitted.push_back(r.handle);
+  }
+  // Queue is now full: every further submit is rejected IMMEDIATELY (no
+  // blocking) with a terminal handle and a non-zero retry hint.
+  for (int i = 0; i < 8; ++i) {
+    auto r = server.submit([] {});
+    EXPECT_FALSE(r.admitted);
+    EXPECT_EQ(r.handle.status(), rt::RequestStatus::rejected_overload);
+    EXPECT_TRUE(r.handle.done());
+    EXPECT_GE(r.retry_after.count(), 1);
+  }
+  release.store(true, std::memory_order_release);
+  for (auto& h : admitted) {
+    EXPECT_EQ(h.wait(), rt::RequestStatus::completed);
+  }
+  server.drain();
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, 11u);
+  EXPECT_EQ(st.admitted, 3u);
+  EXPECT_EQ(st.rejected, 8u);
+  EXPECT_EQ(st.shed, 0u);
+  expect_conservation(st);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: load shedding — on saturation the pending request closest to
+// its deadline is cancelled to admit the new one.
+// ---------------------------------------------------------------------------
+
+TEST(Server, ShedCancelsNearestDeadlinePending) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 2;
+  sc.max_live = 1;
+  sc.shed_on_overload = true;
+  rt::TaskServer server(s, sc);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  auto blocker = server.submit([&] {
+    started.fetch_add(1, std::memory_order_acq_rel);
+    while (!release.load(std::memory_order_acquire) &&
+           !rt::cancellation_point()) {
+      std::this_thread::yield();
+    }
+  });
+  ASSERT_TRUE(blocker.admitted);
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  // Queue: p_far (10s deadline), p_near (2s deadline). Both far enough out
+  // that the monitor cannot beat the shed — the terminal cause below is
+  // deterministically the shedder.
+  auto p_far = server.submit([] {}, {.weight = 1, .deadline_ms = 10000});
+  auto p_near = server.submit([] {}, {.weight = 1, .deadline_ms = 2000});
+  ASSERT_TRUE(p_far.admitted);
+  ASSERT_TRUE(p_near.admitted);
+  // Saturating submit: p_near (nearest deadline) is shed to make room.
+  auto p_new = server.submit([] {}, {.weight = 1, .deadline_ms = 5000});
+  EXPECT_TRUE(p_new.admitted);
+  EXPECT_EQ(p_near.handle.status(), rt::RequestStatus::cancelled);
+  EXPECT_TRUE(p_near.handle.ledger_balanced());  // never ran: 0 == 0
+
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(p_far.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(p_new.handle.wait(), rt::RequestStatus::completed);
+  server.drain();
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.shed, 1u);
+  expect_conservation(st);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: per-request deadlines enforced by the server monitor.
+// ---------------------------------------------------------------------------
+
+TEST(Server, PerRequestDeadlineExceeded) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 8;
+  rt::TaskServer server(s, sc);
+
+  auto slow = server.submit(
+      [] {
+        while (!rt::cancellation_point()) { std::this_thread::yield(); }
+      },
+      {.weight = 1, .deadline_ms = 30});
+  auto fast = server.submit([] { (void)fib_task(14); });
+  ASSERT_TRUE(slow.admitted);
+  ASSERT_TRUE(fast.admitted);
+  EXPECT_EQ(slow.handle.wait(), rt::RequestStatus::deadline_exceeded);
+  EXPECT_TRUE(slow.handle.ledger_balanced());
+  EXPECT_GT(slow.handle.latency().count(), 0);
+  // The neighbour is untouched by the deadline kill.
+  EXPECT_EQ(fast.handle.wait(), rt::RequestStatus::completed);
+  server.drain();
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.deadline_exceeded, 1u);
+  expect_conservation(st);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: weighted-share fairness — a heavier request is picked first
+// under contention (stride scheduling).
+// ---------------------------------------------------------------------------
+
+TEST(Server, WeightedShareFavorsHeavyRequest) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 8;
+  sc.max_live = 1;
+  sc.fairness = rt::ServerFairness::weighted_share;
+  rt::TaskServer server(s, sc);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  auto blocker = server.submit([&] {
+    started.fetch_add(1, std::memory_order_acq_rel);
+    while (!release.load(std::memory_order_acquire) &&
+           !rt::cancellation_point()) {
+      std::this_thread::yield();
+    }
+  });
+  ASSERT_TRUE(blocker.admitted);
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  std::mutex om;
+  std::vector<char> order;
+  // Light submitted FIRST; the weight-4 heavy one must still be picked
+  // first (stride: pass advances by stride/weight).
+  auto light = server.submit(
+      [&] {
+        std::lock_guard<std::mutex> l(om);
+        order.push_back('L');
+      },
+      {.weight = 1, .deadline_ms = 0});
+  auto heavy = server.submit(
+      [&] {
+        std::lock_guard<std::mutex> l(om);
+        order.push_back('H');
+      },
+      {.weight = 4, .deadline_ms = 0});
+  ASSERT_TRUE(light.admitted);
+  ASSERT_TRUE(heavy.admitted);
+  release.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(light.handle.wait(), rt::RequestStatus::completed);
+  EXPECT_EQ(heavy.handle.wait(), rt::RequestStatus::completed);
+  {
+    std::lock_guard<std::mutex> l(om);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 'H');
+    EXPECT_EQ(order[1], 'L');
+  }
+  server.drain();
+  expect_conservation(server.stats());
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown paths.
+// ---------------------------------------------------------------------------
+
+TEST(Server, DrainRejectsNewSubmitsPermanently) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  rt::TaskServer server(s, sc);
+  auto ok = server.submit([] { (void)fib_task(12); });
+  ASSERT_TRUE(ok.admitted);
+  server.drain();
+  EXPECT_EQ(ok.handle.status(), rt::RequestStatus::completed);
+  EXPECT_FALSE(server.running());
+  auto late = server.submit([] {});
+  EXPECT_FALSE(late.admitted);
+  EXPECT_EQ(late.handle.status(), rt::RequestStatus::rejected_overload);
+  EXPECT_EQ(late.retry_after.count(), 0);  // permanent: do not retry
+  server.drain();  // idempotent
+  expect_conservation(server.stats());
+}
+
+TEST(Server, StopCancelsPendingAndLiveRequests) {
+  rt::Scheduler s(clean_cfg(2));
+  rt::ServerConfig sc;
+  sc.queue_capacity = 8;
+  sc.max_live = 1;
+  rt::TaskServer server(s, sc);
+
+  std::atomic<int> started{0};
+  auto live = server.submit([&] {
+    started.fetch_add(1, std::memory_order_acq_rel);
+    while (!rt::cancellation_point()) { std::this_thread::yield(); }
+  });
+  auto q1 = server.submit([] { (void)fib_task(16); });
+  auto q2 = server.submit([] { (void)fib_task(16); });
+  ASSERT_TRUE(live.admitted);
+  ASSERT_TRUE(q1.admitted);
+  ASSERT_TRUE(q2.admitted);
+  while (started.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  server.stop();
+  EXPECT_EQ(live.handle.wait(), rt::RequestStatus::cancelled);
+  EXPECT_EQ(q1.handle.wait(), rt::RequestStatus::cancelled);
+  EXPECT_EQ(q2.handle.wait(), rt::RequestStatus::cancelled);
+  EXPECT_TRUE(live.handle.ledger_balanced());
+  EXPECT_FALSE(server.running());
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.cancelled, 3u);
+  expect_conservation(st);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: reconfigure() against a LIVE region is a checked error.
+// ---------------------------------------------------------------------------
+
+TEST(Server, ReconfigureWhileServerRunningThrows) {
+  rt::Scheduler s(clean_cfg(4));
+  rt::ServerConfig sc;
+  rt::TaskServer server(s, sc);
+  ASSERT_TRUE(server.running());
+  EXPECT_THROW(s.reconfigure(rt::StealPolicyKind::hierarchical, "2x2"),
+               std::logic_error);
+  server.drain();
+  // Between regions reconfigure works again, exactly as before.
+  s.reconfigure(rt::StealPolicyKind::last_victim, "1x4");
+  std::uint64_t r = 0;
+  s.run_single([&] { r = fib_task(16); });
+  EXPECT_EQ(r, fib_ref(16));
+}
+
+// ---------------------------------------------------------------------------
+// Injected admission faults: transient rejects, same client contract as a
+// real overload.
+// ---------------------------------------------------------------------------
+
+TEST(Server, AdmissionFaultInjectionRejectsTransiently) {
+  rt::SchedulerConfig cfg = clean_cfg(2);
+  cfg.fault_plan = "seed=3,server_admit=1.0";
+  rt::Scheduler s(cfg);
+  rt::ServerConfig sc;
+  rt::TaskServer server(s, sc);
+  for (int i = 0; i < 5; ++i) {
+    auto r = server.submit([] {});
+    EXPECT_FALSE(r.admitted);
+    EXPECT_EQ(r.handle.status(), rt::RequestStatus::rejected_overload);
+    EXPECT_GE(r.retry_after.count(), 1);  // transient: retry IS advised
+  }
+  EXPECT_EQ(s.fault_plan().injected(rt::FaultSite::server_admit), 5u);
+  server.drain();
+  const rt::ServerStats st = server.stats();
+  EXPECT_EQ(st.rejected, 5u);
+  expect_conservation(st);
+}
+
+}  // namespace
