@@ -90,6 +90,19 @@ if [[ -x "$BUILD/bench_server_mix" ]]; then
       sed -n 's/^SERVERMIX: //p')"
 fi
 
+# Taskgraph record/replay ablation (PR 8): per-mode ns/task for taskwait vs
+# dynamic-dataflow-record vs frozen-graph-replay on sparselu and strassen.
+# Each GRAPHREPLAY: line is already a JSON object. The bench exits nonzero
+# if any verify or ledger check fails (set -e guards the baseline), and the
+# CI job re-runs it with --tripwire. Optional binary, like bench_server_mix.
+graph_replay_json=""
+if [[ -x "$BUILD/bench_ablation_replay" ]]; then
+  echo "== taskgraph record/replay ablation ==" >&2
+  graph_replay_json="$("$BUILD/bench_ablation_replay" \
+      --threads "${BOTS_MAX_THREADS:-8}" --reps 5 |
+      sed -n 's/^GRAPHREPLAY: //p')"
+fi
+
 echo "== Figure 3 smoke (2 threads, test input) ==" >&2
 fig3_out="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
             BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
@@ -126,6 +139,11 @@ fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
   echo "  \"server_mix\": ["
   if [[ -n "$server_mix_json" ]]; then
     printf '%s\n' "$server_mix_json" | sed 's/^/    /; $!s/$/,/'
+  fi
+  echo "  ],"
+  echo "  \"graph_replay\": ["
+  if [[ -n "$graph_replay_json" ]]; then
+    printf '%s\n' "$graph_replay_json" | sed 's/^/    /; $!s/$/,/'
   fi
   echo "  ]"
   echo "}"

@@ -104,6 +104,20 @@ void print_report(const core::RunReport& rep, bool with_stats) {
         static_cast<unsigned long long>(s.pool_remote_frees),
         static_cast<unsigned long long>(s.pool_migrations),
         static_cast<unsigned long long>(s.range_halves_redirected));
+    // Dependence/replay counters (PR 8): printed only when the version
+    // actually declared dependences, so taskwait-based versions keep their
+    // existing --stats output byte-for-byte.
+    if (s.deps_declared != 0 || s.graphs_recorded != 0 ||
+        s.graphs_replayed != 0) {
+      std::printf(
+          "           deps: declared=%llu edges=%llu resolved=%llu "
+          "graphs: recorded=%llu replayed=%llu\n",
+          static_cast<unsigned long long>(s.deps_declared),
+          static_cast<unsigned long long>(s.deps_edges),
+          static_cast<unsigned long long>(s.edges_resolved),
+          static_cast<unsigned long long>(s.graphs_recorded),
+          static_cast<unsigned long long>(s.graphs_replayed));
+    }
   }
 }
 

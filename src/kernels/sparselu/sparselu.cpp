@@ -1,10 +1,13 @@
 #include "kernels/sparselu/sparselu.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/kernel_glue.hpp"
 #include "core/rng.hpp"
+#include "runtime/dependency.hpp"
+#include "runtime/taskgraph.hpp"
 #include "runtime/worksharing.hpp"
 
 namespace bots::sparselu {
@@ -243,6 +246,63 @@ void factor_for(BlockMatrix& m, rt::Scheduler& sched, rt::Tiedness tied) {
 
 }  // namespace
 
+void factor_dataflow(BlockMatrix& m, rt::Scheduler& sched, rt::Tiedness tied,
+                     const char* graph_tag) {
+  const std::size_t nb = m.nb();
+  const std::size_t bs = m.bs();
+  sched.run_single([&] {
+    // One dependence-tracked region for the WHOLE factorization: true edges
+    // replace both per-iteration taskwaits, so a bmod waits only on its own
+    // row/column panels and iteration kk+1's panel work overlaps the tail
+    // of iteration kk's updates. Addresses are the dependence keys: the
+    // kk diagonal chains lu0 -> {fwd,bdiv} (in after inout), every panel
+    // block chains its fwd/bdiv to the bmods reading it, and each bmod
+    // target chains update-to-update across iterations — including into the
+    // iteration where it becomes the diagonal or a panel itself.
+    auto build = [&m, nb, bs, tied](rt::DepScope& sc) {
+      for (std::size_t kk = 0; kk < nb; ++kk) {
+        float* diag = m.ensure(kk, kk);
+        sc.spawn(tied, {rt::inout(diag)},
+                 [diag, bs] { lu0<prof::NoProf>(diag, bs); });
+        for (std::size_t jj = kk + 1; jj < nb; ++jj) {
+          if (m.empty(kk, jj)) continue;
+          float* blk = m.block(kk, jj);
+          sc.spawn(tied, {rt::in(diag), rt::inout(blk)},
+                   [diag, blk, bs] { fwd<prof::NoProf>(diag, blk, bs); });
+        }
+        for (std::size_t ii = kk + 1; ii < nb; ++ii) {
+          if (m.empty(ii, kk)) continue;
+          float* blk = m.block(ii, kk);
+          sc.spawn(tied, {rt::in(diag), rt::inout(blk)},
+                   [diag, blk, bs] { bdiv<prof::NoProf>(diag, blk, bs); });
+        }
+        for (std::size_t ii = kk + 1; ii < nb; ++ii) {
+          if (m.empty(ii, kk)) continue;
+          for (std::size_t jj = kk + 1; jj < nb; ++jj) {
+            if (m.empty(kk, jj)) continue;
+            const float* row = m.block(ii, kk);
+            const float* col = m.block(kk, jj);
+            // Fill-in is decided at BUILD time (by the generator), so the
+            // recorded graph's shape and addresses are replay-stable.
+            float* target = m.ensure(ii, jj);
+            sc.spawn(tied, {rt::in(row), rt::in(col), rt::inout(target)},
+                     [row, col, target, bs] {
+                       bmod<prof::NoProf>(row, col, target, bs);
+                     });
+          }
+        }
+      }
+    };
+    if (graph_tag != nullptr) {
+      rt::graph_region(graph_tag, &m, build);
+    } else {
+      rt::DepScope sc;
+      build(sc);
+      sc.wait();
+    }
+  });
+}
+
 Params params_for(core::InputClass c) {
   switch (c) {
     case core::InputClass::test: return {12, 32, 0x10Fu};
@@ -282,6 +342,34 @@ BlockMatrix make_input(const Params& p) {
   return m;
 }
 
+void reset_values(const Params& p, BlockMatrix& m) {
+  // Mirrors make_input's structure walk exactly (same rng consumption), but
+  // writes into the EXISTING blocks: input blocks get their pristine values
+  // back, blocks that only exist as fill-in from a previous factorization
+  // are zeroed (the state bmod fill-in starts from).
+  core::Xoshiro256 structure(p.seed);
+  for (std::size_t ii = 0; ii < p.nb; ++ii) {
+    for (std::size_t jj = 0; jj < p.nb; ++jj) {
+      const bool present = ii == jj || structure.next_double() < 0.55;
+      float* b = m.block(ii, jj);
+      if (b == nullptr) continue;
+      if (!present) {
+        std::memset(b, 0, p.bs * p.bs * sizeof(float));
+        continue;
+      }
+      core::Xoshiro256 vals(p.seed ^ (ii * 7919 + jj * 104729 + 13));
+      for (std::size_t k = 0; k < p.bs * p.bs; ++k) {
+        b[k] = static_cast<float>(vals.next_double() - 0.5);
+      }
+      if (ii == jj) {
+        for (std::size_t d = 0; d < p.bs; ++d) {
+          b[d * p.bs + d] += static_cast<float>(p.bs);
+        }
+      }
+    }
+  }
+}
+
 void run_serial(const Params& p, BlockMatrix& m) {
   (void)p;
   factor_serial<prof::NoProf>(m, false);
@@ -290,7 +378,9 @@ void run_serial(const Params& p, BlockMatrix& m) {
 void run_parallel(const Params& p, BlockMatrix& m, rt::Scheduler& sched,
                   const VersionOpts& opts) {
   (void)p;
-  if (opts.generator == core::Generator::single_gen) {
+  if (opts.dataflow) {
+    factor_dataflow(m, sched, opts.tied);
+  } else if (opts.generator == core::Generator::single_gen) {
     factor_single(m, sched, opts.tied);
   } else {
     factor_for(m, sched, opts.tied);
@@ -351,6 +441,10 @@ core::AppInfo make_app_info() {
        core::Generator::multiple_gen, true},
       {"for-untied", rt::Tiedness::untied, core::AppCutoff::none,
        core::Generator::multiple_gen, false},
+      {"dataflow-tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"dataflow-untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
   };
   app.run = [](core::InputClass ic, const std::string& version,
                rt::Scheduler& sched, bool verify_run) {
@@ -361,7 +455,8 @@ core::AppInfo make_app_info() {
     }
     const Params p = params_for(ic);
     BlockMatrix m = make_input(p);
-    VersionOpts opts{v->tied, v->generator};
+    VersionOpts opts{v->tied, v->generator,
+                     version.rfind("dataflow", 0) == 0};
     return core::run_and_report(
         "sparselu", version, ic, sched, verify_run,
         [&] { run_parallel(p, m, sched, opts); },

@@ -76,12 +76,30 @@ class BlockMatrix {
 /// blocks present with a deterministic pattern (~55% dense overall).
 [[nodiscard]] BlockMatrix make_input(const Params& p);
 
+/// Rewrite `m`'s VALUES back to the pristine input in place, allocating
+/// nothing: input blocks are re-filled, fill-in blocks (allocated by a
+/// previous factorization) are zeroed. Block addresses are untouched, which
+/// is exactly what taskgraph replay needs — the recorded graph's dependence
+/// addresses and captured block pointers stay valid run after run.
+void reset_values(const Params& p, BlockMatrix& m);
+
 void run_serial(const Params& p, BlockMatrix& m);
 
 struct VersionOpts {
   rt::Tiedness tied = rt::Tiedness::tied;
   core::Generator generator = core::Generator::single_gen;
+  bool dataflow = false;  ///< depend()-based version (no taskwait barriers)
 };
+
+/// Dataflow factorization: one dependence-tracked region replaces the
+/// 3-phase taskwait structure with true edges — fwd/bdiv wait only on their
+/// kk diagonal, each bmod waits only on its own row/column panels, and
+/// iteration kk+1 overlaps the tail of iteration kk's updates. With
+/// `graph_tag` non-null the region runs under rt::graph_region: recorded on
+/// first invocation, replayed afterwards (same tag ⇒ same matrix buffers;
+/// pair with reset_values between runs).
+void factor_dataflow(BlockMatrix& m, rt::Scheduler& sched, rt::Tiedness tied,
+                     const char* graph_tag = nullptr);
 
 void run_parallel(const Params& p, BlockMatrix& m, rt::Scheduler& sched,
                   const VersionOpts& opts);

@@ -1,10 +1,13 @@
 #include "kernels/strassen/strassen.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "core/kernel_glue.hpp"
 #include "core/rng.hpp"
+#include "runtime/dependency.hpp"
+#include "runtime/taskgraph.hpp"
 
 namespace bots::strassen {
 
@@ -246,7 +249,76 @@ struct TaskStrassen {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Dataflow recursion: per decomposition level, the 7 products `out` their
+// scratch slot and one combine task `in`s all seven + `inout`s C — true
+// edges instead of the taskwait. Bodies capture everything BY VALUE (plus
+// shared_ptr-owned scratch): in record mode the copies stored in the graph
+// must stay invocable at replay, long after this stack frame is gone.
+// ---------------------------------------------------------------------------
+
+void dataflow_multiply(std::size_t base, rt::Tiedness tied, View a, View b,
+                       MutView c, std::size_t n, rt::DepScope& sc) {
+  if (n <= base) {
+    // Even the degenerate case must be a TASK: in record mode, work done
+    // directly by the generator would run at record and never at replay.
+    sc.spawn(tied, {rt::inout(c.p)},
+             [a, b, c, n] { matmul_base<prof::NoProf>(a, b, c, n); });
+    return;
+  }
+  const std::size_t half = n / 2;
+  auto products = std::make_shared<Scratch>(half);
+  auto operands = std::make_shared<std::vector<double>>(14 * half * half);
+  auto recurse = [&](std::size_t slot, auto&& prepare) {
+    MutView dst = products->m(slot);
+    MutView t0{operands->data() + (2 * slot) * half * half, half};
+    MutView t1{operands->data() + (2 * slot + 1) * half * half, half};
+    sc.spawn(tied, {rt::out(dst.p)},
+             [base, tied, products, operands, prepare, dst, t0, t1, half] {
+               auto [x, y] = prepare(t0, t1);
+               if (half <= base) {
+                 matmul_base<prof::NoProf>(x, y, dst, half);
+                 return;
+               }
+               // Nested levels are dependence scopes of their own (never
+               // recorded: only the top level freezes into a graph).
+               rt::DepScope inner;
+               dataflow_multiply(base, tied, x, y, dst, half, inner);
+               inner.wait();
+             });
+  };
+  strassen_step<prof::NoProf>(a, b, c, n, recurse);
+  sc.spawn(tied,
+           {rt::in(products->m(0).p), rt::in(products->m(1).p),
+            rt::in(products->m(2).p), rt::in(products->m(3).p),
+            rt::in(products->m(4).p), rt::in(products->m(5).p),
+            rt::in(products->m(6).p), rt::inout(c.p)},
+           [products, c, half] {
+             strassen_combine<prof::NoProf>(*products, c, half);
+           });
+}
+
 }  // namespace
+
+void multiply_dataflow(const Params& p, const double* a, const double* b,
+                       double* c, rt::Scheduler& sched, rt::Tiedness tied,
+                       const char* graph_tag) {
+  const View av{a, p.n};
+  const View bv{b, p.n};
+  const MutView cv{c, p.n};
+  sched.run_single([&] {
+    auto build = [&](rt::DepScope& sc) {
+      dataflow_multiply(p.base, tied, av, bv, cv, p.n, sc);
+    };
+    if (graph_tag != nullptr) {
+      rt::graph_region(graph_tag, c, build);
+    } else {
+      rt::DepScope sc;
+      build(sc);
+      sc.wait();
+    }
+  });
+}
 
 Params params_for(core::InputClass c) {
   switch (c) {
@@ -282,6 +354,10 @@ std::vector<double> run_parallel(const Params& p, const std::vector<double>& a,
                                  rt::Scheduler& sched,
                                  const VersionOpts& opts) {
   std::vector<double> c(p.n * p.n);
+  if (opts.dataflow) {
+    multiply_dataflow(p, a.data(), b.data(), c.data(), sched, opts.tied);
+    return c;
+  }
   TaskStrassen ts{p.base, p.cutoff_depth, opts.tied, opts.cutoff};
   sched.run_single([&] {
     ts.multiply(View{a.data(), p.n}, View{b.data(), p.n},
@@ -359,6 +435,10 @@ core::AppInfo make_app_info() {
        core::Generator::single_gen, false},
       {"manual-untied", rt::Tiedness::untied, core::AppCutoff::manual,
        core::Generator::single_gen, false},
+      {"dataflow-tied", rt::Tiedness::tied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
+      {"dataflow-untied", rt::Tiedness::untied, core::AppCutoff::none,
+       core::Generator::single_gen, false},
   };
   app.run = [](core::InputClass ic, const std::string& version,
                rt::Scheduler& sched, bool verify_run) {
@@ -371,7 +451,7 @@ core::AppInfo make_app_info() {
     const std::vector<double> a = make_matrix(p, 1);
     const std::vector<double> b = make_matrix(p, 2);
     std::vector<double> out;
-    VersionOpts opts{v->tied, v->cutoff};
+    VersionOpts opts{v->tied, v->cutoff, version.rfind("dataflow", 0) == 0};
     return core::run_and_report(
         "strassen", version, ic, sched, verify_run,
         [&] { out = run_parallel(p, a, b, sched, opts); },

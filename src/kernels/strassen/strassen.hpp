@@ -40,6 +40,7 @@ struct Params {
 struct VersionOpts {
   rt::Tiedness tied = rt::Tiedness::tied;
   core::AppCutoff cutoff = core::AppCutoff::manual;
+  bool dataflow = false;  ///< depend()-based version (no taskwait barriers)
 };
 
 [[nodiscard]] std::vector<double> run_parallel(const Params& p,
@@ -47,6 +48,17 @@ struct VersionOpts {
                                                const std::vector<double>& b,
                                                rt::Scheduler& sched,
                                                const VersionOpts& opts);
+
+/// Dataflow multiply into caller-owned buffers: each decomposition level is
+/// a dependence scope — the seven products `out` their scratch slots and the
+/// combine task `in`s all seven and `inout`s C, replacing the taskwait at
+/// every node of the recursion tree. With `graph_tag` non-null the TOP level
+/// (7 products + combine) runs under rt::graph_region and replays on
+/// repeated invocations; a/b/c must then outlive the tag (same tag ⇒ same
+/// buffers).
+void multiply_dataflow(const Params& p, const double* a, const double* b,
+                       double* c, rt::Scheduler& sched, rt::Tiedness tied,
+                       const char* graph_tag = nullptr);
 
 /// Verification against a blocked conventional multiply: full element-wise
 /// compare up to 512x512, random row sampling above.

@@ -315,6 +315,18 @@ struct SchedulerConfig {
   /// RT_HINT_PLACEMENT=0/1.
   bool use_hint_placement = env_flag("RT_HINT_PLACEMENT", true);
 
+  /// Record-and-replay of dependence-tracked task graphs (taskgraph.hpp,
+  /// after the Taskgraph framework, arXiv 2212.04771): the first execution
+  /// of a region wrapped in rt::graph_region(tag, ...) records every
+  /// dep-spawned task and every dependence edge into a frozen arena-backed
+  /// TaskGraph; subsequent invocations replay it — pre-resolved dependence
+  /// counters, no hash-table lookups, no descriptor allocation
+  /// (reset-in-place graph-owned descriptors), workers started from the
+  /// recorded root frontier. Off: every invocation runs the dynamic
+  /// dependence-discovery path (identical results — the A/B identity tests
+  /// assert bit-equal outputs). Also settable via RT_TASKGRAPH_REPLAY=0/1.
+  bool use_taskgraph_replay = env_flag("RT_TASKGRAPH_REPLAY", true);
+
   /// Key grain estimates by spawn site (rt::RangeSite tags threaded through
   /// spawn_range): each tagged call site converges its own GrainController
   /// in a small fixed-size table, so a workload mixing cheap-iteration and

@@ -141,6 +141,14 @@ class RegionCtx {
     deferred_.fetch_add(1, std::memory_order_relaxed);
     live_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Bulk variant for graph replay: a frozen graph's node count is known up
+  /// front, so one pair of RMWs accounts the whole replayed population
+  /// before any root is enqueued (the ledger can only ever overcount live,
+  /// never open early).
+  void note_deferred_bulk(std::uint64_t n) noexcept {
+    deferred_.fetch_add(n, std::memory_order_relaxed);
+    live_.fetch_add(n, std::memory_order_relaxed);
+  }
   /// One deferred task of this request fully retired (executed or
   /// discarded, descriptor gone). live() == 0 with the root frame's direct
   /// children joined means the request's whole subtree is quiescent: an

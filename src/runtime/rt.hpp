@@ -3,8 +3,10 @@
 
 #include "runtime/affinity.hpp"    // IWYU pragma: export
 #include "runtime/config.hpp"      // IWYU pragma: export
+#include "runtime/dependency.hpp"  // IWYU pragma: export
 #include "runtime/deque.hpp"       // IWYU pragma: export
 #include "runtime/fault.hpp"       // IWYU pragma: export
+#include "runtime/taskgraph.hpp"   // IWYU pragma: export
 #include "runtime/grain.hpp"       // IWYU pragma: export
 #include "runtime/region_ctx.hpp"  // IWYU pragma: export
 #include "runtime/scheduler.hpp"   // IWYU pragma: export

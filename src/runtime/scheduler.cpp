@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "runtime/affinity.hpp"
+#include "runtime/dependency.hpp"
 #include "runtime/steal_policy.hpp"
+#include "runtime/taskgraph.hpp"  // complete type for graphs_ in ~Scheduler
 
 namespace bots::rt {
 
@@ -130,6 +132,9 @@ void Scheduler::shrink_team(unsigned built) {
   rebuild_node_pools();
   rebuild_mailboxes();
   if (cfg_.cutoff_value == 0) cutoff_bound_ = cfg_.resolved_cutoff_bound();
+  // A graph recorded for the planned team bakes that team's shape (root
+  // frontier width, placement, depth decisions): invalidate every recording.
+  ++graph_epoch_;
 }
 
 bool Scheduler::inject(Worker* w, FaultSite site) noexcept {
@@ -716,6 +721,8 @@ void Scheduler::dispose(Worker& w, Task& t) noexcept {
       break;
     case TaskStorage::stack_frame:
       break;  // lifetime owned by a worker stack frame
+    case TaskStorage::graph:
+      break;  // owned by a frozen TaskGraph; reset in place per replay
   }
 }
 
@@ -779,6 +786,56 @@ void Scheduler::enqueue(Worker& w, Task& t) {
     if (evicted != nullptr) w.deque.push(evicted);
   } else {
     w.deque.push(&t);
+  }
+}
+
+void Scheduler::enqueue_released(Worker& w, Task& t) {
+  // Routing half of enqueue only: a dependence-released task was fully
+  // accounted (worker ledger, live count, request ledger) when it was
+  // dep-spawned or bulk-charged by a graph replay. Counting it again here
+  // would double-book the region's live population.
+  if (hints_) hints_->publish(w.node);
+  if (use_slot_ && t.range() == nullptr) {
+    Task* evicted = w.slot;
+    w.slot = &t;
+    if (evicted != nullptr) w.deque.push(evicted);
+  } else {
+    w.deque.push(&t);
+  }
+}
+
+void Scheduler::account_dep_spawn(Worker& w, Task& t) noexcept {
+  account_spawn(w);
+  if (RegionCtx* c = t.ctx()) c->note_deferred();
+}
+
+void Scheduler::release_dep_ref(Worker& w, Task& t) noexcept {
+  // The tracker's pin was the reference that stopped the task's finish-time
+  // release chain at the task itself; dropping it now disposes the
+  // descriptor and continues the chain into the parent.
+  release_chain(w, &t);
+}
+
+void Scheduler::release_successors(Worker& w, Task& t) noexcept {
+  DepNode* n = t.dep();
+  if (n->graph != nullptr) {
+    // Graph-owned node: successor indices were baked at freeze.
+    n->graph->release_baked(w, *n);
+    return;
+  }
+  // Dynamic node: close the Treiber stack so a racing generator learns this
+  // predecessor is done (its push fails and it self-satisfies the edge),
+  // then walk the edges we captured. Each edge resolves exactly once.
+  DepEdge* e = n->succ_head.exchange(detail::dep_closed(),
+                                     std::memory_order_acq_rel);
+  while (e != nullptr) {
+    DepEdge* next = e->next;
+    ++w.stats.edges_resolved;
+    Task* succ = e->succ;
+    if (succ->dep()->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      enqueue_released(w, *succ);
+    }
+    e = next;
   }
 }
 
@@ -929,6 +986,11 @@ void Scheduler::run_undeferred(Worker& w, Task& t) {
 }
 
 void Scheduler::finish_task(Worker& w, Task& t, bool deferred) {
+  // Dependence hook first, before any path can recycle the descriptor:
+  // successors release on execute AND discard retirements alike, which is
+  // what lets a cancelled DAG or replay drain by discards (one null check
+  // for every task that carries no dependences).
+  if (t.dep() != nullptr) release_successors(w, t);
   Task* parent = t.parent();
   Region* region = w.region;
   RegionCtx* ctx = t.ctx();  // captured before dispose can recycle t
@@ -1526,6 +1588,9 @@ void Scheduler::reconfigure(StealPolicyKind kind,
   rebuild_node_pools();
   rebuild_mailboxes();
   if (pin_generation_ != 0) ++pin_generation_;  // re-pin at next region entry
+  // Frozen task graphs recorded under the old shape (team, topology,
+  // placement) must re-record, not replay: invalidate them all.
+  ++graph_epoch_;
 }
 
 void Scheduler::set_victim_hint(unsigned worker, unsigned victim) noexcept {

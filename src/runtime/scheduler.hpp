@@ -171,7 +171,9 @@
 #include <memory>
 #include <mutex>
 #include <stop_token>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/config.hpp"
@@ -187,6 +189,7 @@
 namespace bots::rt {
 
 class Scheduler;
+class TaskGraph;  // taskgraph.hpp: recorded graphs, registered per tag below
 
 // RegionStatus and the per-request RegionCtx live in region_ctx.hpp: the
 // cancel word / deadline / ledger / watchdog state of PR 6 is now attachable
@@ -597,6 +600,33 @@ class Scheduler {
   void barrier_from(Worker& w);
   void run_inline_scope(Worker& w, const std::function<void()>& body);
 
+  // ---- internal API used by the dependence layer (dependency.hpp) ---------
+  /// Routing half of enqueue for a dependence-released task: node-hint
+  /// publish plus the slot-or-deque push ONLY. All spawn-side accounting
+  /// (worker ledger, region live count, request ledger) happened when the
+  /// task was dep-spawned or bulk-charged by a replay, so a release can
+  /// never double-count and a barrier can never open early.
+  void enqueue_released(Worker& w, Task& t);
+  /// The accounting half, called at dep-spawn time — dep tasks reach a
+  /// queue only when their predecessors release them, possibly much later.
+  void account_dep_spawn(Worker& w, Task& t) noexcept;
+  /// Drop the dependence tracker's descriptor pin (DepScope::wait, after
+  /// the join): completes the deferred half of the pinned task's release
+  /// chain into its parent.
+  void release_dep_ref(Worker& w, Task& t) noexcept;
+  /// Scheduler-shape epoch consulted by TaskGraph::valid_for: bumped by
+  /// reconfigure() and by team-shrink degradation, so every graph recorded
+  /// under the old shape re-records instead of replaying stale placement
+  /// decisions. Plain integer: both writers run strictly between regions,
+  /// and in-region readers see it through the region publication.
+  [[nodiscard]] std::uint64_t graph_epoch() const noexcept {
+    return graph_epoch_;
+  }
+  /// Per-tag recorded-graph registry backing rt::graph_region (defined in
+  /// taskgraph.cpp). Graphs live for the scheduler's lifetime; validity is
+  /// governed by graph_epoch(), not by eviction.
+  [[nodiscard]] TaskGraph& find_or_create_graph(const std::string& tag);
+
  private:
   friend struct Region;
 
@@ -634,6 +664,12 @@ class Scheduler {
   void execute_deferred(Worker& w, Task& t);
   void finish_task(Worker& w, Task& t, bool deferred);
   void release_chain(Worker& w, Task* t) noexcept;
+  /// Finish-path dependence hook (top of finish_task, execute AND discard
+  /// retirements): walk the task's successor list — dynamic Treiber stack
+  /// or baked graph span — decrement each successor's pending count and
+  /// enqueue the ones that hit zero. Discards release too, so a cancelled
+  /// DAG or replay drains instead of deadlocking.
+  void release_successors(Worker& w, Task& t) noexcept;
 
   SchedulerConfig cfg_;
   Topology topo_;
@@ -687,6 +723,15 @@ class Scheduler {
   std::atomic<std::uint64_t> stalls_detected_{0};
   RegionStatus last_region_status_ = RegionStatus::completed;
   bool team_degraded_ = false;
+
+  // -- dependence/taskgraph state (PR 8) ------------------------------------
+  /// Bumped whenever the scheduler's shape changes (reconfigure, team
+  /// shrink). Recorded graphs stamp the epoch at freeze and refuse to
+  /// replay under any other — the invalidation the regression test in
+  /// dependency_test.cpp pins down.
+  std::uint64_t graph_epoch_ = 1;
+  std::mutex graphs_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<TaskGraph>> graphs_;
 };
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "runtime/dependency.hpp"
+#include "runtime/taskgraph.hpp"
+
 namespace bots::rt {
 
 namespace {
@@ -175,6 +178,41 @@ SubmitResult TaskServer::submit(std::function<void()> body,
   queue_.push_back(std::move(req));
   res.admitted = true;
   return res;
+}
+
+TaskServer::GraphEntry& TaskServer::graph_entry(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = graphs_[tag];
+  if (!slot) {
+    slot = std::make_unique<GraphEntry>();
+    slot->graph = std::make_unique<TaskGraph>();
+  }
+  return *slot;
+}
+
+SubmitResult TaskServer::submit_graph(const std::string& tag,
+                                      std::function<void(DepScope&)> build,
+                                      const void* key, RequestOptions opts) {
+  GraphEntry& entry = graph_entry(tag);
+  // The winner of the busy flag records or replays the tag's cached graph;
+  // a concurrent same-tag request runs the SAME build dynamically instead —
+  // identical result, un-cached cost — so correctness never depends on
+  // request spacing. The flag is released even if the body throws (the
+  // request's exception handling proceeds as for any submit()).
+  auto body = [this, &entry, key, build = std::move(build)] {
+    if (!entry.busy.exchange(true, std::memory_order_acquire)) {
+      struct Unbusy {
+        std::atomic<bool>& flag;
+        ~Unbusy() { flag.store(false, std::memory_order_release); }
+      } unbusy{entry.busy};
+      run_graph_region(sched_, *entry.graph, key, build);
+    } else {
+      DepScope sc;
+      build(sc);
+      sc.wait();
+    }
+  };
+  return submit(std::move(body), opts);
 }
 
 bool TaskServer::pick_next_locked(PendingReq& out) {

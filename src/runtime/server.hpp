@@ -55,8 +55,10 @@
 #include <memory>
 #include <mutex>
 #include <stop_token>
+#include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/config.hpp"
@@ -64,6 +66,9 @@
 #include "runtime/scheduler.hpp"
 
 namespace bots::rt {
+
+class DepScope;    // dependency.hpp: dependence-tracked generator scope
+class TaskGraph;   // taskgraph.hpp: recorded graph replayed per request tag
 
 /// How the server picks the next request root when a worker frees up.
 enum class ServerFairness : std::uint8_t {
@@ -229,6 +234,20 @@ class TaskServer {
   /// admitted or rejected — reaches exactly one terminal state.
   SubmitResult submit(std::function<void()> body, RequestOptions opts = {});
 
+  /// Dependence-tracked admission with per-tag taskgraph caching (PR 8):
+  /// `build` constructs the request's DAG under a DepScope. The FIRST
+  /// request of a tag records the graph; repeated requests of the same
+  /// shape (same tag + same `key` buffer binding) replay it — the request's
+  /// discovery cost is paid once across the server's lifetime. One
+  /// record/replay per tag runs at a time: a same-tag request arriving
+  /// while the graph is busy falls back to plain dynamic dependence
+  /// tracking (same result, un-cached cost), so correctness never depends
+  /// on request spacing. Admission, fairness, deadlines, cancellation and
+  /// the ledger behave exactly as for submit().
+  SubmitResult submit_graph(const std::string& tag,
+                            std::function<void(DepScope&)> build,
+                            const void* key, RequestOptions opts = {});
+
   /// Graceful shutdown: stop admitting, complete every admitted request,
   /// then take the resident region down. Idempotent; blocks until done.
   void drain();
@@ -265,6 +284,16 @@ class TaskServer {
   [[nodiscard]] std::chrono::milliseconds retry_hint_locked() const noexcept;
   void join_server();
 
+  /// One cached graph per submit_graph tag. `busy` single-flights record
+  /// and replay (a TaskGraph supports one dispatch at a time); entries are
+  /// pointer-stable for the server's lifetime, so request bodies may hold
+  /// plain references across the queue.
+  struct GraphEntry {
+    std::unique_ptr<TaskGraph> graph;
+    std::atomic<bool> busy{false};
+  };
+  [[nodiscard]] GraphEntry& graph_entry(const std::string& tag);
+
   Scheduler& sched_;
   ServerConfig cfg_;
   unsigned max_live_ = 1;
@@ -280,6 +309,8 @@ class TaskServer {
   std::uint64_t global_pass_ = 0;                   // guarded by mu_
   std::uint64_t ewma_service_us_ = 0;               // guarded by mu_
   ServerStats stats_;                               // guarded by mu_
+  std::unordered_map<std::string, std::unique_ptr<GraphEntry>>
+      graphs_;                                      // guarded by mu_
 
   /// Set by the first worker-loop iteration: the resident region is
   /// genuinely up (published to the scheduler, reconfigure() guarded). The

@@ -85,6 +85,26 @@ struct alignas(cache_line_bytes) WorkerStats {
   /// because their context was already cancelled at pickup.
   std::uint64_t server_requests = 0;
 
+  // -- dependency/taskgraph counters (PR 8) ---------------------------------
+
+  /// depend() clauses declared at spawn_dep sites (one per in/out/inout
+  /// entry, whether or not it produced an edge).
+  std::uint64_t deps_declared = 0;
+  /// Dependence edges created by the dynamic tracker at spawn (one pending
+  /// increment each). Conservation: every created edge is resolved exactly
+  /// once, so after quiescence
+  /// `edges_resolved == deps_edges + Σ(replays × graph edge count)`.
+  std::uint64_t deps_edges = 0;
+  /// Dependence edges resolved at predecessor finish (counted by the worker
+  /// that retired the predecessor — dynamic and replayed edges both).
+  std::uint64_t edges_resolved = 0;
+  /// Graph regions recorded + frozen by this worker (first invocation, or a
+  /// re-record after invalidation by reconfigure()/team shrink).
+  std::uint64_t graphs_recorded = 0;
+  /// Frozen graphs replayed by this worker (each replay dispatches every
+  /// node of the graph exactly once).
+  std::uint64_t graphs_replayed = 0;
+
   WorkerStats& operator+=(const WorkerStats& o) noexcept {
     tasks_created += o.tasks_created;
     tasks_deferred += o.tasks_deferred;
@@ -118,6 +138,11 @@ struct alignas(cache_line_bytes) WorkerStats {
     faults_injected += o.faults_injected;
     tasks_retried += o.tasks_retried;
     server_requests += o.server_requests;
+    deps_declared += o.deps_declared;
+    deps_edges += o.deps_edges;
+    edges_resolved += o.edges_resolved;
+    graphs_recorded += o.graphs_recorded;
+    graphs_replayed += o.graphs_replayed;
     // High-water mark, not a flow: the aggregate is the worst per-worker
     // in-transit backlog, which is what bounds stash memory.
     pool_migrations = pool_migrations > o.pool_migrations ? pool_migrations

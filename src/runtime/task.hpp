@@ -30,13 +30,15 @@ namespace bots::rt {
 class Worker;
 class Task;
 class RegionCtx;  // per-request server context (region_ctx.hpp)
+struct DepNode;   // dependence-tracking side structure (dependency.hpp)
 
 /// Where a task descriptor's storage came from, which decides how it is
 /// released when the last reference drops.
 enum class TaskStorage : std::uint8_t {
   stack_frame,  ///< implicit/root task living on a worker's stack; never freed
   pooled,       ///< from a per-worker TaskPool; recycled to the releasing worker
-  heap          ///< plain new/delete (use_task_pool = false)
+  heap,         ///< plain new/delete (use_task_pool = false)
+  graph         ///< owned by a frozen TaskGraph; reset in place per replay
 };
 
 /// Static per-closure-type operations table. One immutable instance exists
@@ -149,6 +151,22 @@ class Task {
     state_.fetch_add(child_one + ref_one, std::memory_order_relaxed);
   }
 
+  /// Bulk add_child_ref for graph replay: charge the parent `n` children and
+  /// `n` references in ONE RMW before any replayed root is enqueued — the
+  /// per-spawn parent-cacheline traffic a replay exists to avoid.
+  void add_children_bulk(std::uint64_t n) noexcept {
+    state_.fetch_add(n * (child_one + ref_one), std::memory_order_relaxed);
+  }
+
+  /// One extra reference with no child charge — the dependence tracker's
+  /// descriptor pin (dependency.hpp). Must be taken on the generator thread
+  /// BEFORE the task is published, preserving the rule exclusive() and the
+  /// release_ref() fast path rely on: after the body has finished, the
+  /// state word only ever decreases.
+  void add_ref() noexcept {
+    state_.fetch_add(ref_one, std::memory_order_relaxed);
+  }
+
   void child_completed() noexcept {
     state_.fetch_sub(child_one, std::memory_order_acq_rel);
   }
@@ -201,8 +219,15 @@ class Task {
     env_ = nullptr;
     range_ = nullptr;
     ctx_ = nullptr;  // a recycled descriptor must not leak its old request
+    dep_ = nullptr;  // dependence node dies with the scope that allocated it
     state_.store(ref_one, std::memory_order_relaxed);
   }
+
+  /// Dependence-tracking node (dependency.hpp) for dep-spawned and
+  /// graph-replayed tasks; null for every other task, so the finish-path
+  /// successor-release hook costs one null check.
+  [[nodiscard]] DepNode* dep() const noexcept { return dep_; }
+  void set_dep(DepNode* d) noexcept { dep_ = d; }
 
   /// Locality node whose chunk this descriptor's memory was carved on (set
   /// once, at construction). The retire path routes the descriptor back to
@@ -236,6 +261,7 @@ class Task {
   Task* parent_ = nullptr;
   RangeDesc* range_ = nullptr;  ///< range payload inside env_, else null
   RegionCtx* ctx_ = nullptr;    ///< owning request context; null off-server
+  DepNode* dep_ = nullptr;      ///< dependence node; null for non-dep tasks
   std::atomic<std::uint64_t> state_{ref_one};  ///< children<<32 | refs
   std::uint32_t depth_ = 0;
   std::uint32_t env_bytes_ = 0;

@@ -1,0 +1,128 @@
+// Taskgraph record-and-replay (PR 8): pay a region's discovery cost once.
+//
+// A dependence-tracked region rebuilt identically on every invocation —
+// SparseLU factoring the same block structure, a server re-answering the
+// same request shape — re-pays the whole discovery bill each time: closure
+// allocation, descriptor allocation, tracker hash lookups, edge pushes,
+// per-spawn parent RMWs. Record-and-replay amortises all of it. The FIRST
+// execution of a region wrapped in rt::graph_region(tag, key, build) runs
+// the build function under a recording DepScope and freezes the structure
+// it produced — task bodies, tiedness, every dependence edge — into an
+// arena-backed TaskGraph with a CSR successor table and pre-counted
+// predecessor counters. Every LATER invocation replays the frozen graph:
+//
+//   * no tracker: predecessor counts are baked (DepNode::pending is a
+//     store, not a hash probe + edge push),
+//   * no descriptor allocation: each node owns its Task descriptor
+//     (TaskStorage::graph) and is reset in place per replay,
+//   * no per-spawn parent traffic: ONE add_children_bulk RMW charges the
+//     parent for the whole graph,
+//   * workers start from the recorded ROOT frontier; interior nodes are
+//     released by the ordinary finish-path successor walk.
+//
+// Validity. A frozen graph bakes decisions that depend on the scheduler's
+// shape (team size, topology, placement), so Scheduler::reconfigure() and
+// team-shrink degradation bump a graph epoch that invalidates every
+// recorded graph; the next invocation re-records. The caller-supplied
+// `key` binds the recording to its buffers (same tag ⇒ same live buffers
+// contract): replay with a different key re-records instead of touching
+// stale addresses. A recording that degraded mid-build (fault injection
+// driving alloc_task to the inline rung) is discarded un-frozen and simply
+// retried on the next invocation.
+//
+// Concurrency. One graph supports ONE record or replay in flight at a time
+// (replay resets node state in place). Concurrent invocations of the same
+// tag must be serialised by the caller; TaskServer::submit_graph does this
+// with a per-tag busy flag, falling back to plain dynamic dependence
+// tracking for the loser.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/dependency.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace bots::rt {
+
+class TaskGraph final : public GraphRecorder {
+ public:
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// A frozen graph is replayable only for the scheduler shape and buffer
+  /// binding it was recorded against.
+  [[nodiscard]] bool valid_for(const Scheduler& s, const void* key) const noexcept {
+    return frozen_ && epoch_ == s.graph_epoch() && key_ == key;
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return succ_storage_.size();
+  }
+  [[nodiscard]] std::uint64_t replays() const noexcept { return replays_; }
+
+  /// Drop any previous contents and start capturing a new recording bound
+  /// to `key`.
+  void begin_record(const void* key);
+  /// Bake the captured structure: CSR successor table, predecessor counts,
+  /// root frontier, epoch + key stamp. No-op (stays un-frozen) when the
+  /// recording aborted.
+  void freeze(Worker& w);
+  /// Dispatch the frozen graph under the caller's current task and join it.
+  void replay(Worker& w);
+  /// Finish-path hook: release the baked successors of `n`'s task (called
+  /// for execute AND discard retirements, so a cancelled replay drains).
+  void release_baked(Worker& w, DepNode& n) noexcept;
+
+  // -- GraphRecorder (driven by the recording DepScope) -----------------------
+  std::uint32_t record_node(std::function<void()> body, Tiedness t) override;
+  void record_edge(std::uint32_t pred, std::uint32_t succ) override;
+  void record_abort() noexcept override;
+
+ private:
+  struct Node {
+    Task task;                    ///< owned descriptor, reset per replay
+    std::function<void()> body;   ///< re-invocable recorded body
+    DepNode dep;                  ///< baked-successor span + pending counter
+    Tiedness tied = Tiedness::tied;
+    std::uint32_t npred = 0;      ///< baked predecessor count
+  };
+
+  /// Replay thunk: 8-byte env pointing at the node's owned body.
+  struct BodyRef {
+    const std::function<void()>* fn;
+    void operator()() const { (*fn)(); }
+  };
+
+  std::deque<Node> nodes_;  ///< deque: Node is immovable (atomics, Task)
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rec_edges_;
+  std::vector<std::uint32_t> succ_storage_;  ///< CSR payload for baked_succs
+  std::vector<std::uint32_t> roots_;         ///< nodes with npred == 0
+  const void* key_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t replays_ = 0;
+  bool frozen_ = false;
+  bool aborted_ = false;
+};
+
+/// Run one dependence-tracked region through `g`: replay when the graph is
+/// frozen and valid for (scheduler shape, key); otherwise run `build` under
+/// a recording scope and freeze the result. With use_taskgraph_replay off
+/// (RT_TASKGRAPH_REPLAY=0) or outside a region, `build` runs under a plain
+/// dynamic DepScope every time — the A/B knob the identity tests flip.
+void run_graph_region(Scheduler& s, TaskGraph& g, const void* key,
+                      const std::function<void(DepScope&)>& build);
+
+/// Tag-registry convenience: look the graph up (or create it) in the
+/// calling scheduler's per-tag registry. Callable only from inside a region
+/// (it needs a scheduler); outside one it degrades to a plain dynamic scope.
+void graph_region(const char* tag, const void* key,
+                  const std::function<void(DepScope&)>& build);
+
+}  // namespace bots::rt

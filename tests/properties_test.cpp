@@ -1,8 +1,12 @@
 // Cross-cutting property tests: invariants that must hold across modules,
 // schedules and repetitions — the "does the suite behave like BOTS"
 // contracts beyond single-kernel correctness.
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <set>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -284,6 +288,74 @@ TEST(Properties, InlinePathCountsCapturedEnvironmentBytes) {
   EXPECT_GT(with_inline, 0u);
   EXPECT_EQ(with_inline, without_inline)
       << "zero-alloc inlined constructs skipped the env_bytes counter";
+}
+
+TEST(Properties, DependenceEdgesResolveExactlyOnceOnDataflowApps) {
+  // PR 8 conservation law, dynamic half: on any dependence-tracked run with
+  // no recorded graphs, every successfully published edge is resolved by
+  // the finish path exactly once — edges_resolved == deps_edges — on top of
+  // the usual spawn/retire balance. Checked on every registered dataflow
+  // kernel version (sparselu, strassen).
+  for (const auto& app : core::apps()) {
+    for (const auto& v : app.versions) {
+      if (std::string_view(v.name).rfind("dataflow", 0) != 0) continue;
+      rt::Scheduler sched(rt::SchedulerConfig{.num_threads = 8});
+      const auto rep =
+          app.run(core::InputClass::test, v.name, sched, true);
+      EXPECT_EQ(rep.verified, core::Verified::ok) << app.name << "/" << v.name;
+      const auto t = sched.stats().total;
+      EXPECT_GT(t.deps_declared, 0u) << app.name << "/" << v.name;
+      EXPECT_EQ(t.edges_resolved, t.deps_edges) << app.name << "/" << v.name;
+      EXPECT_EQ(t.graphs_recorded, 0u) << app.name << "/" << v.name;
+      EXPECT_EQ(t.tasks_created + t.range_splits,
+                t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined)
+          << app.name << "/" << v.name;
+      EXPECT_EQ(t.tasks_executed + t.tasks_discarded, t.tasks_deferred)
+          << app.name << "/" << v.name;
+    }
+  }
+}
+
+TEST(Properties, ReplayLedgersReconcileWithGraphSize) {
+  // PR 8 conservation law, replay half: after one record and K replays of a
+  // frozen graph, the whole-run ledgers must reconcile with the graph's own
+  // shape — (1 + K) × node_count descriptors deferred and executed, and
+  //   edges_resolved == deps_edges + K × edge_count
+  // (the record run resolves its dynamic edges; each replay resolves every
+  // baked edge exactly once).
+  rt::SchedulerConfig cfg;
+  cfg.num_threads = 8;
+  cfg.fault_plan.clear();  // exact counts; CI fault legs would abort records
+  cfg.use_taskgraph_replay = true;
+  rt::Scheduler sched(cfg);
+  std::vector<std::uint64_t> cells(8, 0);
+  rt::TaskGraph g;
+  auto build = [&cells](rt::DepScope& sc) {
+    auto& v = cells;
+    sc.spawn({rt::out(v[0])}, [&v] { v[0] += 2; });
+    for (std::size_t i = 1; i <= 6; ++i) {
+      sc.spawn({rt::in(v[0]), rt::out(v[i])}, [&v, i] { v[i] = v[0] + i; });
+    }
+    sc.spawn({rt::in(v[1]), rt::in(v[2]), rt::in(v[3]), rt::in(v[4]),
+              rt::in(v[5]), rt::in(v[6]), rt::inout(v[7])},
+             [&v] { v[7] = v[1] + v[6]; });
+  };
+  constexpr std::uint64_t kRuns = 9;
+  for (std::uint64_t run = 0; run < kRuns; ++run) {
+    std::fill(cells.begin(), cells.end(), 0);
+    sched.run_single([&] { rt::run_graph_region(sched, g, &cells, build); });
+  }
+  const auto t = sched.stats().total;
+  ASSERT_TRUE(g.frozen());
+  EXPECT_EQ(g.replays(), kRuns - 1);
+  EXPECT_EQ(t.graphs_recorded, 1u);
+  EXPECT_EQ(t.graphs_replayed, kRuns - 1);
+  EXPECT_EQ(t.tasks_deferred, kRuns * g.node_count());
+  EXPECT_EQ(t.tasks_executed, t.tasks_deferred);
+  EXPECT_EQ(t.edges_resolved,
+            t.deps_edges + (kRuns - 1) * g.edge_count());
+  EXPECT_EQ(t.tasks_created + t.range_splits,
+            t.tasks_deferred + t.tasks_if_inlined + t.tasks_cutoff_inlined);
 }
 
 // ---------------------------------------------------------------------------
