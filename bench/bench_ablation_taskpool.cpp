@@ -14,7 +14,10 @@
 // construction.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "kernels/fib/fib.hpp"
@@ -67,6 +70,47 @@ void bm_uts(benchmark::State& state, rt::SchedulerConfig cfg) {
   record_pool_counters(state, total);
 }
 
+// Contention axis for the PR 9 lock-free RangeMailbox (CAS-push stack with
+// wholesale-drain pop, replacing the PR-3 mutex FIFO): N producers hammer
+// ONE node mailbox while a single consumer drains — the real shape is
+// many range-splitting workers mailing halves to one idle node, whose
+// workers pop. Reports ns per delivered task end to end.
+void bm_mailbox(benchmark::State& state) {
+  const auto producers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t per_producer = 4096;
+  const std::size_t total = producers * per_producer;
+  std::vector<rt::Task> tasks(total);
+  for (auto _ : state) {
+    rt::RangeMailbox box;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (std::size_t i = 0; i < per_producer; ++i) {
+          box.push(&tasks[p * per_producer + i]);
+        }
+      });
+    }
+    core::Timer t;
+    go.store(true, std::memory_order_release);
+    std::size_t drained = 0;
+    while (drained < total) {
+      if (box.pop() != nullptr) ++drained;
+    }
+    state.SetIterationTime(t.seconds());
+    for (auto& th : threads) th.join();
+    if (!box.empty()) state.SkipWithError("mailbox not empty after drain");
+  }
+  state.counters["tasks"] = static_cast<double>(total);
+  state.counters["ns_per_task"] = benchmark::Counter(
+      static_cast<double>(total),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +152,19 @@ int main(int argc, char** argv) {
           ->Repetitions(sweep.reps + 1)
           ->Unit(benchmark::kMillisecond);
     }
+  }
+  // Mailbox contention sweep: producer counts from uncontended to heavily
+  // contended, capped at the machine.
+  const unsigned hw = sweep.threads.back();
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    if (p > hw && p != 1u) break;
+    benchmark::RegisterBenchmark(
+        ("mailbox_contention/p" + std::to_string(p)).c_str(), bm_mailbox)
+        ->Arg(static_cast<int>(p))
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Repetitions(sweep.reps + 1)
+        ->Unit(benchmark::kMillisecond);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

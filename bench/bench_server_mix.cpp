@@ -190,6 +190,11 @@ struct Options {
   unsigned queue = 32;
   std::uint64_t seed = 42;
   unsigned overload_deadline_ms = 500;
+  /// Live-reconfiguration churn (PR 9): a background thread hot-swaps the
+  /// steal policy every this-many ms across ALL legs (0 = off). Every
+  /// invariant above must hold unchanged under churn — the CI soak runs
+  /// this at 10ms. Also settable via RT_BENCH_CHURN_MS.
+  unsigned churn_ms = 0;
 };
 
 // Fire `n` requests at the server. interarrival_us == 0 -> closed loop
@@ -331,15 +336,19 @@ int main(int argc, char** argv) {
     else if (want("--queue")) { opt.queue = static_cast<unsigned>(std::atoi(argv[++i])); }
     else if (want("--seed")) { opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i])); }
     else if (want("--overload-deadline-ms")) { opt.overload_deadline_ms = static_cast<unsigned>(std::atoi(argv[++i])); }
+    else if (want("--churn-ms")) { opt.churn_ms = static_cast<unsigned>(std::atoi(argv[++i])); }
     else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--requests N] [--queue N] "
-                   "[--seed S] [--overload-deadline-ms N]\n",
+                   "[--seed S] [--overload-deadline-ms N] [--churn-ms N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (opt.threads == 0) opt.threads = 4;
+  if (const char* e = std::getenv("RT_BENCH_CHURN_MS"); e != nullptr) {
+    opt.churn_ms = static_cast<unsigned>(std::atoi(e));
+  }
 
   // SchedulerConfig's defaults consult the RT_* environment, so the CI
   // matrix legs (topology / policy / pinning / fault plan) apply here
@@ -355,6 +364,36 @@ int main(int argc, char** argv) {
   rt::ServerConfig sc;
   sc.queue_capacity = opt.queue;
   sc.shed_on_overload = true;
+
+  // Live-reconfiguration churn across every leg: swap the steal policy on a
+  // fixed cadence while requests fly. The bench's entire invariant set —
+  // exactly-one-terminal-state, balanced ledgers, right answers, bounded
+  // overload latency — must hold exactly as without churn.
+  std::atomic<bool> churn_stop{false};
+  std::thread churn;
+  std::uint64_t churn_swaps = 0;
+  if (opt.churn_ms > 0 && sched.config().live_reconfigure) {
+    churn = std::thread([&] {
+      bool flip = false;
+      while (!churn_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.churn_ms));
+        sched.reconfigure_live(flip ? rt::StealPolicyKind::hierarchical
+                                    : rt::StealPolicyKind::last_victim);
+        flip = !flip;
+        ++churn_swaps;
+      }
+    });
+    std::fprintf(stderr, "policy churn active: swap every %u ms\n",
+                 opt.churn_ms);
+  }
+  struct ChurnJoin {
+    std::atomic<bool>& stop;
+    std::thread& t;
+    ~ChurnJoin() {
+      stop.store(true, std::memory_order_release);
+      if (t.joinable()) t.join();
+    }
+  } churn_join{churn_stop, churn};
 
   // -- leg 1: closed-loop calibration ---------------------------------------
   // Closed-loop throughput IS the saturation rate: each request already
@@ -402,6 +441,12 @@ int main(int argc, char** argv) {
     check(over.completed > 0, "overload leg completed nothing");
   }
 
+  churn_stop.store(true, std::memory_order_release);
+  if (churn.joinable()) churn.join();
+  if (opt.churn_ms > 0) {
+    std::printf("policy churn: %llu live swaps during the run\n",
+                static_cast<unsigned long long>(churn_swaps));
+  }
   if (g_failures != 0) {
     std::fprintf(stderr, "bench_server_mix: %d invariant failure(s)\n",
                  g_failures);

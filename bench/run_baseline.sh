@@ -103,6 +103,20 @@ if [[ -x "$BUILD/bench_ablation_replay" ]]; then
       sed -n 's/^GRAPHREPLAY: //p')"
 fi
 
+# Live-reconfiguration ablation (PR 9): fixed-policy vs oracle-switched vs
+# phase-detector-switched steal policy on a two-phase stream (fib burst,
+# then block-LU dataflow). Each RECONF: line is a JSON object with per-phase
+# wall times and the live-swap count. The bench exits nonzero if any request
+# misanswers or leaves an unbalanced ledger (set -e guards the baseline).
+# Optional binary, like bench_server_mix.
+reconf_json=""
+if [[ -x "$BUILD/bench_ablation_reconf" ]]; then
+  echo "== live reconfiguration ablation ==" >&2
+  reconf_json="$("$BUILD/bench_ablation_reconf" \
+      --threads "${BOTS_MAX_THREADS:-8}" |
+      sed -n 's/^RECONF: //p')"
+fi
+
 echo "== Figure 3 smoke (2 threads, test input) ==" >&2
 fig3_out="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
             BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
@@ -144,6 +158,11 @@ fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
   echo "  \"graph_replay\": ["
   if [[ -n "$graph_replay_json" ]]; then
     printf '%s\n' "$graph_replay_json" | sed 's/^/    /; $!s/$/,/'
+  fi
+  echo "  ],"
+  echo "  \"reconf\": ["
+  if [[ -n "$reconf_json" ]]; then
+    printf '%s\n' "$reconf_json" | sed 's/^/    /; $!s/$/,/'
   fi
   echo "  ]"
   echo "}"

@@ -372,6 +372,21 @@ struct SchedulerConfig {
   /// like every other knob; assigning the field overrides the environment.
   std::string fault_plan = env_string("RT_FAULT_PLAN");
 
+  // -- live reconfiguration (PR 9) ------------------------------------------
+
+  /// Allow Scheduler::reconfigure_live(): epoch/RCU hot-swap of the steal
+  /// policy, node hints and watchdog tunables WHILE regions run (including
+  /// the server's resident region). Workers pin a versioned PolicySnapshot
+  /// at the top of every find_work round (one seq_cst load + a pointer
+  /// compare in steady state — no lock, no barrier); the swapper installs a
+  /// new snapshot, waits for per-worker epoch quiescence and retires the old
+  /// one. Topology/NUMA-arena swaps stay between-regions only (descriptor
+  /// birth nodes cannot migrate live) — that boundary is in the type system:
+  /// reconfigure_live takes no topology. Off: reconfigure_live throws like
+  /// the between-regions reconfigure() always has. Also settable via
+  /// RT_LIVE_RECONF=0/1.
+  bool live_reconfigure = env_flag("RT_LIVE_RECONF", true);
+
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {
     if (cutoff_value != 0) return cutoff_value;

@@ -126,19 +126,24 @@ class GrainController {
   /// Set the estimate AND the base the estimate resets to at every region
   /// start — a warm start survives regions, a retune does not (retuned
   /// state is what cross-region bleed is made of). Tests use this to put
-  /// the controller into a known state.
+  /// the controller into a known state, and reconfigure_live uses it to
+  /// reseed the live generation (base_ is an atomic so a live seed CASes
+  /// cleanly against a concurrent region-start reset).
   void seed(std::int64_t g) noexcept {
-    base_ = clamp(g);
-    grain_.store(base_, std::memory_order_relaxed);
+    const std::int64_t c = clamp(g);
+    base_.store(c, std::memory_order_relaxed);
+    grain_.store(c, std::memory_order_relaxed);
   }
 
   /// Region-start reset: drop the estimate back to the seeded base so a
   /// coarse estimate learned on one region's workload cannot poison the
   /// next region's first splits. Window accumulators are kept — partial
   /// windows keep accumulating across short regions. Called by run_region
-  /// (between regions; no worker is concurrently retuning).
+  /// (between regions; no worker is concurrently retuning — but a live
+  /// reseed may race it, hence the atomic base).
   void on_region_start() noexcept {
-    grain_.store(base_, std::memory_order_relaxed);
+    grain_.store(base_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   }
 
   /// Retunes applied so far (observability; bench_ablation_steal_policy
@@ -225,9 +230,11 @@ class GrainController {
   std::atomic<std::int64_t> live_ranges_{0};
   std::atomic<std::uint64_t> hungry_{0};
   std::atomic<std::uint64_t> retunes_{0};
-  /// Region-start reset target. Written only between regions (seed /
-  /// construction); read by on_region_start, also between regions.
-  std::int64_t base_ = 1;
+  /// Region-start reset target. Usually written between regions (seed /
+  /// construction), but reconfigure_live may reseed it while the server's
+  /// resident region runs — relaxed atomic so that write never races
+  /// on_region_start's read.
+  std::atomic<std::int64_t> base_{1};
   unsigned team_ = 1;
 };
 

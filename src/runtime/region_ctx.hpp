@@ -41,6 +41,9 @@ enum class RegionStatus : std::uint8_t {
   completed = 0,
   cancelled = 1,          ///< rt::cancel_region(), watchdog, or cancel_on_exception
   deadline_exceeded = 2,  ///< the region's deadline expired first
+  unknown = 3,            ///< sentinel: asked while a region is still live
+                          ///< (Scheduler::last_region_status() during server
+                          ///< mode) — use per-request RegionHandle instead
 };
 
 [[nodiscard]] constexpr const char* to_string(RegionStatus s) noexcept {
@@ -48,6 +51,7 @@ enum class RegionStatus : std::uint8_t {
     case RegionStatus::completed: return "completed";
     case RegionStatus::cancelled: return "cancelled";
     case RegionStatus::deadline_exceeded: return "deadline_exceeded";
+    case RegionStatus::unknown: return "unknown";
   }
   return "?";
 }

@@ -46,6 +46,15 @@ struct Backoff {
 
 }  // namespace
 
+namespace detail {
+void warn_last_region_status_race() noexcept {
+  std::fprintf(stderr,
+               "rt: warning: last_region_status() called while a region is "
+               "live; returning RegionStatus::unknown — use the per-request "
+               "RegionHandle::status() in server mode (warned once)\n");
+}
+}  // namespace detail
+
 void Region::store_exception() noexcept {
   std::lock_guard<std::mutex> lock(exception_mutex);
   if (!first_exception) {
@@ -69,10 +78,12 @@ Scheduler::Scheduler(SchedulerConfig cfg)
   fault_.parse(cfg_.fault_plan);
   use_slot_ = cfg_.lifo_slot && cfg_.local_order == LocalOrder::lifo;
   acct_batch_ = cfg_.accounting_batch > 0 ? cfg_.accounting_batch : 1;
-  rebuild_node_hints();
   rebuild_node_pools();
   rebuild_mailboxes();
-  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  {
+    std::lock_guard<std::mutex> lock(reconf_mutex_);
+    install_snapshot_locked(/*live=*/false);
+  }
   if (cfg_.pin_workers) pin_generation_ = 1;
   workers_.reserve(cfg_.num_threads);
   for (unsigned i = 0; i < cfg_.num_threads; ++i) {
@@ -118,8 +129,12 @@ void Scheduler::shrink_team(unsigned built) {
   // Re-map locality onto the team that actually exists — node ids, hints,
   // arenas, mailboxes and the policy were all sized for the planned team.
   topo_ = Topology::detect(built, cfg_.synthetic_topology);
-  rebuild_node_hints();
-  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  {
+    // Between regions by construction (shrink happens while the team is
+    // being built), so quiescence is immediate: every epoch slot is 0.
+    std::lock_guard<std::mutex> lock(reconf_mutex_);
+    install_snapshot_locked(/*live=*/false);
+  }
   for (auto& w : workers_) {
     w->node = topo_.node_of(w->id);
     w->last_victim = Worker::no_victim;
@@ -276,6 +291,7 @@ RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline
     region_ = &r;
     ++region_seq_;
   }
+  region_active_.store(true, std::memory_order_release);
   region_cv_.notify_all();
 
   Worker& w0 = *workers_[0];
@@ -300,6 +316,9 @@ RegionStatus Scheduler::run_region(Region& r, std::chrono::milliseconds deadline
     region_ = nullptr;
   }
   last_region_status_ = r.status();
+  // Status written, region down: readers that see `false` (acquire in the
+  // accessor) also see the final status — no silent stale answer.
+  region_active_.store(false, std::memory_order_release);
   if (r.has_exception.load(std::memory_order_acquire)) {
     std::rethrow_exception(r.first_exception);
   }
@@ -406,18 +425,23 @@ void Scheduler::monitor_region(std::stop_token st, Region& r,
                                std::chrono::steady_clock::time_point deadline_tp,
                                bool has_deadline) {
   using clock = std::chrono::steady_clock;
-  const bool has_watchdog = cfg_.watchdog_ms > 0;
-  const auto stall_after = std::chrono::milliseconds(cfg_.watchdog_ms);
-  // Poll fast enough to catch a stall within ~12% of the configured window;
-  // a deadline wait always wakes exactly at the deadline.
-  const auto poll = has_watchdog
-                        ? std::chrono::milliseconds(std::clamp<std::uint32_t>(
-                              cfg_.watchdog_ms / 8, 1u, 50u))
-                        : std::chrono::milliseconds(100);
   std::uint64_t last_sum = ~0ULL;  // first sample always counts as movement
   auto last_move = clock::now();
   std::unique_lock<std::mutex> lk(monitor_mutex_);
   while (!st.stop_requested()) {
+    // Watchdog tunables come from the CURRENT PolicySnapshot, re-read every
+    // poll, so reconfigure_live can tighten/relax/cancel-arm a live
+    // watchdog. (The monitor only exists when something was armed at region
+    // start — an entirely unmonitored region stays unmonitored.)
+    const auto [wd_ms, wd_cancel] = watchdog_tunables();
+    const bool has_watchdog = wd_ms > 0;
+    const auto stall_after = std::chrono::milliseconds(wd_ms);
+    // Poll fast enough to catch a stall within ~12% of the configured
+    // window; a deadline wait always wakes exactly at the deadline.
+    const auto poll = has_watchdog
+                          ? std::chrono::milliseconds(std::clamp<std::uint32_t>(
+                                wd_ms / 8, 1u, 50u))
+                          : std::chrono::milliseconds(100);
     const auto now = clock::now();
     if (has_deadline && now >= deadline_tp) {
       r.cancel(RegionStatus::deadline_exceeded);
@@ -434,7 +458,7 @@ void Scheduler::monitor_region(std::stop_token st, Region& r,
       } else if (now - last_move >= stall_after) {
         stalls_detected_.fetch_add(1, std::memory_order_relaxed);
         dump_stall_report(r);
-        if (cfg_.watchdog_cancel) r.cancel(RegionStatus::cancelled);
+        if (wd_cancel) r.cancel(RegionStatus::cancelled);
         last_move = now;  // re-arm: one report per stalled window
       }
     }
@@ -444,6 +468,11 @@ void Scheduler::monitor_region(std::stop_token st, Region& r,
   }
 }
 
+std::pair<std::uint32_t, bool> Scheduler::watchdog_tunables() const {
+  std::lock_guard<std::mutex> lock(reconf_mutex_);
+  return {snap_owner_->watchdog_ms, snap_owner_->watchdog_cancel};
+}
+
 void Scheduler::dump_stall_report(Region& r) {
   // Stderr, single writer (only the monitor calls this). Reads shared
   // atomics and mutex-guarded arena counts only — per-worker plain fields
@@ -451,7 +480,7 @@ void Scheduler::dump_stall_report(Region& r) {
   std::fprintf(stderr,
                "rt: STALL: no task progress for %u ms "
                "(live_tasks=%lld parked=%zu arrived=%u cancel=%s)\n",
-               cfg_.watchdog_ms,
+               watchdog_tunables().first,
                static_cast<long long>(
                    r.live_tasks.load(std::memory_order_relaxed)),
                r.parked_count.load(std::memory_order_relaxed),
@@ -468,10 +497,15 @@ void Scheduler::dump_stall_report(Region& r) {
         w->parked_inbox.load(std::memory_order_relaxed) == nullptr ? "empty"
                                                                    : "nonempty");
   }
-  if (hints_ != nullptr) {
-    for (unsigned n = 0; n < topo_.num_nodes(); ++n) {
-      std::fprintf(stderr, "rt:   hint[node %u]=%s\n", n,
-                   hints_->has_work(n) ? "work" : "dry");
+  {
+    // The monitor holds no epoch slot, so the current snapshot's hints are
+    // read under reconf_mutex_ (cold path: one stall report per window).
+    std::lock_guard<std::mutex> lock(reconf_mutex_);
+    if (snap_owner_->hints != nullptr) {
+      for (unsigned n = 0; n < topo_.num_nodes(); ++n) {
+        std::fprintf(stderr, "rt:   hint[node %u]=%s\n", n,
+                     snap_owner_->hints->has_work(n) ? "work" : "dry");
+      }
     }
   }
   if (mailboxes_ != nullptr) {
@@ -515,6 +549,11 @@ void Scheduler::participate(Worker& w, Region& r) {
   assert(w.deque.empty_estimate() && "work leaked across regions");
   assert(w.parked_inbox.load(std::memory_order_relaxed) == nullptr &&
          "a parked task outlived its region");
+  // Pin the current PolicySnapshot before the body runs: spawns from the
+  // region body (before this worker's first find_work round) already route
+  // hints/placement through w.snap.
+  assert(w.snap == nullptr && "a pinned snapshot outlived its region");
+  pin_snapshot(w);
 
   // The implicit task for this worker. It lives on this stack frame; the
   // region-end quiescence barrier guarantees every descendant has finished
@@ -545,6 +584,13 @@ void Scheduler::participate(Worker& w, Region& r) {
   assert(root.unfinished_children() == 0);
   w.current = nullptr;
   w.region = nullptr;
+  // Quiesce the snapshot pin: slot 0 tells reconfigure_live this worker
+  // holds nothing, and the null pointer guarantees the next region's first
+  // pin takes the announce path even if a retired snapshot's address gets
+  // reused by a later install. Release-ordered so every use of the old
+  // snapshot happens-before the swapper observes quiescence and retires it.
+  w.snap = nullptr;
+  w.snap_epoch.store(0, std::memory_order_release);
 }
 
 bool Scheduler::should_defer(Worker& w, std::uint32_t depth) noexcept {
@@ -770,8 +816,11 @@ void Scheduler::account_spawn(Worker& w) noexcept {
 void Scheduler::enqueue(Worker& w, Task& t) {
   // Advertise this node as fed (NodeHints): remote hierarchical planners
   // consult the word before spending interconnect probes here. The steady
-  // state (word already set) costs one relaxed load.
-  if (hints_) hints_->publish(w.node);
+  // state (word already set) costs one relaxed load. Hints live in the
+  // worker's PINNED snapshot (w.snap, never null in-region): a live swap
+  // retires the whole generation — policy and words together — only after
+  // this worker's pin moves on.
+  if (NodeHints* h = w.snap->hints.get()) h->publish(w.node);
   account_spawn(w);
   // Per-request ledger (server mode): the task was counted into the queued
   // population of its request; execute_deferred will balance it with exactly
@@ -794,7 +843,7 @@ void Scheduler::enqueue_released(Worker& w, Task& t) {
   // accounted (worker ledger, live count, request ledger) when it was
   // dep-spawned or bulk-charged by a graph replay. Counting it again here
   // would double-book the region's live population.
-  if (hints_) hints_->publish(w.node);
+  if (NodeHints* h = w.snap->hints.get()) h->publish(w.node);
   if (use_slot_ && t.range() == nullptr) {
     Task* evicted = w.slot;
     w.slot = &t;
@@ -841,7 +890,11 @@ void Scheduler::release_successors(Worker& w, Task& t) noexcept {
 
 void Scheduler::publish_range_half(Worker& w, Task& t) {
   if (mailboxes_ != nullptr) {
-    const unsigned target = policy_->place_range_half(w);
+    // Placement is the pinned snapshot's call: after a live swap away from
+    // hierarchical the new policy answers no_node and halves stay local,
+    // while halves mailed BEFORE the swap still drain — the mailbox array
+    // is scheduler-owned and exists independently of the current policy.
+    const unsigned target = w.snap->policy->place_range_half(w);
     if (target != StealPolicy::no_node && target != w.node &&
         mailboxes_[target].empty() &&
         // An injected mailbox_push failure degrades to the local deque —
@@ -858,7 +911,7 @@ void Scheduler::publish_range_half(Worker& w, Task& t) {
       // planners probe there and so the next split is not dumped on the
       // same node before anybody drained this one (the redirect condition
       // requires a CLEAR target word plus an empty mailbox).
-      if (hints_) hints_->publish(target);
+      if (NodeHints* h = w.snap->hints.get()) h->publish(target);
       return;
     }
   }
@@ -1284,6 +1337,10 @@ Task* Scheduler::claim_parked(Worker& w) {
 Task* Scheduler::steal_work(Worker& w, bool& progress) {
   const unsigned n = cfg_.num_threads;
   if (n <= 1) return nullptr;
+  // One snapshot generation per steal round: victim order, batch caps and
+  // raid notifications all come from the same pinned generation (find_work
+  // pinned it at the top of this round).
+  PolicySnapshot& sp = *w.snap;
   Task* batch[Worker::stash_capacity];
   const std::size_t base_cap = std::clamp<std::size_t>(
       cfg_.steal_batch_max, std::size_t{1}, Worker::stash_capacity);
@@ -1303,26 +1360,27 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
     // per victim is the policy's call (hierarchical shrinks it across the
     // interconnect).
     if (cfg_.steal_half && w.tied_stack.empty()) {
-      got = victim.steal_batch(batch, policy_->batch_cap(w, v, base_cap));
+      got = victim.steal_batch(batch, sp.policy->batch_cap(w, v, base_cap));
       if (got > 0) ++w.stats.steal_batches;
     } else if (Task* t = victim.steal()) {
       batch[0] = t;
       got = 1;
     }
-    policy_->raided(w, v, got > 0);
+    sp.policy->raided(w, v, got > 0);
     if (got == 0) return 0;
     w.stats.tasks_stolen += got;
     if (workers_[v]->node == w.node) {
       ++w.stats.steals_local_node;
     } else {
       ++w.stats.steals_remote_node;
+      w.tele_remote_steals.fetch_add(1, std::memory_order_relaxed);
     }
     for (std::size_t i = 1; i < got; ++i) w.stash[w.stash_count++] = batch[i];
     // Surplus transition: this node now holds stealable-soon work (the
     // stash drains through the thief, whose splits/spawns re-enqueue
     // here). Publishing is the conservative direction — a set word only
     // costs probes.
-    if (got > 1 && hints_) hints_->publish(w.node);
+    if (got > 1 && sp.hints != nullptr) sp.hints->publish(w.node);
     return got;
   };
   auto settle = [&](Task* first) -> Task* {
@@ -1333,7 +1391,7 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   };
   // The probe ORDER is entirely the policy's decision (affinity hints,
   // same-node-first tiers, rotation); this loop only executes it.
-  const unsigned cnt = policy_->victim_order(w, w.victim_buf.data());
+  const unsigned cnt = sp.policy->victim_order(w, w.victim_buf.data());
   for (unsigned k = 0; k < cnt; ++k) {
     if (raid(w.victim_buf[k])) return settle(batch[0]);
   }
@@ -1344,7 +1402,7 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   // planners stop paying probes for us. A publish racing this clear is
   // benign: home workers never consult the word for their own node, and
   // the hierarchical backoff bounds the remote delay.
-  if (hints_) {
+  if (sp.hints != nullptr) {
     bool dry = mailboxes_ == nullptr || mailboxes_[w.node].empty();
     if (dry) {
       for (const unsigned m : topo_.workers_on(w.node)) {
@@ -1354,13 +1412,18 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
         }
       }
     }
-    if (dry) hints_->clear(w.node);
+    if (dry) sp.hints->clear(w.node);
   }
   return nullptr;
 }
 
 Task* Scheduler::find_work(Worker& w) {
   for (;;) {
+    // 0. Pin the policy snapshot for this round. Steady state is one
+    // seq_cst load (a plain MOV on x86) + a pointer compare — no lock, no
+    // store, no barrier instruction; only an actual generation change pays
+    // the announce-validate handshake.
+    pin_snapshot(w);
     // 1. The private LIFO slot (the newest spawn — no fence, no deque),
     // then surplus from the last batched steal (private, two plain stores
     // per task), then the own deque (order selects depth- vs breadth-first).
@@ -1416,6 +1479,7 @@ Task* Scheduler::find_work(Worker& w) {
       // controller's live-range gate scopes the note to the sites it
       // concerns.
       if (cfg_.use_adaptive_grain) grain_table_.note_hungry();
+      w.tele_hungry.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
   }
@@ -1431,17 +1495,141 @@ void Scheduler::assert_between_regions() noexcept {
 #endif
 }
 
-void Scheduler::rebuild_node_hints() {
+void Scheduler::install_snapshot_locked(bool live) {
+  auto next = std::make_unique<PolicySnapshot>();
+  next->version = snap_version_.load(std::memory_order_relaxed) + 1;
+  next->kind = cfg_.resolved_steal_policy();
   // Hints cost a publish load on every enqueue and a dryness scan on every
   // fruitless steal round, and ONLY the hierarchical policy on a
   // multi-node topology ever reads them — every other configuration gets
   // a null pointer and pays nothing.
-  hints_.reset();
   if (cfg_.use_node_work_hints &&
-      cfg_.resolved_steal_policy() == StealPolicyKind::hierarchical &&
-      topo_.num_nodes() > 1) {
-    hints_ = std::make_unique<NodeHints>(topo_.num_nodes());
+      next->kind == StealPolicyKind::hierarchical && topo_.num_nodes() > 1) {
+    next->hints = std::make_unique<NodeHints>(topo_.num_nodes());
+    if (live) {
+      // Live swap: fresh words start SET, not clear. Work enqueued before
+      // the swap was published into the OLD generation's words; a clear
+      // word here would gate remote probes away from nodes that do hold
+      // work. A stale SET only costs the probes it was meant to save and
+      // self-corrects at the first observed-dry round.
+      for (unsigned n = 0; n < topo_.num_nodes(); ++n) next->hints->publish(n);
+    }
   }
+  next->policy = make_steal_policy(cfg_, topo_, next->hints.get());
+  next->grain = &grain_table_;
+  next->watchdog_ms = cfg_.watchdog_ms;
+  next->watchdog_cancel = cfg_.watchdog_cancel;
+
+  PolicySnapshot* raw = next.get();
+  std::unique_ptr<PolicySnapshot> old = std::move(snap_owner_);
+  snap_owner_ = std::move(next);
+  active_kind_.store(static_cast<std::uint8_t>(raw->kind),
+                     std::memory_order_relaxed);
+  // Publication order — pointer FIRST, version second: pin_snapshot's
+  // validate relies on "version v observed ⇒ snap_ holds generation >= v".
+  snap_.store(raw, std::memory_order_seq_cst);
+  snap_version_.store(raw->version, std::memory_order_seq_cst);
+
+  if (old != nullptr) {
+    // A team worker swapping from inside a task body cannot wait on its own
+    // epoch slot: advance its pin by hand first (safe — it is this thread).
+    if (Worker* self = detail::tls_worker;
+        self != nullptr && self->sched == this && self->snap != nullptr) {
+      self->snap = raw;
+      self->snap_epoch.store(raw->version, std::memory_order_seq_cst);
+      self->last_victim = Worker::no_victim;
+      self->gated_rounds = 0;
+    }
+    wait_quiescent(raw->version);
+  }
+  // `old` — the previous generation's policy AND its hints — dies here,
+  // after quiescence proved no worker can still dereference it.
+}
+
+void Scheduler::wait_quiescent(std::uint64_t version) noexcept {
+  // A slot of 0 is quiescent (between regions / at region exit); anything
+  // >= `version` has re-pinned onto the new generation. Anything else is a
+  // worker still acting on an older generation: wait it out. Bounded by
+  // the longest running task body or grain chunk — pin points sit at the
+  // top of every find_work round, at region entry, and at every
+  // range-chunk boundary, exactly the cadence that bounds cancellation
+  // latency.
+  for (const auto& w : workers_) {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t e = w->snap_epoch.load(std::memory_order_seq_cst);
+      if (e == 0 || e >= version) break;
+      backoff.pause();
+    }
+  }
+}
+
+PolicySnapshot* Scheduler::pin_snapshot(Worker& w) noexcept {
+  PolicySnapshot* cur = snap_.load(std::memory_order_seq_cst);
+  if (cur == w.snap) return cur;  // steady state: one load + compare
+  // Generation changed (or first pin this region). Announce-validate: store
+  // the version we intend to pin into the epoch slot, then re-read the
+  // version; repeat until it held still. SC order closes the classic
+  // epoch race — once the validating read returned v, any swapper
+  // publishing v+1 does so LATER in the total order, and its quiescence
+  // scan (later still) must observe our slot at v and wait. The pointer
+  // loaded after that is therefore protected: generation >= v cannot be
+  // retired while the slot holds v.
+  std::uint64_t v = snap_version_.load(std::memory_order_seq_cst);
+  for (;;) {
+    w.snap_epoch.store(v, std::memory_order_seq_cst);
+    const std::uint64_t check = snap_version_.load(std::memory_order_seq_cst);
+    if (check == v) break;
+    v = check;
+  }
+  PolicySnapshot* s = snap_.load(std::memory_order_seq_cst);
+  if (s->version != v) {
+    // An even newer generation landed between the validate and the pointer
+    // load (s->version > v by publication order — never older). Raise the
+    // slot to what we actually hold so a swapper retiring s's predecessors
+    // never waits on this worker.
+    w.snap_epoch.store(s->version, std::memory_order_seq_cst);
+  }
+  w.snap = s;
+  // First pin of a new generation re-seeds the per-worker transient steal
+  // state — the RCU replacement for the global-stop reset reconfigure()
+  // does in its worker loop: a last_victim or hint-backoff count earned
+  // under the old policy is meaningless (not dangerous, just wrong) under
+  // the new one.
+  w.last_victim = Worker::no_victim;
+  w.gated_rounds = 0;
+  return s;
+}
+
+void Scheduler::reconfigure_live(StealPolicyKind kind) {
+  reconfigure_live(kind, LiveTunables{});
+}
+
+void Scheduler::reconfigure_live(StealPolicyKind kind,
+                                 const LiveTunables& tune) {
+  if (!cfg_.live_reconfigure) {
+    throw std::logic_error(
+        "bots::rt: reconfigure_live() disabled (RT_LIVE_RECONF=0); use "
+        "reconfigure() between regions");
+  }
+  std::lock_guard<std::mutex> lock(reconf_mutex_);
+  cfg_.steal_policy = kind;
+  if (tune.grain_base > 0) grain_table_.global().seed(tune.grain_base);
+  if (tune.watchdog_ms != ~0u) cfg_.watchdog_ms = tune.watchdog_ms;
+  if (tune.watchdog_cancel != 0) cfg_.watchdog_cancel = tune.watchdog_cancel == 2;
+  install_snapshot_locked(/*live=*/true);
+}
+
+Scheduler::Telemetry Scheduler::telemetry() const noexcept {
+  Telemetry t;
+  for (const auto& w : workers_) {
+    t.steals_remote_node +=
+        w->tele_remote_steals.load(std::memory_order_relaxed);
+    t.remote_probes_skipped +=
+        w->tele_probes_skipped.load(std::memory_order_relaxed);
+    t.hungry_rounds += w->tele_hungry.load(std::memory_order_relaxed);
+  }
+  return t;
 }
 
 void Scheduler::rebuild_node_pools() {
@@ -1461,11 +1649,14 @@ void Scheduler::rebuild_node_pools() {
 
 void Scheduler::rebuild_mailboxes() {
   // Mailboxes exist only where the placement decision could ever fire:
-  // knob on AND hints to consult (hierarchical policy, multi-node, hints
-  // on). Everybody else keeps a null pointer and find_work's mailbox
-  // probes vanish behind it.
+  // knob on, multi-node, hints enabled. Deliberately NOT gated on the
+  // CURRENT policy kind — a live swap to hierarchical must find them
+  // ready, and a swap away must still drain halves mailed before it.
+  // Everybody else keeps a null pointer and find_work's mailbox probes
+  // vanish behind it.
   mailboxes_.reset();
-  if (cfg_.use_hint_placement && hints_ != nullptr) {
+  if (cfg_.use_hint_placement && cfg_.use_node_work_hints &&
+      topo_.num_nodes() > 1) {
     mailboxes_ = std::make_unique<RangeMailbox[]>(topo_.num_nodes());
   }
 }
@@ -1564,8 +1755,12 @@ void Scheduler::reconfigure(StealPolicyKind kind,
   cfg_.steal_policy = kind;
   cfg_.synthetic_topology = synthetic_topology;
   topo_ = Topology::detect(cfg_.num_threads, synthetic_topology);
-  rebuild_node_hints();
-  policy_ = make_steal_policy(cfg_, topo_, hints_.get());
+  {
+    // Between regions every worker's epoch slot is 0 (quiescent), so this
+    // is a plain swap: install, no waiting.
+    std::lock_guard<std::mutex> lock(reconf_mutex_);
+    install_snapshot_locked(/*live=*/false);
+  }
   for (auto& w : workers_) {
     // Refresh the cached node id (steal-locality counters and the hint
     // word addressed on enqueue would otherwise use — possibly
@@ -1606,7 +1801,8 @@ unsigned Scheduler::plan_range_placement(unsigned worker) {
   if (mailboxes_ == nullptr || worker >= workers_.size()) {
     return StealPolicy::no_node;
   }
-  return policy_->place_range_half(*workers_[worker]);
+  std::lock_guard<std::mutex> lock(reconf_mutex_);
+  return snap_owner_->policy->place_range_half(*workers_[worker]);
 }
 
 std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {
@@ -1615,7 +1811,11 @@ std::vector<unsigned> Scheduler::plan_steal_order(unsigned worker) {
   if (worker >= workers_.size() || cfg_.num_threads <= 1) return order;
   Worker& w = *workers_[worker];
   order.resize(cfg_.num_threads);
-  const unsigned cnt = policy_->victim_order(w, order.data());
+  unsigned cnt = 0;
+  {
+    std::lock_guard<std::mutex> lock(reconf_mutex_);
+    cnt = snap_owner_->policy->victim_order(w, order.data());
+  }
   order.resize(cnt);
   return order;
 }

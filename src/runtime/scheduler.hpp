@@ -174,6 +174,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "runtime/config.hpp"
@@ -259,6 +260,54 @@ struct Region {
   }
 
   void store_exception() noexcept;
+};
+
+/// One immutable generation of every live-swappable scheduling-decision
+/// input: the steal/placement policy, the NodeHints it consults (lifetime
+/// owned HERE, not by the scheduler, so a hot swap retires hints and policy
+/// together), the grain-table view, and the watchdog tunables. Published by
+/// the Scheduler via an RCU-style pointer swap (Scheduler::snap_) and
+/// protected by per-worker epoch slots: a worker pins the current snapshot
+/// at the top of every find_work round and at every range-chunk boundary
+/// (Scheduler::pin_snapshot — one seq_cst load + a pointer compare in the
+/// steady state, no lock anywhere), and reconfigure_live() retires the old
+/// generation only after every worker's slot has advanced past it or gone
+/// quiescent. Everything in here is immutable after publication except the
+/// interior atomics (hint words, grain estimates) — workers on the previous
+/// generation may act on stale ADVICE for at most one pin interval, which
+/// is safe: no conservation law depends on which policy routed a task.
+///
+/// NOT in the snapshot, deliberately: Topology, NodeArenas, the mailbox
+/// array and the team itself. Descriptor birth nodes cannot migrate while
+/// descriptors are in flight, so topology/arena swaps stay between-regions
+/// only — reconfigure_live() takes no topology parameter (the boundary is
+/// in the type system, not a runtime throw; use reconfigure() between
+/// regions for those).
+struct PolicySnapshot {
+  /// Generation number, 1-based, strictly increasing; mirrors
+  /// Scheduler::snap_version_ at publication time.
+  std::uint64_t version = 0;
+  /// The resolved policy kind this generation was built for (never legacy).
+  StealPolicyKind kind = StealPolicyKind::last_victim;
+  /// Hints consulted by `policy`; null when nothing would ever read them
+  /// (non-hierarchical kind, single-node topology, or knob off). Owned by
+  /// the snapshot so a swap away from hierarchical cannot leave the old
+  /// policy reading freed words.
+  std::unique_ptr<NodeHints> hints;
+  /// The policy itself. References the Scheduler's Topology (stable for the
+  /// snapshot's whole lifetime: topology swaps destroy every snapshot
+  /// between regions first) and `hints` above.
+  std::unique_ptr<StealPolicy> policy;
+  /// Adaptive-grain view for this generation. Points at the scheduler's
+  /// GrainTable — grain state is all interior atomics, so a live retune
+  /// writes into the live generation (CAS/exchange in grain.hpp) rather
+  /// than copying the table per snapshot.
+  GrainTable* grain = nullptr;
+  /// Watchdog tunables: the per-region monitor re-reads these every poll,
+  /// so reconfigure_live can tighten or relax stall detection without
+  /// restarting the region.
+  std::uint32_t watchdog_ms = 0;
+  bool watchdog_cancel = false;
 };
 
 /// Internal per-worker state. Public members: this type is an implementation
@@ -374,12 +423,36 @@ class Worker {
   std::size_t stash_count = 0;
   Task* stash[stash_capacity];
 
+  // -- policy snapshot pin (live reconfiguration, PR 9) ---------------------
+  /// The PolicySnapshot generation this worker is currently acting on.
+  /// Plain pointer: only this worker reads or writes it, and the object it
+  /// names cannot be retired while snap_epoch (below) holds its version.
+  /// Null between regions (region exit clears it so a retired pointer can
+  /// never be revalidated by address reuse).
+  PolicySnapshot* snap = nullptr;
+
   /// TSC-refused tasks parked by THIS worker (its own refusals plus tasks it
   /// drained from other inboxes but could not run). Pushed with a CAS loop,
   /// drained wholesale by any worker with one exchange(nullptr); chained
   /// through Task::pool_next. Padded so thieves' drains do not bounce the
   /// owner's hot state.
   alignas(cache_line_bytes) std::atomic<Task*> parked_inbox{nullptr};
+
+  /// Epoch slot for the RCU snapshot protocol: 0 = quiescent (between
+  /// regions), otherwise the snapshot version this worker has pinned.
+  /// reconfigure_live() retires a generation only once every slot is 0 or
+  /// past it. Own cache line: the swapper's quiescence scan must not bounce
+  /// the worker's hot state, exactly like the watchdog's progress polling.
+  alignas(cache_line_bytes) std::atomic<std::uint64_t> snap_epoch{0};
+
+  /// Relaxed-atomic mirrors of the WorkerStats counters the server's phase
+  /// detector samples WHILE the region runs (per-worker stats are plain
+  /// single-writer fields — legal only between regions). Bumped on cold
+  /// paths only (a remote steal, a gated probe round, a fruitless
+  /// find_work round), summed by Scheduler::telemetry().
+  std::atomic<std::uint64_t> tele_remote_steals{0};
+  std::atomic<std::uint64_t> tele_probes_skipped{0};
+  std::atomic<std::uint64_t> tele_hungry{0};
 
   /// Monotone progress counter sampled by the stall watchdog: bumped on
   /// every deferred-task dispatch (execute or discard) and every range
@@ -396,6 +469,10 @@ class Worker {
 
 namespace detail {
 inline thread_local Worker* tls_worker = nullptr;
+/// One-shot stderr warning for last_region_status() called under a live
+/// region (defined in scheduler.cpp; out of line so the header accessor
+/// stays tiny).
+void warn_last_region_status_race() noexcept;
 }
 
 // Declared in steal_policy.hpp (Worker was incomplete there); defined here
@@ -468,14 +545,22 @@ class Scheduler {
   bool help_one();
 
   /// How the most recent COMPLETED region ended (RegionStatus::completed
-  /// before any region has run). Between regions only.
+  /// before any region has run).
   ///
   /// DEPRECATED for concurrent-region use: with a TaskServer multiplexing
   /// many requests over one resident region, a scheduler-global "last
   /// status" is meaningless — query the per-request RegionHandle::status()
   /// instead. Kept for single-region callers (the BOTS kernels) and the
-  /// PR 6 tests.
+  /// PR 6 tests. Called while a region is LIVE (server mode), it used to
+  /// silently return the stale previous status; now it returns
+  /// RegionStatus::unknown and warns once per scheduler.
   [[nodiscard]] RegionStatus last_region_status() const noexcept {
+    if (region_active_.load(std::memory_order_acquire)) {
+      if (!status_race_warned_.exchange(true, std::memory_order_relaxed)) {
+        detail::warn_last_region_status_race();
+      }
+      return RegionStatus::unknown;
+    }
     return last_region_status_;
   }
 
@@ -506,13 +591,34 @@ class Scheduler {
   /// sysfs discovery, or the flat fallback).
   [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
 
-  /// The active steal/placement policy (one instance for the whole team).
-  [[nodiscard]] StealPolicy& policy() noexcept { return *policy_; }
+  /// The active steal/placement policy (one instance for the whole team,
+  /// owned by the CURRENT PolicySnapshot). Between-regions introspection:
+  /// a live swap may retire the referenced object — in-region code must go
+  /// through the worker's pinned snapshot (Worker::snap) instead.
+  [[nodiscard]] StealPolicy& policy() noexcept { return *snap_owner_->policy; }
 
-  /// Per-node has-work hints; null when the knob is off OR nothing would
-  /// ever consult them (non-hierarchical policy, single-node topology) —
-  /// publishing costs nothing when nobody reads.
-  [[nodiscard]] NodeHints* node_hints() noexcept { return hints_.get(); }
+  /// Per-node has-work hints of the CURRENT snapshot; null when the knob is
+  /// off OR nothing would ever consult them (non-hierarchical policy,
+  /// single-node topology) — publishing costs nothing when nobody reads.
+  /// Between regions only, same lifetime caveat as policy().
+  [[nodiscard]] NodeHints* node_hints() noexcept {
+    return snap_owner_->hints.get();
+  }
+
+  /// The resolved policy kind the CURRENT snapshot was built for. Safe from
+  /// any thread at any time: a plain atomic mirror, no snapshot pointer is
+  /// dereferenced (a non-team reader holds no epoch slot, so it must never
+  /// touch the object itself).
+  [[nodiscard]] StealPolicyKind active_steal_policy() const noexcept {
+    return static_cast<StealPolicyKind>(
+        active_kind_.load(std::memory_order_relaxed));
+  }
+
+  /// Snapshot generation currently published (1-based; bumped by every
+  /// install: construction, reconfigure, shrink, reconfigure_live).
+  [[nodiscard]] std::uint64_t snapshot_version() const noexcept {
+    return snap_version_.load(std::memory_order_acquire);
+  }
 
   /// Whether descriptor memory is node-honest in THIS configuration:
   /// cfg.use_node_pools with a pooled, multi-node setup. On one node (or
@@ -556,7 +662,7 @@ class Scheduler {
 
   /// Swap the steal policy and/or locality topology between regions. Never
   /// valid while a region runs — including the resident server region — and
-  /// that is now a CHECKED error: a live region raises std::logic_error
+  /// that is a CHECKED error: a live region raises std::logic_error
   /// (previously a debug-only assert; a release-build reconfigure under a
   /// live region silently rebuilt arenas whose descriptors were still in
   /// flight). Rebuilds the
@@ -565,8 +671,66 @@ class Scheduler {
   /// last_victim or node id learned under the old configuration is
   /// meaningless (or out of range) under the new one. With pin_workers the
   /// workers re-pin themselves to the new cpusets at the next region
-  /// entry.
+  /// entry. For POLICY-KIND swaps while regions run, use reconfigure_live()
+  /// instead — topology stays between-regions by design (descriptor birth
+  /// nodes cannot migrate live), which is why reconfigure_live takes no
+  /// topology parameter.
   void reconfigure(StealPolicyKind kind, const std::string& synthetic_topology);
+
+  /// Live-swappable tunables carried by reconfigure_live alongside the
+  /// policy kind. Unset fields keep their current values.
+  struct LiveTunables {
+    /// Reseed the global adaptive-grain controller's base AND current
+    /// estimate (GrainController::seed — writes land in the live
+    /// generation's atomics; <= 0 = keep).
+    std::int64_t grain_base = 0;
+    /// Stall-watchdog poll threshold for regions whose monitor is armed;
+    /// re-read from the snapshot every poll. ~0u = keep.
+    std::uint32_t watchdog_ms = ~0u;
+    /// 0 = keep, 1 = report-only, 2 = cancel-on-stall.
+    std::uint32_t watchdog_cancel = 0;
+  };
+
+  /// Hot-swap the steal policy (and optionally grain/watchdog tunables)
+  /// WHILE regions run — including under TaskServer load. Publishes a new
+  /// PolicySnapshot generation (policy + fresh NodeHints + tunables) via an
+  /// RCU-style pointer swap, then blocks until every worker has either
+  /// pinned the new generation or gone quiescent, and only then retires the
+  /// old one. Safe at any time from any non-team thread, and from a team
+  /// worker inside a task body (the caller's own pin is advanced first).
+  /// Workers re-seed their transient steal state (last_victim,
+  /// gated_rounds) on first pin of the new generation — no global stop, no
+  /// barrier, and no lock anywhere on the worker pin path. Swap latency is
+  /// bounded by the longest running task body / grain chunk, exactly like
+  /// cancellation. Conservation laws are unaffected by construction: the
+  /// policy only ever decides WHERE work goes, never whether it exists.
+  /// Throws std::logic_error when cfg.live_reconfigure (RT_LIVE_RECONF) is
+  /// off. Fresh hint words start SET when a region is live (a probe a
+  /// stale-set word costs is bounded; a stale-clear could delay finding
+  /// work published just before the swap).
+  void reconfigure_live(StealPolicyKind kind);
+  void reconfigure_live(StealPolicyKind kind, const LiveTunables& tune);
+
+  /// Pin the current PolicySnapshot for worker `w` and return it. Steady
+  /// state (snapshot unchanged): one seq_cst load + a pointer compare.
+  /// Changed: an announce-validate loop on the worker's epoch slot (store
+  /// slot, re-check version — the Dekker-style handshake that makes the
+  /// swapper's quiescence scan sound), then transient steal state is
+  /// re-seeded. Called at the top of every find_work round, at region
+  /// entry, and at every range-chunk boundary; callable only on the
+  /// worker's own thread.
+  PolicySnapshot* pin_snapshot(Worker& w) noexcept;
+
+  /// Live telemetry for phase detection: sums of the per-worker relaxed
+  /// mirrors (Worker::tele_*). Safe from any thread at any time, including
+  /// under a running region — the per-worker WorkerStats (stats()) are
+  /// plain fields and remain between-regions only.
+  struct Telemetry {
+    std::uint64_t steals_remote_node = 0;
+    std::uint64_t remote_probes_skipped = 0;
+    std::uint64_t hungry_rounds = 0;
+  };
+  [[nodiscard]] Telemetry telemetry() const noexcept;
 
   /// The victim order the policy would plan for `worker` right now
   /// (introspection for tests and bench_ablation_steal_policy; advances
@@ -638,13 +802,25 @@ class Scheduler {
                       std::chrono::steady_clock::time_point deadline_tp,
                       bool has_deadline);
   void dump_stall_report(Region& r);
+  /// Current watchdog tunables (snapshot-backed, reconf_mutex_-guarded —
+  /// the monitor holds no epoch slot). Re-read every poll so
+  /// reconfigure_live retunes a live watchdog.
+  [[nodiscard]] std::pair<std::uint32_t, bool> watchdog_tunables() const;
   /// One fault-plan draw at `site`; counts into `w` when given. Returns
   /// true when the site should fail now.
   [[nodiscard]] bool inject(Worker* w, FaultSite site) noexcept;
   /// Drop never-started workers [built, N) after a thread-spawn failure and
   /// re-map topology/policy/pools onto the shrunken team.
   void shrink_team(unsigned built);
-  void rebuild_node_hints();
+  /// Build and publish the next PolicySnapshot generation from cfg_/topo_
+  /// (caller holds reconf_mutex_), wait for epoch quiescence, retire the
+  /// previous generation. `live` seeds fresh hint words SET (swap under a
+  /// running region) instead of CLEAR (construction / between regions).
+  void install_snapshot_locked(bool live);
+  /// Spin until every worker's epoch slot is quiescent (0) or has advanced
+  /// to `version` — after which no worker can still dereference any older
+  /// generation.
+  void wait_quiescent(std::uint64_t version) noexcept;
   void rebuild_node_pools();
   void rebuild_mailboxes();
   void dispose(Worker& w, Task& t) noexcept;
@@ -673,16 +849,35 @@ class Scheduler {
 
   SchedulerConfig cfg_;
   Topology topo_;
-  std::unique_ptr<NodeHints> hints_;  ///< null when use_node_work_hints off
   /// One descriptor arena per node (task.hpp); empty when node pools are
   /// inert (knob off, single node, or use_task_pool off) — allocation then
   /// degenerates to the per-worker TaskPool path bit-for-bit.
   std::vector<std::unique_ptr<NodeArena>> arenas_;
   /// One range mailbox per node; null when hint placement could never fire
-  /// (knob off, or no hints to consult) — the steady-state empty() probe
-  /// in find_work then costs nothing at all.
+  /// (knob off, hints knob off, or single node). Existence is decoupled
+  /// from the CURRENT policy kind on purpose: a live swap to hierarchical
+  /// must be able to mail immediately, and a swap away must still let
+  /// find_work drain halves mailed before the swap.
   std::unique_ptr<RangeMailbox[]> mailboxes_;
-  std::unique_ptr<StealPolicy> policy_;
+
+  // -- live reconfiguration state (PR 9) ------------------------------------
+  /// Serializes snapshot installs (construction, reconfigure, shrink,
+  /// reconfigure_live) and guards snap_owner_. Never taken on any worker
+  /// path — workers go through snap_/snap_epoch only. Non-team readers
+  /// (the monitor, dump_stall_report, between-regions accessors) take it
+  /// to touch the current snapshot, since they hold no epoch slot.
+  mutable std::mutex reconf_mutex_;
+  /// Owner of the published snapshot (guarded by reconf_mutex_).
+  std::unique_ptr<PolicySnapshot> snap_owner_;
+  /// RCU-published current snapshot. Install order: snap_ first, then
+  /// snap_version_ — pin_snapshot's validate relies on "version observed ⇒
+  /// pointer at least that new".
+  std::atomic<PolicySnapshot*> snap_{nullptr};
+  std::atomic<std::uint64_t> snap_version_{0};
+  /// Lock-free mirror of the current snapshot's kind for
+  /// active_steal_policy().
+  std::atomic<std::uint8_t> active_kind_{0};
+
   GrainTable grain_table_;
   std::uint32_t cutoff_bound_;
   /// Pinning epoch: 0 = pinning disabled, otherwise bumped by reconfigure
@@ -722,6 +917,12 @@ class Scheduler {
   std::condition_variable_any monitor_cv_;
   std::atomic<std::uint64_t> stalls_detected_{0};
   RegionStatus last_region_status_ = RegionStatus::completed;
+  /// True while a region is published (set before region_, cleared after
+  /// last_region_status_ is written): the race gate behind the
+  /// last_region_status() sentinel. Release/acquire pairs with that
+  /// accessor so a false read also sees the final status.
+  std::atomic<bool> region_active_{false};
+  mutable std::atomic<bool> status_race_warned_{false};
   bool team_degraded_ = false;
 
   // -- dependence/taskgraph state (PR 8) ------------------------------------

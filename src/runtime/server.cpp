@@ -54,6 +54,17 @@ TaskServer::TaskServer(Scheduler& sched, ServerConfig cfg)
 
 TaskServer::~TaskServer() { stop(); }
 
+bool TaskServer::retune(StealPolicyKind kind) {
+  if (!sched_.config().live_reconfigure) return false;
+  // NEVER with mu_ held: reconfigure_live waits for every worker to re-pin
+  // its policy snapshot, and a server worker blocked on mu_ (pick_next)
+  // still holds its old pin — mu_ + quiescence wait would deadlock.
+  sched_.reconfigure_live(kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.retunes;
+  return true;
+}
+
 bool TaskServer::running() const noexcept {
   std::lock_guard<std::mutex> lock(mu_);
   return region_up_;
@@ -325,7 +336,53 @@ void TaskServer::monitor_main(const std::stop_token& st) {
   const bool watchdog = cfg_.watchdog_ms > 0;
   const auto stall_after = std::chrono::milliseconds(cfg_.watchdog_ms);
   const auto poll = std::chrono::milliseconds(2);
+  // Phase detector (PR 9): on the RT_SERVER_RETUNE_MS cadence, EWMA the
+  // per-window deltas of the scheduler's steal telemetry and hot-swap the
+  // steal policy when the workload phase changed. The signal pair:
+  //
+  //   * sustained cross-node steal churn (steals_remote_node rising fast)
+  //     means locality is being shredded — switch to hierarchical, whose
+  //     node-tiered victim order + hint gating keeps raids on-node;
+  //   * a settled phase (remote churn AND hint-skip activity near zero,
+  //     workers not hungry) means the hint machinery is pure overhead —
+  //     switch back to last_victim.
+  //
+  // Detection and the swap run OUTSIDE mu_ (see retune()); thresholds
+  // scale with team size so the same knob works from 2 to 256 workers.
+  const bool detect = cfg_.retune_ms > 0 && sched_.config().live_reconfigure;
+  const auto retune_window = std::chrono::milliseconds(
+      cfg_.retune_ms == 0 ? 1 : cfg_.retune_ms);
+  auto last_sample = std::chrono::steady_clock::now();
+  Scheduler::Telemetry prev_tele = detect ? sched_.telemetry()
+                                          : Scheduler::Telemetry{};
+  double ew_remote = 0.0, ew_skip = 0.0, ew_hungry = 0.0;
   while (!st.stop_requested()) {
+    if (detect) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sample >= retune_window) {
+        last_sample = now;
+        const Scheduler::Telemetry t = sched_.telemetry();
+        const auto d_remote =
+            static_cast<double>(t.steals_remote_node - prev_tele.steals_remote_node);
+        const auto d_skip = static_cast<double>(t.remote_probes_skipped -
+                                                prev_tele.remote_probes_skipped);
+        const auto d_hungry =
+            static_cast<double>(t.hungry_rounds - prev_tele.hungry_rounds);
+        prev_tele = t;
+        ew_remote = (7.0 * ew_remote + d_remote) / 8.0;
+        ew_skip = (7.0 * ew_skip + d_skip) / 8.0;
+        ew_hungry = (7.0 * ew_hungry + d_hungry) / 8.0;
+        const double team = static_cast<double>(sched_.num_workers());
+        const StealPolicyKind cur = sched_.active_steal_policy();
+        if (cur != StealPolicyKind::hierarchical &&
+            ew_remote > 4.0 * team) {
+          (void)retune(StealPolicyKind::hierarchical);
+        } else if (cur == StealPolicyKind::hierarchical &&
+                   ew_remote + ew_skip < team && ew_hungry < team) {
+          (void)retune(StealPolicyKind::last_victim);
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto now = std::chrono::steady_clock::now();

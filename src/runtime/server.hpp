@@ -114,6 +114,13 @@ struct ServerConfig {
   /// Per-request stall report window (RT_SERVER_WATCHDOG_MS); 0 = off.
   /// Reporting only — cancel policy stays with deadlines and clients.
   std::uint32_t watchdog_ms = 0;
+  /// Phase-detector cadence (RT_SERVER_RETUNE_MS); 0 = off. Every window
+  /// the monitor samples the scheduler's steal telemetry and hot-swaps the
+  /// steal policy (Scheduler::reconfigure_live) when the workload phase
+  /// changed: sustained cross-node steal churn flips to hierarchical,
+  /// a settled local phase flips back to last_victim. Requires
+  /// RT_LIVE_RECONF=1 (the default) to have any effect.
+  std::uint32_t retune_ms = 0;
 
   [[nodiscard]] static ServerConfig from_env() {
     ServerConfig c;
@@ -128,6 +135,7 @@ struct ServerConfig {
     c.default_deadline_ms =
         env_u32("RT_SERVER_DEADLINE_MS", c.default_deadline_ms);
     c.watchdog_ms = env_u32("RT_SERVER_WATCHDOG_MS", c.watchdog_ms);
+    c.retune_ms = env_u32("RT_SERVER_RETUNE_MS", c.retune_ms);
     return c;
   }
 };
@@ -215,6 +223,7 @@ struct ServerStats {
   std::uint64_t completed = 0;          ///< terminal: completed
   std::uint64_t cancelled = 0;          ///< terminal: cancelled (incl. shed)
   std::uint64_t deadline_exceeded = 0;  ///< terminal: deadline_exceeded
+  std::uint64_t retunes = 0;            ///< live policy swaps (manual + detector)
 };
 
 class TaskServer {
@@ -257,6 +266,14 @@ class TaskServer {
   /// bodies finish their current grain/body (cooperative cancellation, as
   /// everywhere in this runtime). Idempotent; blocks until done.
   void stop();
+
+  /// Hot-swap the scheduler's steal policy UNDER the resident region
+  /// (Scheduler::reconfigure_live — epoch/RCU swap, no drain, no stop).
+  /// In-flight requests keep running; workers adopt the new policy at
+  /// their next find_work round or range-chunk boundary. Returns false
+  /// when live reconfiguration is disabled (RT_LIVE_RECONF=0). This is
+  /// the manual hook behind the RT_SERVER_RETUNE_MS phase detector.
+  bool retune(StealPolicyKind kind);
 
   [[nodiscard]] bool running() const noexcept;
   [[nodiscard]] ServerStats stats() const;

@@ -133,7 +133,9 @@ class HierarchicalPolicy final : public LastVictimPolicy {
     for (unsigned dn = 1; dn < nodes; ++dn) {
       const unsigned node = (home + dn) % nodes;
       if (gate && !hints_->has_work(node)) {
-        w.stats.remote_probes_skipped += topo_.workers_on(node).size();
+        const std::uint64_t saved = topo_.workers_on(node).size();
+        w.stats.remote_probes_skipped += saved;
+        w.tele_probes_skipped.fetch_add(saved, std::memory_order_relaxed);
         skipped = true;
         continue;
       }

@@ -39,7 +39,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "runtime/config.hpp"
 #include "runtime/task.hpp"
@@ -102,23 +101,27 @@ class NodeHints {
   std::unique_ptr<Word[]> words_;
 };
 
-/// Per-node mailbox deque for hint-aware range placement
+/// Per-node mailbox for hint-aware range placement
 /// (SchedulerConfig::use_hint_placement): a splitter on a saturated node
 /// publishes a split-off range half HERE — on the idle node the hints say
 /// is starving — instead of on its own deque, so the idle node's workers
 /// find the half on their next find_work round without paying a
 /// cross-node steal probe for it.
 ///
-/// Push and pop are multi-producer/multi-consumer (any remote splitter may
-/// push; any of the node's workers — and, as an idle-path liveness
-/// fallback, any worker at all — may pop), so the chain is guarded by a
-/// mutex: redirects are rare, batched events and exactly-once delivery
-/// matters more than lock-freedom here. The steady state costs one relaxed
-/// size probe (empty()) per idle round and zero locks. FIFO order: the
-/// oldest redirected half — the one whose spawner has waited longest — is
-/// delivered first. Tasks chain through Task::pool_next (a mailed task is
-/// live and queued, so the freelist/parked uses of that link are disjoint
-/// from this one).
+/// Lock-free Treiber stack, same shape as the parking-inbox design in
+/// scheduler.cpp: push is a CAS-splice of a single node, pop takes
+/// exclusive ownership of the whole chain with exchange(nullptr), keeps
+/// the first task and CAS-splices the remainder back. Exactly-once
+/// delivery holds for any producer/consumer mix (any remote splitter may
+/// push; any worker may pop): the exchange hands the chain to exactly one
+/// popper, and a task is only ever in one chain. Order is LIFO, not the
+/// old mutex-FIFO — irrelevant in practice because the redirect condition
+/// (target mailbox observed empty) keeps the depth at ~1. The steady
+/// state costs one acquire head probe (empty()) per idle round and zero
+/// locks anywhere; `size_` is a relaxed side counter kept only for the
+/// stall watchdog's dump and tests. Tasks chain through Task::pool_next
+/// (a mailed task is live and queued, so the freelist/parked uses of that
+/// link are disjoint from this one).
 class alignas(cache_line_bytes) RangeMailbox {
  public:
   RangeMailbox() = default;
@@ -126,48 +129,52 @@ class alignas(cache_line_bytes) RangeMailbox {
   RangeMailbox& operator=(const RangeMailbox&) = delete;
 
   void push(Task* t) noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
-    t->pool_next = nullptr;
-    if (tail_ != nullptr) {
-      tail_->pool_next = t;
-    } else {
-      head_ = t;
-    }
-    tail_ = t;
-    size_.store(size_.load(std::memory_order_relaxed) + 1,
-                std::memory_order_release);
+    Task* head = head_.load(std::memory_order_relaxed);
+    do {
+      t->pool_next = head;
+    } while (!head_.compare_exchange_weak(head, t, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Oldest mailed task, or nullptr. Exactly-once: the mutex serializes
-  /// concurrent drains, so every pushed task is returned by exactly one
-  /// pop, whichever workers race for it.
+  /// One mailed task, or nullptr. Exactly-once: exchange(nullptr) gives
+  /// this popper the whole chain exclusively; concurrent poppers get
+  /// disjoint chains (or nullptr), so every pushed task is returned by
+  /// exactly one pop, whichever workers race for it.
   [[nodiscard]] Task* pop() noexcept {
-    if (size_.load(std::memory_order_acquire) == 0) return nullptr;
-    std::lock_guard<std::mutex> lock(mu_);
-    Task* t = head_;
-    if (t == nullptr) return nullptr;
-    head_ = t->pool_next;
-    if (head_ == nullptr) tail_ = nullptr;
-    t->pool_next = nullptr;
-    size_.store(size_.load(std::memory_order_relaxed) - 1,
-                std::memory_order_release);
-    return t;
+    if (head_.load(std::memory_order_acquire) == nullptr) return nullptr;
+    Task* chain = head_.exchange(nullptr, std::memory_order_acquire);
+    if (chain == nullptr) return nullptr;
+    Task* rest = chain->pool_next;
+    chain->pool_next = nullptr;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    if (rest != nullptr) {
+      Task* tail = rest;
+      while (tail->pool_next != nullptr) tail = tail->pool_next;
+      Task* head = head_.load(std::memory_order_relaxed);
+      do {
+        tail->pool_next = head;
+      } while (!head_.compare_exchange_weak(
+          head, rest, std::memory_order_release, std::memory_order_relaxed));
+    }
+    return chain;
   }
 
+  /// Advisory: a popper transiently holding the chain makes the mailbox
+  /// look empty for one probe — the same miss-a-round semantics the old
+  /// size gate had.
   [[nodiscard]] bool empty() const noexcept {
-    return size_.load(std::memory_order_acquire) == 0;
+    return head_.load(std::memory_order_acquire) == nullptr;
   }
 
-  /// Current depth (one atomic load, no lock): introspection for the stall
-  /// watchdog's dump and tests — safe to call from a non-team thread.
+  /// Approximate depth (one relaxed load, no lock): introspection for the
+  /// stall watchdog's dump and tests — safe to call from a non-team thread.
   [[nodiscard]] std::size_t size() const noexcept {
-    return size_.load(std::memory_order_acquire);
+    return size_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::mutex mu_;
-  Task* head_ = nullptr;
-  Task* tail_ = nullptr;
+  std::atomic<Task*> head_{nullptr};
   std::atomic<std::size_t> size_{0};
 };
 

@@ -67,6 +67,13 @@ void TaskGraph::freeze(Worker& w) {
   }
   rec_edges_.clear();
   rec_edges_.shrink_to_fit();
+  // Structure-relevance fold (PR 9): graph_epoch() moves only on changes
+  // that invalidate a recorded shape — reconfigure() / shrink_team (team
+  // size, topology, node mapping). reconfigure_live() deliberately does
+  // NOT bump it: a steal-policy or tunable hot-swap changes WHERE tasks
+  // run, never the recorded task set or its edges, so frozen graphs stay
+  // replayable across any number of live swaps and re-record exactly when
+  // structure-relevant configuration changed.
   epoch_ = w.sched->graph_epoch();
   frozen_ = true;
   ++w.stats.graphs_recorded;

@@ -159,7 +159,6 @@ struct RangeRunner {
   void operator()() {
     Worker* w = tls_worker;  // range tasks only ever run deferred, in-region
     Scheduler& s = *w->sched;
-    const StealPolicy& pol = s.policy();
     std::int64_t lo = desc.lo;
     std::int64_t hi = desc.hi;
     const std::int64_t grain = desc.grain;
@@ -182,7 +181,12 @@ struct RangeRunner {
         // lives next to victim selection: the policy knows who the half will
         // feed — under the hierarchical policy, same-node thieves probe this
         // deque first, so halves stay on-node while the node is hungry).
-        if (splittable && hi - lo > grain && pol.should_split_range(*w)) {
+        // Pinned fresh per chunk, not once per range: a long range must not
+        // hold one policy generation across its whole body, or a live
+        // reconfigure would stall on it — re-pinning here bounds swap
+        // latency to one grain chunk, the same cadence as cancellation.
+        if (splittable && hi - lo > grain &&
+            s.pin_snapshot(*w)->policy->should_split_range(*w)) {
           const std::int64_t mid = lo + (hi - lo) / 2;
           if (split_off(*w, mid, hi)) {
             ++splits;
