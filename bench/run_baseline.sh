@@ -117,6 +117,21 @@ if [[ -x "$BUILD/bench_ablation_reconf" ]]; then
       sed -n 's/^RECONF: //p')"
 fi
 
+# Trace-overhead A/B (PR 10): fib ns/task (fastpath=on) with tracing
+# compiled in but disarmed (RT_TRACE=0 — the shipped default; off cost is
+# one null-check branch per event site) vs armed (RT_TRACE=1 — relaxed
+# counter bump + 24-byte ring store per event). The trace-overhead-tripwire
+# CI job holds a fresh off run to 3% of the off entry and an armed run to
+# 15% of the same off entry. Entries are tagged "trace":"off"/"on" so they
+# never collide with the spawn_overhead section's untagged fib rows.
+echo "== trace overhead A/B (RT_TRACE off/on) ==" >&2
+trace_off_json="$(RT_TRACE=0 "$BUILD/bench_spawn_overhead" |
+    grep '"workload":"fib"' | grep '"fastpath":"on"' |
+    sed 's/^{/{"trace":"off",/')"
+trace_on_json="$(RT_TRACE=1 "$BUILD/bench_spawn_overhead" |
+    grep '"workload":"fib"' | grep '"fastpath":"on"' |
+    sed 's/^{/{"trace":"on",/')"
+
 echo "== Figure 3 smoke (2 threads, test input) ==" >&2
 fig3_out="$(BOTS_MAX_THREADS="${BOTS_MAX_THREADS:-2}" \
             BOTS_INPUT_CLASS="${BOTS_INPUT_CLASS:-test}" \
@@ -164,6 +179,9 @@ fig3_sitegrain="$(printf '%s\n' "$fig3_out" |
   if [[ -n "$reconf_json" ]]; then
     printf '%s\n' "$reconf_json" | sed 's/^/    /; $!s/$/,/'
   fi
+  echo "  ],"
+  echo "  \"trace\": ["
+  printf '%s\n' "$trace_off_json" "$trace_on_json" | sed 's/^/    /; $!s/$/,/'
   echo "  ]"
   echo "}"
 } > "$OUT"

@@ -57,6 +57,15 @@ void usage() {
       "                        a pool off its birth node (pool_remote_frees\n"
       "                        > 0) — the CI locality guardrail for\n"
       "                        RT_NODE_POOLS=1 runs (implies --stats)\n"
+      "      --trace-out <f>   write the per-worker event trace as\n"
+      "                        Chrome-trace/perfetto JSON to <f> (implies\n"
+      "                        RT_TRACE=1; also --trace-out=<f>)\n"
+      "      --tripwire-pathology\n"
+      "                        run the scheduling-pathology analyzers\n"
+      "                        (creation-serialization, depth-first\n"
+      "                        starvation, cross-node ping-pong) over the\n"
+      "                        trace and exit nonzero if any fires\n"
+      "                        (implies RT_TRACE=1)\n"
       "      --server --mix    persistent server mode: bring up a resident\n"
       "                        TaskServer and fire a seeded mixed-kernel\n"
       "                        request stream at it (no -a needed); also\n"
@@ -223,12 +232,83 @@ bool mix_request(std::uint64_t seed) {
   }
 }
 
+// Drain every ring into the archive (between regions — idempotent with the
+// per-worker region-exit drains) and write the Chrome-trace JSON.
+int export_trace(rt::Scheduler& sched, const std::string& path) {
+  rt::TraceCollector* tc = sched.tracer();
+  if (tc == nullptr) {
+    std::fprintf(stderr, "bots_run: --trace-out requires tracing (RT_TRACE=1 "
+                 "or the flag itself should have forced it)\n");
+    return 1;
+  }
+  tc->drain_all();
+  if (!tc->export_chrome_trace(path.c_str())) {
+    std::fprintf(stderr, "bots_run: failed to write trace to '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("trace: wrote %s (%llu events archived, %llu dropped)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(tc->total_events_drained()),
+              static_cast<unsigned long long>(tc->dropped()));
+  return 0;
+}
+
+void print_pathology_finding(const char* name,
+                             const rt::PathologyFinding& f) {
+  std::printf("pathology: %-24s %s%s%s\n", name,
+              f.fired ? "FIRED" : "quiet",
+              f.detail.empty() ? "" : " — ", f.detail.c_str());
+}
+
+// The pathology guardrail mirroring --tripwire-pool-locality: nonzero exit
+// when any detector fires — and when the check would be vacuous (no trace,
+// no events) because a silently empty trace must trip, not pass.
+int run_pathology_tripwire(rt::Scheduler& sched, bool fail_on_fire) {
+  rt::TraceCollector* tc = sched.tracer();
+  if (tc == nullptr) {
+    std::fprintf(stderr,
+                 "TRIPWIRE: tracing is INACTIVE — the pathology check would "
+                 "be vacuous. Run with RT_TRACE=1 (the --tripwire-pathology "
+                 "flag forces it; check knob plumbing).\n");
+    return 1;
+  }
+  tc->drain_all();
+  if (fail_on_fire && tc->total(rt::TraceEvent::spawn) == 0) {
+    std::fprintf(stderr,
+                 "TRIPWIRE: the trace recorded zero spawn events — the "
+                 "pathology check would be vacuous (did the run spawn any "
+                 "tasks?)\n");
+    return 1;
+  }
+  const rt::PathologyReport rep = rt::analyze_pathologies(*tc);
+  print_pathology_finding("creation-serialization", rep.creation_serialization);
+  print_pathology_finding("depth-first-starvation", rep.depth_first_starvation);
+  print_pathology_finding("cross-node-ping-pong", rep.cross_node_ping_pong);
+  if (rep.any()) {
+    if (!fail_on_fire) return 0;  // RT_PATHOLOGY report mode: advisory only
+    std::fprintf(stderr,
+                 "TRIPWIRE: scheduling pathology detected (see report above) "
+                 "— the run exhibits a detrimental execution pattern\n");
+    return 1;
+  }
+  if (fail_on_fire) {
+    std::printf("tripwire ok: all pathology detectors quiet (%llu events, "
+                "%llu dropped)\n",
+                static_cast<unsigned long long>(tc->total_events_drained()),
+                static_cast<unsigned long long>(tc->dropped()));
+  }
+  return 0;
+}
+
 int run_server_mix(unsigned threads, unsigned requests, unsigned rps,
                    std::uint32_t queue, std::uint32_t deadline_ms,
-                   const std::string& fault_plan) {
+                   const std::string& fault_plan,
+                   const std::string& trace_out) {
   rt::SchedulerConfig cfg;
   cfg.num_threads = threads;
   if (!fault_plan.empty()) cfg.fault_plan = fault_plan;
+  if (!trace_out.empty()) cfg.trace = true;
   rt::Scheduler sched(cfg);
   rt::ServerConfig sc = rt::ServerConfig::from_env();
   if (queue > 0) sc.queue_capacity = queue;
@@ -289,6 +369,7 @@ int run_server_mix(unsigned threads, unsigned requests, unsigned rps,
       static_cast<unsigned long long>(deadline),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(st.shed), p50, p99);
+  if (!trace_out.empty() && export_trace(sched, trace_out) != 0) return 1;
   const bool conserved =
       completed + cancelled + deadline + rejected == requests &&
       st.submitted == st.completed + st.cancelled + st.deadline_exceeded +
@@ -318,6 +399,8 @@ int main(int argc, char** argv) {
   bool verify = true;
   bool stats = false;
   bool tripwire_pool_locality = false;
+  bool tripwire_pathology = false;
+  std::string trace_out;
   std::uint32_t deadline_ms = 0;
   std::uint32_t watchdog_ms = 0;
   std::string fault_plan;
@@ -382,6 +465,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--tripwire-pool-locality") {
       tripwire_pool_locality = true;
       stats = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--tripwire-pathology") {
+      tripwire_pathology = true;
     } else if (arg == "--server") {
       server_mode = true;
     } else if (arg == "--mix") {
@@ -422,7 +511,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_server_mix(threads, server_requests, rps, server_queue,
-                          deadline_ms, fault_plan);
+                          deadline_ms, fault_plan, trace_out);
   }
 
   const auto* app = core::find_app(app_name);
@@ -454,6 +543,9 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0) cfg.region_deadline_ms = deadline_ms;
   if (watchdog_ms > 0) cfg.watchdog_ms = watchdog_ms;
   if (!fault_plan.empty()) cfg.fault_plan = fault_plan;
+  // Both trace consumers force the producer on — a trace flag that silently
+  // produced an empty file would be worse than an error.
+  if (!trace_out.empty() || tripwire_pathology) cfg.trace = true;
   rt::Scheduler sched(cfg);
   int exit_code = 0;
   std::uint64_t remote_frees = 0;  // across every rep, not just the best
@@ -474,6 +566,9 @@ int main(int argc, char** argv) {
       exit_code = 1;
     }
     if (best.verified == core::Verified::failed) exit_code = 1;
+  }
+  if (!trace_out.empty() && export_trace(sched, trace_out) != 0) {
+    exit_code = 1;
   }
   if (tripwire_pool_locality) {
     // The locality guardrail mirroring bench_spawn_overhead's zero-alloc
@@ -523,6 +618,10 @@ int main(int argc, char** argv) {
     std::printf("tripwire ok: pool_remote_frees=0 and per-node pool balance "
                 "exact across %d rep(s) (node_pools_active=%s)\n",
                 reps, sched.node_pools_active() ? "yes" : "no");
+  }
+  if (tripwire_pathology || sched.config().pathology) {
+    const int rc = run_pathology_tripwire(sched, tripwire_pathology);
+    if (rc != 0) return rc;
   }
   return exit_code;
 }

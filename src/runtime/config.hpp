@@ -108,6 +108,24 @@ inline void warn_malformed_env(const char* name, const char* value) noexcept {
                name, value);
 }
 
+/// RT_CUTOFF environment override ("none", "max_tasks", "max_depth",
+/// "adaptive"); unset keeps the max_tasks default and a malformed value
+/// warns once and keeps it too. Paired with RT_CUTOFF_VALUE for the bound
+/// (0 = policy-specific default), it lets CI re-run whole binaries under a
+/// pruning strategy — the nightly depth-first-starvation provocation leg
+/// (RT_CUTOFF=max_depth RT_CUTOFF_VALUE=1) exists because of this knob.
+[[nodiscard]] inline CutoffPolicy cutoff_from_env() noexcept {
+  const char* v = std::getenv("RT_CUTOFF");
+  if (v == nullptr) return CutoffPolicy::max_tasks;
+  const std::string_view s{v};
+  if (s == "none") return CutoffPolicy::none;
+  if (s == "max_tasks") return CutoffPolicy::max_tasks;
+  if (s == "max_depth") return CutoffPolicy::max_depth;
+  if (s == "adaptive") return CutoffPolicy::adaptive;
+  warn_malformed_env("RT_CUTOFF", v);
+  return CutoffPolicy::max_tasks;
+}
+
 /// RT_STEAL_POLICY environment override ("random", "sequential",
 /// "last_victim", "hierarchical"); unset keeps the legacy derivation and a
 /// malformed value warns once and keeps it too. Lets CI and scripts re-run
@@ -160,11 +178,13 @@ struct SchedulerConfig {
   unsigned num_threads = std::thread::hardware_concurrency();
   LocalOrder local_order = LocalOrder::lifo;
   VictimPolicy victim = VictimPolicy::random;
-  CutoffPolicy cutoff = CutoffPolicy::max_tasks;
+  /// Cut-off policy (Figure 4). Also settable process-wide via RT_CUTOFF.
+  CutoffPolicy cutoff = cutoff_from_env();
   /// Bound for the cut-off policy. 0 selects a policy-specific default:
   /// max_tasks -> 64 * num_threads, max_depth -> 16,
   /// adaptive -> hi = 64 * num_threads (lo = hi / 2).
-  std::uint32_t cutoff_value = 0;
+  /// Also settable process-wide via RT_CUTOFF_VALUE.
+  std::uint32_t cutoff_value = env_u32("RT_CUTOFF_VALUE", 0);
   /// Pool task descriptors in per-worker freelists instead of the global
   /// heap (paper Section III-B: "implementations that pre-allocate small
   /// memory areas associated with tasks descriptors might ... reduce the
@@ -386,6 +406,29 @@ struct SchedulerConfig {
   /// the between-regions reconfigure() always has. Also settable via
   /// RT_LIVE_RECONF=0/1.
   bool live_reconfigure = env_flag("RT_LIVE_RECONF", true);
+
+  /// Per-worker binary event tracing (trace.hpp): TSC-stamped ring buffers
+  /// recording spawn/steal/park/split/mailbox/request events, drained at
+  /// region boundaries and exportable as Chrome-trace/perfetto JSON
+  /// (`bots_run --trace-out=f.json`). Off (the default) costs one predictable
+  /// branch per event site (the worker's ring pointer stays null); compile
+  /// with -DBOTS_RT_NO_TRACE to remove even that. Also settable via
+  /// RT_TRACE=0/1.
+  bool trace = env_flag("RT_TRACE", false);
+
+  /// Per-worker trace ring capacity in records (rounded up to a power of
+  /// two; 24 bytes/record, so the default is ~384 KiB per worker). The ring
+  /// overwrites its oldest records between drains; overwritten records are
+  /// counted as dropped, and the per-event counters used by the pathology
+  /// analyzers and conservation tests are wrap-proof regardless. Also
+  /// settable via RT_TRACE_BUF=<records>.
+  std::uint32_t trace_buf = env_u32("RT_TRACE_BUF", 1u << 14);
+
+  /// Run the scheduling-pathology analyzers (pathology.hpp) over the trace
+  /// at teardown and print a report (the driver's --tripwire-pathology flag
+  /// additionally fails the run when a detector fires). Implies nothing on
+  /// its own when tracing is off. Also settable via RT_PATHOLOGY=0/1.
+  bool pathology = env_flag("RT_PATHOLOGY", false);
 
   /// Resolved cut-off bound (applies the documented defaults).
   [[nodiscard]] std::uint32_t resolved_cutoff_bound() const noexcept {

@@ -228,6 +228,7 @@ class DepScope {
     // finish only routes the task onto a queue, so live counts can never
     // make a barrier open early and never double-count.
     ++w->stats.tasks_deferred;
+    trace_record(w->ring, TraceEvent::spawn, t->depth(), 1);
     s.account_dep_spawn(*w, *t);
     if (node->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       s.enqueue_released(*w, *t);

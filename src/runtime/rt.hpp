@@ -8,6 +8,7 @@
 #include "runtime/fault.hpp"       // IWYU pragma: export
 #include "runtime/taskgraph.hpp"   // IWYU pragma: export
 #include "runtime/grain.hpp"       // IWYU pragma: export
+#include "runtime/pathology.hpp"   // IWYU pragma: export
 #include "runtime/region_ctx.hpp"  // IWYU pragma: export
 #include "runtime/scheduler.hpp"   // IWYU pragma: export
 #include "runtime/server.hpp"      // IWYU pragma: export
@@ -15,5 +16,6 @@
 #include "runtime/steal_policy.hpp"  // IWYU pragma: export
 #include "runtime/task.hpp"        // IWYU pragma: export
 #include "runtime/topology.hpp"    // IWYU pragma: export
+#include "runtime/trace.hpp"       // IWYU pragma: export
 #include "runtime/worker_local.hpp"  // IWYU pragma: export
 #include "runtime/worksharing.hpp"   // IWYU pragma: export

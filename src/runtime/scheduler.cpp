@@ -93,6 +93,12 @@ Scheduler::Scheduler(SchedulerConfig cfg)
     workers_.back()->victim_buf.resize(cfg_.num_threads);
     workers_.back()->outbound.resize(topo_.num_nodes());
   }
+  if (cfg_.trace) {
+    tracer_ = std::make_unique<TraceCollector>(cfg_.num_threads,
+                                               cfg_.trace_buf);
+    for (unsigned i = 0; i < cfg_.num_threads; ++i)
+      workers_[i]->ring = tracer_->ring(i);
+  }
   // Worker-thread spawn is a degradation point, not a construction failure:
   // the first thread the OS (or the fault plan) refuses stops the roll-out
   // and the team shrinks to the workers that do exist — worker 0 is the
@@ -146,6 +152,12 @@ void Scheduler::shrink_team(unsigned built) {
   }
   rebuild_node_pools();
   rebuild_mailboxes();
+  if (tracer_ != nullptr) {
+    // Events recorded during the aborted roll-out describe workers that no
+    // longer exist; start the trace over for the team that does.
+    tracer_ = std::make_unique<TraceCollector>(built, cfg_.trace_buf);
+    for (auto& w : workers_) w->ring = tracer_->ring(w->id);
+  }
   if (cfg_.cutoff_value == 0) cutoff_bound_ = cfg_.resolved_cutoff_bound();
   // A graph recorded for the planned team bakes that team's shape (root
   // frontier width, placement, depth decisions): invalidate every recording.
@@ -343,6 +355,7 @@ void Scheduler::run_ctx_root(RegionCtx& ctx, const std::function<void()>& body) 
   // Shed or expired before it ever started: nothing was spawned under this
   // ctx yet, so skipping the body IS the discard (ledger stays 0 == 0).
   if (ctx.cancelled()) return;
+  trace_record(w.ring, TraceEvent::request_start, ctx.id());
   TaskStorage storage{};
   Task* frame = alloc_task(w, storage);
   if (frame == nullptr) {
@@ -360,6 +373,7 @@ void Scheduler::run_ctx_root(RegionCtx& ctx, const std::function<void()>& body) 
     }
     --w.inline_depth;
     taskwait_from(w);
+    trace_record(w.ring, TraceEvent::request_end, ctx.id());
     return;
   }
   frame->init_env([] {});  // root frames carry no environment of their own
@@ -408,6 +422,7 @@ void Scheduler::run_ctx_root(RegionCtx& ctx, const std::function<void()>& body) 
   Task* frame_parent = frame->parent();
   if (frame_parent != nullptr) frame_parent->child_completed();
   release_chain(w, frame);
+  trace_record(w.ring, TraceEvent::request_end, ctx.id());
 }
 
 bool Scheduler::help_one() {
@@ -580,6 +595,11 @@ void Scheduler::participate(Worker& w, Region& r) {
   // arena_free == carved, per node) is exact. Each worker flushes its own
   // stashes — the splices parallelize across the team.
   flush_outbound_stashes(w);
+
+  // Drain this worker's trace ring into the collector's archive: the worker
+  // drains its OWN ring, at a point where it records nothing further this
+  // region — single-threaded by construction, no synchronization needed.
+  if (tracer_ != nullptr) tracer_->drain_worker(w.id);
 
   assert(root.unfinished_children() == 0);
   w.current = nullptr;
@@ -906,6 +926,8 @@ void Scheduler::publish_range_half(Worker& w, Task& t) {
       ++w.stats.range_halves_redirected;
       account_spawn(w);
       if (RegionCtx* c = t.ctx()) c->note_deferred();
+      trace_record(w.ring, TraceEvent::mailbox, t.home_node(),
+                   trace_pack_nodes(target, w.node));
       mailboxes_[target].push(&t);
       // The gift IS work on that node now: set its word, both so remote
       // planners probe there and so the next split is not dumped on the
@@ -1248,6 +1270,7 @@ void Scheduler::run_inline_scope(Worker& w, const std::function<void()>& body) {
 
 void Scheduler::park_refused(Worker& w, Task* t) {
   ++w.stats.tsc_parked;
+  trace_record(w.ring, TraceEvent::park, t->depth());
   Region& r = *w.region;
   if (cfg_.distributed_parking) {
     // Push onto this worker's own inbox. Only the owner pushes, but drains
@@ -1277,6 +1300,7 @@ Task* Scheduler::claim_parked(Worker& w) {
         r.overflow.erase(r.overflow.begin() + static_cast<std::ptrdiff_t>(i));
         r.parked_count.fetch_sub(1, std::memory_order_release);
         ++w.stats.parked_claimed;
+        trace_record(w.ring, TraceEvent::unpark, t->depth());
         return t;
       }
     }
@@ -1328,6 +1352,7 @@ Task* Scheduler::claim_parked(Worker& w) {
     if (take != nullptr) {
       r.parked_count.fetch_sub(1, std::memory_order_release);
       ++w.stats.parked_claimed;
+      trace_record(w.ring, TraceEvent::unpark, v.id);
       return take;
     }
   }
@@ -1351,6 +1376,7 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
   // first enqueued, so no accounting happens on this path.
   auto raid = [&](unsigned v) -> std::size_t {
     ++w.stats.steal_attempts;
+    trace_record(w.ring, TraceEvent::steal_attempt, v);
     WorkStealingDeque& victim = workers_[v]->deque;
     std::size_t got = 0;
     // Batch only when unconstrained: a worker suspended inside a tied task
@@ -1369,6 +1395,11 @@ Task* Scheduler::steal_work(Worker& w, bool& progress) {
     sp.policy->raided(w, v, got > 0);
     if (got == 0) return 0;
     w.stats.tasks_stolen += got;
+    // Counter weight `got` keeps steal_hit == tasks_stolen exactly; the
+    // record's payload carries the (victim_node, thief_node) pair the
+    // ping-pong analyzer consumes.
+    trace_record(w.ring, TraceEvent::steal_hit, got,
+                 trace_pack_nodes(workers_[v]->node, w.node), got);
     if (workers_[v]->node == w.node) {
       ++w.stats.steals_local_node;
     } else {
@@ -1480,6 +1511,7 @@ Task* Scheduler::find_work(Worker& w) {
       // concerns.
       if (cfg_.use_adaptive_grain) grain_table_.note_hungry();
       w.tele_hungry.fetch_add(1, std::memory_order_relaxed);
+      trace_record(w.ring, TraceEvent::hungry);
       return nullptr;
     }
   }

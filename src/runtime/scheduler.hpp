@@ -186,6 +186,7 @@
 #include "runtime/steal_policy.hpp"
 #include "runtime/task.hpp"
 #include "runtime/topology.hpp"
+#include "runtime/trace.hpp"
 
 namespace bots::rt {
 
@@ -338,6 +339,11 @@ class Worker {
   WorkStealingDeque deque;
   TaskPool pool;
   WorkerStats stats;
+  /// Event-trace ring for this worker (trace.hpp), or nullptr when tracing
+  /// is knob-off — every event site checks this one pointer, so the off
+  /// cost is a single predictable branch. Owned by the Scheduler's
+  /// TraceCollector; wired at construction and after team shrink.
+  TraceRing* ring = nullptr;
   // -- node-local descriptor pool state (cfg.use_node_pools; see the
   // -- NodeArena/RemoteStash notes in task.hpp). Only used while the
   // -- scheduler's node pools are active (multi-node topology).
@@ -732,6 +738,15 @@ class Scheduler {
   };
   [[nodiscard]] Telemetry telemetry() const noexcept;
 
+  /// The event-trace collector (trace.hpp), or nullptr when cfg.trace is
+  /// off. Rings are drained into it by each worker at region exit; the
+  /// per-event counters are live-sampleable from any thread (the server
+  /// phase detector reads them under a running region).
+  [[nodiscard]] TraceCollector* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const TraceCollector* tracer() const noexcept {
+    return tracer_.get();
+  }
+
   /// The victim order the policy would plan for `worker` right now
   /// (introspection for tests and bench_ablation_steal_policy; advances
   /// the worker's rng exactly like a real steal round). Only valid BETWEEN
@@ -933,6 +948,11 @@ class Scheduler {
   std::uint64_t graph_epoch_ = 1;
   std::mutex graphs_mutex_;
   std::unordered_map<std::string, std::unique_ptr<TaskGraph>> graphs_;
+
+  // -- event tracing (PR 10) ------------------------------------------------
+  /// Per-worker trace rings + drained archive; null when cfg.trace is off
+  /// (Worker::ring stays null and every event site is one dead branch).
+  std::unique_ptr<TraceCollector> tracer_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1000,6 +1020,7 @@ void run_inline_fast(Worker& w, Tiedness tied, F&& f) {
     return;
   }
   ++w.stats.tasks_inlined_fast;
+  trace_record(w.ring, TraceEvent::spawn, w.inline_depth, 0);
   // No descriptor is materialized, but the construct still *captured* this
   // many bytes on the parent's frame — count them so Table-II-style env
   // statistics do not undercount under heavy inlining (sizeof the closure
@@ -1077,6 +1098,7 @@ void spawn(Tiedness tied, F&& f) {
   t->set_links(parent, depth, tied, storage);
   if (defer) {
     ++w->stats.tasks_deferred;
+    trace_record(w->ring, TraceEvent::spawn, depth, 1);
     s.enqueue(*w, *t);
   } else {
     ++w->stats.tasks_cutoff_inlined;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runtime/dependency.hpp"
+#include "runtime/pathology.hpp"
 #include "runtime/taskgraph.hpp"
 
 namespace bots::rt {
@@ -336,50 +337,70 @@ void TaskServer::monitor_main(const std::stop_token& st) {
   const bool watchdog = cfg_.watchdog_ms > 0;
   const auto stall_after = std::chrono::milliseconds(cfg_.watchdog_ms);
   const auto poll = std::chrono::milliseconds(2);
-  // Phase detector (PR 9): on the RT_SERVER_RETUNE_MS cadence, EWMA the
-  // per-window deltas of the scheduler's steal telemetry and hot-swap the
-  // steal policy when the workload phase changed. The signal pair:
+  // Phase detection (PR 9, richer signal PR 10): on the RT_SERVER_RETUNE_MS
+  // cadence, feed the per-window deltas of the scheduler's steal telemetry —
+  // plus, when tracing is live, the trace layer's spawn-concentration signal
+  // — into a PhaseDetector (pathology.hpp) and hot-swap the steal policy
+  // when the workload phase changed:
   //
-  //   * sustained cross-node steal churn (steals_remote_node rising fast)
-  //     means locality is being shredded — switch to hierarchical, whose
-  //     node-tiered victim order + hint gating keeps raids on-node;
+  //   * sustained cross-node steal churn, OR a serialized-creation phase
+  //     (one worker sourcing nearly every spawn while the team runs hungry),
+  //     switches to hierarchical — node-tiered victim order + hint gating
+  //     keeps the probe storm off the hot node;
   //   * a settled phase (remote churn AND hint-skip activity near zero,
-  //     workers not hungry) means the hint machinery is pure overhead —
-  //     switch back to last_victim.
+  //     workers not hungry) switches back to last_victim.
   //
-  // Detection and the swap run OUTSIDE mu_ (see retune()); thresholds
-  // scale with team size so the same knob works from 2 to 256 workers.
+  // With tracing off the concentration signal is identically zero and the
+  // detector degrades to exactly PR 9's two-signal EWMA. Detection and the
+  // swap run OUTSIDE mu_ (see retune()); thresholds scale with team size.
   const bool detect = cfg_.retune_ms > 0 && sched_.config().live_reconfigure;
   const auto retune_window = std::chrono::milliseconds(
       cfg_.retune_ms == 0 ? 1 : cfg_.retune_ms);
   auto last_sample = std::chrono::steady_clock::now();
   Scheduler::Telemetry prev_tele = detect ? sched_.telemetry()
                                           : Scheduler::Telemetry{};
-  double ew_remote = 0.0, ew_skip = 0.0, ew_hungry = 0.0;
+  PhaseDetector phase(static_cast<double>(sched_.num_workers()));
+  std::vector<std::uint64_t> prev_spawn;
+  if (const TraceCollector* tc = sched_.tracer(); detect && tc != nullptr) {
+    prev_spawn.resize(tc->num_workers());
+    for (unsigned i = 0; i < tc->num_workers(); ++i)
+      prev_spawn[i] = tc->count(i, TraceEvent::spawn);
+  }
   while (!st.stop_requested()) {
     if (detect) {
       const auto now = std::chrono::steady_clock::now();
       if (now - last_sample >= retune_window) {
         last_sample = now;
         const Scheduler::Telemetry t = sched_.telemetry();
-        const auto d_remote =
+        PhaseSample smp;
+        smp.d_remote =
             static_cast<double>(t.steals_remote_node - prev_tele.steals_remote_node);
-        const auto d_skip = static_cast<double>(t.remote_probes_skipped -
-                                                prev_tele.remote_probes_skipped);
-        const auto d_hungry =
+        smp.d_skip = static_cast<double>(t.remote_probes_skipped -
+                                         prev_tele.remote_probes_skipped);
+        smp.d_hungry =
             static_cast<double>(t.hungry_rounds - prev_tele.hungry_rounds);
         prev_tele = t;
-        ew_remote = (7.0 * ew_remote + d_remote) / 8.0;
-        ew_skip = (7.0 * ew_skip + d_skip) / 8.0;
-        ew_hungry = (7.0 * ew_hungry + d_hungry) / 8.0;
-        const double team = static_cast<double>(sched_.num_workers());
-        const StealPolicyKind cur = sched_.active_steal_policy();
-        if (cur != StealPolicyKind::hierarchical &&
-            ew_remote > 4.0 * team) {
-          (void)retune(StealPolicyKind::hierarchical);
-        } else if (cur == StealPolicyKind::hierarchical &&
-                   ew_remote + ew_skip < team && ew_hungry < team) {
-          (void)retune(StealPolicyKind::last_victim);
+        // Trace-fed enrichment: this window's spawn volume and how
+        // concentrated it was on one worker (live ring counters, relaxed
+        // single-writer — legal to sample under the running region).
+        if (const TraceCollector* tc = sched_.tracer();
+            tc != nullptr && prev_spawn.size() == tc->num_workers()) {
+          std::uint64_t window_total = 0, window_top = 0;
+          for (unsigned i = 0; i < tc->num_workers(); ++i) {
+            const std::uint64_t cur = tc->count(i, TraceEvent::spawn);
+            const std::uint64_t d = cur - prev_spawn[i];
+            prev_spawn[i] = cur;
+            window_total += d;
+            window_top = std::max(window_top, d);
+          }
+          smp.d_spawn = static_cast<double>(window_total);
+          smp.spawn_top_share =
+              window_total == 0 ? 0.0
+                                : static_cast<double>(window_top) /
+                                      static_cast<double>(window_total);
+        }
+        if (auto want = phase.update(smp, sched_.active_steal_policy())) {
+          (void)retune(*want);
         }
       }
     }

@@ -112,6 +112,9 @@ void TaskGraph::replay(Worker& w) {
   // barrier early.
   w.stats.tasks_created += n;
   w.stats.tasks_deferred += n;
+  // One weighted record for the whole replayed graph (payload = node count)
+  // keeps the spawn counter in lockstep with the bulk deferred accounting.
+  trace_record(w.ring, TraceEvent::spawn, n, 1, n);
   w.region->live_tasks.fetch_add(static_cast<std::int64_t>(n),
                                  std::memory_order_release);
   if (RegionCtx* c = parent->ctx()) c->note_deferred_bulk(n);

@@ -1,0 +1,113 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bots::rt {
+
+TraceCollector::TraceCollector(unsigned workers, std::uint32_t ring_capacity) {
+  rings_.reserve(workers);
+  drained_.resize(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    rings_.push_back(std::make_unique<TraceRing>(ring_capacity));
+  t0_tsc_ = trace_now();
+  t0_wall_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+// ticks-per-microsecond measured over the collector's whole lifetime; the
+// span is the traced run itself, so no calibration sleep is needed.
+double ticks_per_us(std::uint64_t t0_tsc,
+                    std::chrono::steady_clock::time_point t0_wall) {
+  const std::uint64_t t1_tsc = trace_now();
+  const auto t1_wall = std::chrono::steady_clock::now();
+  const double us = std::chrono::duration<double, std::micro>(t1_wall - t0_wall)
+                        .count();
+  const double ticks = static_cast<double>(t1_tsc - t0_tsc);
+  if (us <= 0.0 || ticks <= 0.0) return 1000.0;  // arbitrary sane fallback
+  return ticks / us;
+}
+
+}  // namespace
+
+double TraceCollector::tsc_to_us(std::uint64_t tsc) const noexcept {
+  const double tpu = ticks_per_us(t0_tsc_, t0_wall_);
+  if (tsc <= t0_tsc_) return 0.0;
+  return static_cast<double>(tsc - t0_tsc_) / tpu;
+}
+
+bool TraceCollector::export_chrome_trace(const char* path) const {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const double tpu = ticks_per_us(t0_tsc_, t0_wall_);
+  auto to_us = [&](std::uint64_t tsc) {
+    return tsc <= t0_tsc_ ? 0.0 : static_cast<double>(tsc - t0_tsc_) / tpu;
+  };
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+  };
+
+  for (unsigned wid = 0; wid < num_workers(); ++wid) {
+    // request_start/request_end pairs become duration ("X") slices; requests
+    // never nest on one worker (one untied root body at a time), so a single
+    // open slot per worker suffices.
+    bool open = false;
+    TraceRecord open_rec = {};
+    for (const TraceRecord& r : drained_[wid]) {
+      const auto ev = static_cast<TraceEvent>(r.type);
+      if (ev == TraceEvent::request_start) {
+        open = true;
+        open_rec = r;
+        continue;
+      }
+      if (ev == TraceEvent::request_end) {
+        const double ts = open ? to_us(open_rec.tsc) : to_us(r.tsc);
+        const double dur = std::max(0.0, to_us(r.tsc) - ts);
+        sep();
+        std::fprintf(f,
+                     "{\"name\":\"request\",\"cat\":\"server\",\"ph\":\"X\","
+                     "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+                     "\"args\":{\"ctx\":%" PRIu64 "}}",
+                     wid, ts, dur, r.arg);
+        open = false;
+        continue;
+      }
+      sep();
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"cat\":\"rt\",\"ph\":\"i\",\"s\":\"t\","
+                   "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                   "\"args\":{\"arg\":%" PRIu64 ",\"arg2\":%u}}",
+                   trace_event_name(ev), wid, to_us(r.tsc), r.arg, r.arg2);
+    }
+    // Slice still open at export time (request in flight): emit a begin event
+    // so the viewer shows it as unterminated rather than dropping it.
+    if (open) {
+      sep();
+      std::fprintf(f,
+                   "{\"name\":\"request\",\"cat\":\"server\",\"ph\":\"B\","
+                   "\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                   "\"args\":{\"ctx\":%" PRIu64 "}}",
+                   wid, to_us(open_rec.tsc), open_rec.arg);
+    }
+    sep();
+    std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                 "\"args\":{\"name\":\"worker %u\"}}",
+                 wid, wid);
+  }
+  std::fprintf(f,
+               "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+               "\"dropped_records\":%" PRIu64 "}}\n",
+               dropped());
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace bots::rt

@@ -238,6 +238,11 @@ struct RangeRunner {
     if (t == nullptr) return false;
     ++w.stats.range_splits;
     ++w.stats.tasks_deferred;
+    // A split is both a split event AND a spawn (the half is a new deferred
+    // descriptor — keeps the spawn/deferred conservation law exact).
+    trace_record(w.ring, TraceEvent::split,
+                 static_cast<std::uint64_t>(hi2 - lo2));
+    trace_record(w.ring, TraceEvent::spawn, w.current->depth(), 1);
     if (grain_ctrl != nullptr) grain_ctrl->range_published();
     t->init_env(RangeRunner<Body>{{lo2, hi2, desc.grain}, body, grain_ctrl});
     w.stats.env_bytes += t->env_bytes();
@@ -309,6 +314,8 @@ void spawn_range(RangeSite site, Tiedness tied, std::int64_t lo,
   // descriptor exists (the degraded path above must leave no phantoms).
   if (ctrl != nullptr) ctrl->range_published();
   ++w->stats.tasks_deferred;
+  trace_record(w->ring, TraceEvent::spawn,
+               w->current->depth() + 1 + w->inline_depth, 1);
   t->init_env(
       detail::RangeRunner<Body>{{lo, hi, grain}, std::move(body), ctrl});
   w->stats.env_bytes += t->env_bytes();
